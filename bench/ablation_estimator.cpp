@@ -1,0 +1,87 @@
+// Ablation: how the health-code → force estimator (DESIGN.md §5) affects
+// adaptive routing on worn chips. The paper substitutes H for D directly;
+// kScaled maps the top 2-bit code to full health and the bottom code to a
+// dead MC. The bucket-based estimators (midpoint/lower/upper) mis-calibrate
+// healthy cells (H=3 → force < 1), which makes the synthesizer over-avoid
+// mildly worn cells and pay real detour cycles.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+constexpr int kChips = 5;
+constexpr int kRuns = 10;
+
+struct Outcome {
+  double success_rate = 0.0;
+  double mean_cycles = 0.0;  // over successful runs
+};
+
+Outcome run_with(HealthEstimator estimator) {
+  int successes = 0;
+  int total = 0;
+  stats::RunningStats cycles;
+  for (int chip_idx = 0; chip_idx < kChips; ++chip_idx) {
+    sim::RepeatedRunsConfig config;
+    config.chip.chip.width = assay::kChipWidth;
+    config.chip.chip.height = assay::kChipHeight;
+    config.chip.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+    config.scheduler.adaptive = true;
+    config.scheduler.synthesis.estimator = estimator;
+    config.scheduler.max_cycles = 1200;
+    config.runs = kRuns;
+    config.seed = 300 + static_cast<std::uint64_t>(chip_idx);
+    for (const sim::RunRecord& r :
+         sim::run_repeated(assay::serial_dilution(), config)) {
+      ++total;
+      if (r.success) {
+        ++successes;
+        cycles.add(static_cast<double>(r.cycles));
+      }
+    }
+  }
+  return Outcome{static_cast<double>(successes) / total,
+                 cycles.count() > 0 ? cycles.mean() : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation — health-code force estimator ===\n(Serial "
+               "Dilution, "
+            << kChips << " worn chips x " << kRuns << " runs)\n\n";
+  Table table({"estimator", "D-hat per code {0,1,2,3}", "success rate",
+               "mean cycles (successful)"});
+  const struct {
+    const char* name;
+    HealthEstimator estimator;
+  } rows[] = {
+      {"scaled  H/(2^b-1)  [default]", HealthEstimator::kScaled},
+      {"midpoint (H+0.5)/2^b", HealthEstimator::kMidpoint},
+      {"lower    H/2^b", HealthEstimator::kLower},
+      {"upper    (H+1)/2^b", HealthEstimator::kUpper},
+  };
+  for (const auto& row : rows) {
+    std::string codes;
+    for (int h = 0; h <= 3; ++h) {
+      codes += fmt_double(estimate_degradation(h, 2, row.estimator), 2);
+      if (h < 3) codes += " ";
+    }
+    const Outcome o = run_with(row.estimator);
+    table.add_row({row.name, codes, fmt_prob(o.success_rate),
+                   fmt_double(o.mean_cycles, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the scaled estimator dominates — it synthesizes\n"
+               "true shortest paths on healthy regions and hard-avoids dead\n"
+               "cells; bucket estimators under-rate healthy MCs and detour\n"
+               "unnecessarily.\n";
+  return 0;
+}

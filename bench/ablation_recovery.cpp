@@ -1,0 +1,94 @@
+// Ablation: proactive adaptation vs reactive error recovery (Section II-C).
+// The paper's framework *proactively* avoids degraded MCs using the
+// real-time health sensor; the prior art reacts to errors after they occur
+// (retrial-based recovery). We compare three controllers on identical
+// mid-life faulty chips:
+//   - baseline            : shortest path, no recovery;
+//   - reactive recovery   : shortest path, re-route from sensed health only
+//                           after a droplet has been stuck for T cycles;
+//   - proactive (proposed): synthesize from sensed health, re-synthesize on
+//                           every observed health change.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+constexpr int kChips = 5;
+constexpr int kRuns = 8;
+
+struct Outcome {
+  double success_rate = 0.0;
+  double mean_cycles = 0.0;
+  double mean_reroutes = 0.0;
+};
+
+Outcome run_config(bool adaptive, int reactive_stuck) {
+  int successes = 0, total = 0;
+  stats::RunningStats cycles, reroutes;
+  for (int chip_idx = 0; chip_idx < kChips; ++chip_idx) {
+    sim::RepeatedRunsConfig config;
+    config.chip.chip.width = assay::kChipWidth;
+    config.chip.chip.height = assay::kChipHeight;
+    config.chip.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+    config.chip.pre_wear_max = 150;
+    config.chip.faults.mode = FaultMode::kClustered;
+    config.chip.faults.faulty_fraction = 0.08;
+    config.chip.faults.fail_at_lo = 15;
+    config.chip.faults.fail_at_hi = 120;
+    config.scheduler.adaptive = adaptive;
+    config.scheduler.reactive_recovery_stuck_cycles = reactive_stuck;
+    config.scheduler.max_cycles = 1500;
+    config.runs = kRuns;
+    config.seed = 1100 + static_cast<std::uint64_t>(chip_idx);
+    for (const sim::RunRecord& r :
+         sim::run_repeated(assay::cep(), config)) {
+      ++total;
+      reroutes.add(r.stats.resyntheses);
+      if (r.success) {
+        ++successes;
+        cycles.add(static_cast<double>(r.cycles));
+      }
+    }
+  }
+  return Outcome{static_cast<double>(successes) / total,
+                 cycles.count() ? cycles.mean() : 0.0, reroutes.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation — proactive adaptation vs reactive recovery "
+               "===\n(CEP, "
+            << kChips << " mid-life faulty chips x " << kRuns << " runs)\n\n";
+  Table table({"controller", "success rate", "mean cycles (successful)",
+               "mean re-routes/run"});
+  const struct {
+    const char* name;
+    bool adaptive;
+    int reactive;
+  } rows[] = {
+      {"baseline (no recovery)", false, 0},
+      {"reactive recovery, T = 12 stuck cycles", false, 12},
+      {"reactive recovery, T = 4 stuck cycles", false, 4},
+      {"proactive adaptive (proposed)", true, 0},
+  };
+  for (const auto& row : rows) {
+    const Outcome o = run_config(row.adaptive, row.reactive);
+    table.add_row({row.name, fmt_prob(o.success_rate),
+                   fmt_double(o.mean_cycles, 1),
+                   fmt_double(o.mean_reroutes, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: reactive recovery rescues most stuck droplets\n"
+               "but pays for every stall (wasted cycles + extra actuations\n"
+               "that deepen the degradation); the proactive router avoids\n"
+               "the stalls altogether — the paper's core argument.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension experiment: adversarial resolutions of the SMG's degradation
+// player (Section V-C frames degradation as a non-deterministic player
+// precisely to support such analyses). An adversary with a fixed per-cycle
+// damage budget attacks the chip while a bioassay executes:
+//   - random adversary    — damage uncorrelated with the workload;
+//   - frontier adversary  — damage targeted at the cells around droplets
+//                           (the worst case for any router).
+// We compare the baseline and adaptive routers under increasing budgets.
+
+#include <iostream>
+#include <memory>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+constexpr int kRepeats = 6;
+
+struct Outcome {
+  double success_rate = 0.0;
+  double mean_cycles = 0.0;
+};
+
+std::unique_ptr<sim::DegradationAdversary> make_adversary(
+    const std::string& kind, int cells) {
+  // 400 actuations' wear ≈ a near-kill per hit (D drops to 0.03-0.2 for the
+  // simulated c range).
+  const sim::AdversaryBudget budget{cells, 400};
+  if (kind == "random")
+    return std::make_unique<sim::RandomAdversary>(budget);
+  if (kind == "frontier")
+    return std::make_unique<sim::FrontierAdversary>(budget);
+  return nullptr;
+}
+
+Outcome run_config(bool adaptive, const std::string& kind, int cells) {
+  int successes = 0;
+  stats::RunningStats cycles;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    sim::SimulatedChipConfig config;
+    config.chip.width = assay::kChipWidth;
+    config.chip.height = assay::kChipHeight;
+    config.chip.degradation = DegradationRange{0.5, 0.9, 80.0, 200.0};
+    sim::SimulatedChip chip(config, Rng(600 + static_cast<std::uint64_t>(rep)));
+    chip.set_adversary(make_adversary(kind, cells));
+    core::SchedulerConfig sched;
+    sched.adaptive = adaptive;
+    sched.max_cycles = 1500;
+    core::Scheduler scheduler(sched);
+    const core::ExecutionStats stats = scheduler.run(chip, assay::cep());
+    if (stats.success) {
+      ++successes;
+      cycles.add(static_cast<double>(stats.cycles));
+    }
+  }
+  return Outcome{static_cast<double>(successes) / kRepeats,
+                 cycles.count() ? cycles.mean() : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension — adversarial degradation player (SMG player "
+               "2) ===\n(CEP, "
+            << kRepeats << " chips per configuration; damage = 400 "
+               "actuations' wear per hit)\n\n";
+  Table table({"adversary", "budget (cells/cycle)", "router", "success rate",
+               "mean cycles (successful)"});
+  for (const std::string kind : {"none", "random", "frontier"}) {
+    for (const int cells : kind == "none" ? std::vector<int>{0}
+                                          : std::vector<int>{1, 2, 4}) {
+      for (const bool adaptive : {false, true}) {
+        const Outcome o = run_config(adaptive, kind, cells);
+        table.add_row({kind, std::to_string(cells),
+                       adaptive ? "adaptive" : "baseline",
+                       fmt_prob(o.success_rate),
+                       fmt_double(o.mean_cycles, 1)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the frontier-targeting adversary is strictly\n"
+               "harder than the random one at equal budget. At moderate\n"
+               "budgets the adaptive router observes every hit through the\n"
+               "2-bit health sensor and reroutes (it survives where the\n"
+               "baseline's fixed corridor collapses); a sufficiently large\n"
+               "budget lets the degradation player wall in any droplet —\n"
+               "the game's value genuinely depends on the adversary's power.\n";
+  return 0;
+}

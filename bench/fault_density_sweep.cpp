@@ -1,0 +1,71 @@
+// Extension experiment: sensitivity of the Fig. 15/16 comparison to the
+// fault density. Sweeps the faulty-MC fraction and reports the success
+// rate (PoS at a fixed cycle budget) for both routers, with 95% confidence
+// intervals over chips. Shows where the baseline collapses and how far the
+// adaptive router pushes the usable-fault-density frontier.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+constexpr int kChips = 6;
+constexpr int kRuns = 5;
+constexpr std::uint64_t kBudget = 400;  // PoS cycle budget per execution
+
+struct Outcome {
+  double pos = 0.0;       ///< mean over chips of per-chip PoS
+  double ci95 = 0.0;      ///< 95% CI half-width over chips
+};
+
+Outcome run_config(bool adaptive, double fault_fraction) {
+  stats::RunningStats per_chip_pos;
+  for (int chip_idx = 0; chip_idx < kChips; ++chip_idx) {
+    sim::RepeatedRunsConfig config;
+    config.chip.chip.width = assay::kChipWidth;
+    config.chip.chip.height = assay::kChipHeight;
+    config.chip.chip.degradation = DegradationRange{0.5, 0.9, 80.0, 200.0};
+    config.chip.pre_wear_max = 120;
+    config.chip.faults.mode = FaultMode::kClustered;
+    config.chip.faults.faulty_fraction = fault_fraction;
+    config.chip.faults.fail_at_lo = 15;
+    config.chip.faults.fail_at_hi = 120;
+    config.scheduler.adaptive = adaptive;
+    config.scheduler.max_cycles = 1000;
+    config.runs = kRuns;
+    config.seed = 1300 + static_cast<std::uint64_t>(chip_idx);
+    const auto runs = sim::run_repeated(assay::cep(), config);
+    per_chip_pos.add(sim::probability_of_success(runs, kBudget));
+  }
+  return Outcome{per_chip_pos.mean(), per_chip_pos.ci95_halfwidth()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension — PoS vs fault density ===\n(CEP, " << kChips
+            << " chips x " << kRuns << " runs, PoS budget " << kBudget
+            << " cycles, clustered faults)\n\n";
+  Table table({"faulty fraction", "baseline PoS (±95% CI)",
+               "adaptive PoS (±95% CI)"});
+  for (const double fraction : {0.0, 0.04, 0.08, 0.12, 0.16, 0.22, 0.30}) {
+    const Outcome baseline = run_config(false, fraction);
+    const Outcome adaptive = run_config(true, fraction);
+    table.add_row({fmt_double(fraction, 2),
+                   fmt_prob(baseline.pos) + " ± " + fmt_prob(baseline.ci95),
+                   fmt_prob(adaptive.pos) + " ± " + fmt_prob(adaptive.ci95)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: both routers start near PoS 1 on fault-free\n"
+               "chips; the baseline collapses first as clusters densify,\n"
+               "while the adaptive router sustains high PoS several points\n"
+               "of fault density further before the chip becomes\n"
+               "geometrically unroutable for everyone.\n";
+  return 0;
+}

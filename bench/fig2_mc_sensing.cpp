@@ -1,0 +1,123 @@
+// Reproduces Fig. 2: transient simulation of the proposed dual-DFF
+// microelectrode cell. The paper's HSPICE result: with the added DFF's clock
+// edge asserted 5 ns after the original DFF's, the 2-bit sensing result
+// separates healthy ("11"), partially degraded (DFFs disagree) and completely
+// degraded ("00") microelectrodes. Our substitute is an ideal-switch RC
+// transient with the Table I capacitances (see DESIGN.md).
+
+#include <iostream>
+
+#include "mcell/mcell.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+int main() {
+  const mcell::CircuitParams params;
+
+  std::cout << "=== Fig. 2 — microelectrode health sensing transient ===\n\n";
+
+  // Table I sanity: a 50×50 um^2 electrode in silicone oil across a 20 um
+  // gap gives the paper's healthy capacitance of 2.375 fF.
+  const double c0 =
+      mcell::parallel_plate_capacitance(50e-6 * 50e-6, 19e-12, 20e-6);
+  std::cout << "Parallel-plate C for Table I parameters: " << fmt_sci(c0, 3)
+            << " F (paper: 2.375e-15 F)\n\n";
+
+  Table table({"MC class", "C (fF)", "Vth crossing (ns)",
+               "V @ original clk", "V @ added clk", "code", "classified"});
+  struct Row {
+    mcell::HealthClass cls;
+    const char* name;
+    double r;
+    double c;
+  };
+  const Row rows[] = {
+      {mcell::HealthClass::kHealthy, "healthy", params.r_healthy,
+       params.c_healthy},
+      {mcell::HealthClass::kPartial, "partially degraded", params.r_partial,
+       params.c_partial},
+      {mcell::HealthClass::kComplete, "completely degraded",
+       params.r_complete, params.c_complete},
+  };
+  const char* code_names[] = {"00", "01", "10", "11"};
+  for (const Row& row : rows) {
+    const mcell::Transient trace =
+        mcell::simulate_discharge(row.r, row.c, params);
+    const int code = mcell::sense_code(trace, params);
+    const char* cls = "?";
+    switch (mcell::classify(code)) {
+      case mcell::HealthClass::kHealthy: cls = "healthy"; break;
+      case mcell::HealthClass::kPartial: cls = "partial"; break;
+      case mcell::HealthClass::kComplete: cls = "complete"; break;
+    }
+    table.add_row({row.name, fmt_double(row.c * 1e15, 3),
+                   fmt_double(mcell::threshold_crossing_ns(trace, params.vth),
+                              2),
+                   fmt_double(trace.at(params.clk_original_ns), 3),
+                   fmt_double(trace.at(params.clk_original_ns +
+                                       params.clk_skew_ns),
+                              3),
+                   code_names[code], cls});
+  }
+  table.print(std::cout);
+
+  const mcell::SkewWindow window = mcell::distinguishing_skew_window(params);
+  std::cout << "\nDFF clock skews distinguishing partial from healthy: ("
+            << fmt_double(window.lo_ns, 2) << " ns, "
+            << fmt_double(window.hi_ns, 2) << " ns)\n"
+            << "Paper's design point of 5 ns lies "
+            << (window.contains(params.clk_skew_ns) ? "inside" : "OUTSIDE")
+            << " this window.\n";
+
+  // Voltage waveform samples (the Fig. 2 curves).
+  std::cout << "\nDischarge waveforms (V):\n";
+  Table wave({"t (ns)", "healthy", "partial", "complete"});
+  const mcell::Transient h =
+      mcell::simulate_discharge(params.r_healthy, params.c_healthy, params);
+  const mcell::Transient p =
+      mcell::simulate_discharge(params.r_partial, params.c_partial, params);
+  const mcell::Transient c =
+      mcell::simulate_discharge(params.r_complete, params.c_complete, params);
+  for (double t = 0.0; t <= 60.0; t += 5.0) {
+    wave.add_row({fmt_double(t, 0), fmt_double(h.at(t), 3),
+                  fmt_double(p.at(t), 3), fmt_double(c.at(t), 3)});
+  }
+  wave.print(std::cout);
+
+  // Design-margin extension: misclassification rates under clock jitter
+  // and capacitance variation (10,000 Monte-Carlo sensing operations per
+  // cell of the table).
+  std::cout << "\nSensing robustness (misclassification rate, 10k samples):"
+            << "\n";
+  Table margin({"noise", "healthy", "partial", "complete"});
+  Rng rng(20210301);
+  const struct {
+    const char* name;
+    mcell::NoiseModel noise;
+  } noise_rows[] = {
+      {"none", {0.0, 0.0}},
+      {"jitter 0.5 ns", {0.0, 0.5}},
+      {"jitter 1.0 ns", {0.0, 1.0}},
+      {"jitter 2.0 ns", {0.0, 2.0}},
+      {"C +/-1%", {0.01, 0.0}},
+      {"C +/-1% + jitter 1 ns", {0.01, 1.0}},
+  };
+  for (const auto& row : noise_rows) {
+    std::vector<std::string> cells = {row.name};
+    for (const mcell::HealthClass cls :
+         {mcell::HealthClass::kHealthy, mcell::HealthClass::kPartial,
+          mcell::HealthClass::kComplete}) {
+      cells.push_back(fmt_prob(
+          mcell::classification_errors(cls, params, row.noise, 10000, rng)
+              .error_rate));
+    }
+    margin.add_row(std::move(cells));
+  }
+  margin.print(std::cout);
+  std::cout << "\nThe partial class (smallest timing margin) degrades\n"
+               "first; sub-nanosecond jitter keeps all classes reliable,\n"
+               "supporting the paper's GHz-divider clocking argument.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 5: electrode degradation on the PCB DMFB prototype.
+// (a) 1 s actuations — capacitance grows linearly with the actuation count
+//     (charge trapping);
+// (b) 5 s actuations — the growth is much faster (residual charge).
+// The "measurement" path follows the paper: each point is obtained by timing
+// the V_C(t) = Vpp(1 − e^{−t/RC}) charging curve through the 1 MΩ series
+// resistor and inverting for C.
+
+#include <iostream>
+
+#include "pcb/pcb.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+void run_mode(const char* title, double actuation_seconds, Rng& rng) {
+  std::cout << title << "\n";
+  Table table({"electrode", "C0 (pF)", "C @ 200", "C @ 400", "C @ 600",
+               "fit slope (pF/actuation)", "R^2"});
+  const pcb::MeasurementRig rig;
+  for (const pcb::ElectrodeSpec& spec :
+       {pcb::electrode_2mm(), pcb::electrode_3mm(), pcb::electrode_4mm()}) {
+    const pcb::DegradationSeries series = pcb::run_degradation_experiment(
+        spec, rig, actuation_seconds, 600, 50, rng);
+    const stats::FitResult fit =
+        stats::linear_fit(series.actuations, series.capacitance_pf);
+    auto c_at = [&](double n) {
+      for (std::size_t i = 0; i < series.actuations.size(); ++i)
+        if (series.actuations[i] == n) return series.capacitance_pf[i];
+      return 0.0;
+    };
+    table.add_row({fmt_double(spec.size_mm, 0) + "x" +
+                       fmt_double(spec.size_mm, 0) + " mm",
+                   fmt_double(spec.c0_pf, 1), fmt_double(c_at(200), 3),
+                   fmt_double(c_at(400), 3), fmt_double(c_at(600), 3),
+                   fmt_double(fit.slope, 5), fmt_double(fit.r2, 4)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 5 — PCB electrode degradation ===\n\n";
+  Rng rng(20210201);
+  run_mode("(a) charge trapping — 1 s actuations:", 1.0, rng);
+  run_mode("(b) residual charge — 5 s actuations:", 5.0, rng);
+  std::cout
+      << "Expected shape: capacitance grows linearly with the number of\n"
+         "actuations in both modes; the 5 s (residual-charge) slope is ~4x\n"
+         "the 1 s (charge-trapping) slope, and larger electrodes trap\n"
+         "charge faster.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Fig. 6: measured relative EWOD force F̄(n) versus the number of
+// actuations, with the fitted exponential model F̄(n) = τ^(2n/c). The paper
+// reports (τ2, c2) = (0.556, 822.7), (τ3, c3) = (0.543, 805.5),
+// (τ4, c4) = (0.530, 788.4) with adjusted R² > 0.94 for all three electrode
+// sizes. Only k = 2·ln(τ)/c is identifiable from one series; following
+// DESIGN.md, c is pinned to the charge-trapping constant of the Fig. 5
+// experiment for the same electrode and τ is fitted.
+
+#include <iostream>
+
+#include "pcb/pcb.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+int main() {
+  std::cout << "=== Fig. 6 — relative EWOD force vs actuation count ===\n\n";
+  Rng rng(20210202);
+
+  struct Config {
+    const char* name;
+    DegradationParams truth;  // paper's fitted values as ground truth
+  };
+  const Config configs[] = {
+      {"2x2 mm", {0.556, 822.7}},
+      {"3x3 mm", {0.543, 805.5}},
+      {"4x4 mm", {0.530, 788.4}},
+  };
+
+  Table fits({"electrode", "tau (paper)", "c (paper)", "tau (fitted)",
+              "c (pinned)", "k (1/actuation)", "adj R^2"});
+  std::cout << "Measured force series (with 3% measurement noise):\n";
+  Table series_table({"n", "2x2 mm", "3x3 mm", "4x4 mm"});
+  std::vector<pcb::ForceSeries> all_series;
+  for (const Config& cfg : configs) {
+    all_series.push_back(
+        pcb::measure_relative_force(cfg.truth, 1500, 100, 0.03, rng));
+  }
+  for (std::size_t i = 0; i < all_series[0].actuations.size(); ++i) {
+    series_table.add_row(
+        {fmt_int(static_cast<long long>(all_series[0].actuations[i])),
+         fmt_double(all_series[0].relative_force[i], 4),
+         fmt_double(all_series[1].relative_force[i], 4),
+         fmt_double(all_series[2].relative_force[i], 4)});
+  }
+  series_table.print(std::cout);
+  std::cout << '\n';
+
+  bool all_good = true;
+  for (std::size_t i = 0; i < all_series.size(); ++i) {
+    const Config& cfg = configs[i];
+    const pcb::ForceFit fit =
+        pcb::fit_force_model(all_series[i], cfg.truth.c);
+    fits.add_row({cfg.name, fmt_double(cfg.truth.tau, 3),
+                  fmt_double(cfg.truth.c, 1), fmt_double(fit.tau, 3),
+                  fmt_double(fit.c, 1), fmt_sci(fit.k, 3),
+                  fmt_double(fit.r2_adjusted, 4)});
+    all_good = all_good && fit.r2_adjusted > 0.94;
+  }
+  fits.print(std::cout);
+  std::cout << "\nPaper's acceptance criterion (adj R^2 > 0.94 for all "
+               "curves): "
+            << (all_good ? "met" : "NOT met") << '\n';
+  return all_good ? 0 : 1;
+}

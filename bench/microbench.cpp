@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the synthesis engine's hot kernels:
+// model construction, the two value-iteration queries, outcome-distribution
+// evaluation, and health sensing. Complements Table V's end-to-end timings
+// with per-kernel numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "assay/helper.hpp"
+#include "chip/biochip.hpp"
+#include "core/mdp.hpp"
+#include "core/synthesizer.hpp"
+#include "core/value_iteration.hpp"
+#include "model/outcomes.hpp"
+
+namespace {
+
+using namespace meda;
+
+assay::RoutingJob corner_job(int area, int droplet) {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, droplet, droplet);
+  rj.goal =
+      Rect::from_size(area - droplet, area - droplet, droplet, droplet);
+  rj.hazard = Rect{0, 0, area - 1, area - 1};
+  return rj;
+}
+
+ActionRules bench_rules() {
+  ActionRules rules;
+  rules.enable_morphing = false;
+  return rules;
+}
+
+void BM_BuildRoutingMdp(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_routing_mdp(rj, force, chip, bench_rules()));
+  }
+  state.SetLabel(std::to_string(area) + "x" + std::to_string(area));
+}
+BENCHMARK(BM_BuildRoutingMdp)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SolveRmin(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_rmin(mdp));
+  }
+  state.SetLabel(std::to_string(mdp.state_count()) + " states");
+}
+BENCHMARK(BM_SolveRmin)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SolvePmax(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_pmax(mdp));
+  }
+}
+BENCHMARK(BM_SolvePmax)->Arg(20);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  core::SynthesisConfig config;
+  config.rules = bench_rules();
+  const core::Synthesizer synth(Rect{0, 0, area - 1, area - 1}, config);
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const IntMatrix health(area, area, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(rj, health, 2));
+  }
+}
+BENCHMARK(BM_FullSynthesis)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_ActionOutcomes(benchmark::State& state) {
+  const Rect droplet{8, 8, 12, 11};
+  const DoubleMatrix force(30, 30, 0.7);
+  for (auto _ : state) {
+    for (const Action a : kAllActions)
+      benchmark::DoNotOptimize(action_outcomes(droplet, a, force));
+  }
+}
+BENCHMARK(BM_ActionOutcomes);
+
+void BM_HealthSensing(benchmark::State& state) {
+  Rng rng(1);
+  BiochipConfig config;
+  config.width = 60;
+  config.height = 30;
+  Biochip chip(config, rng);
+  // Worn cells exercise the quantization path.
+  for (int y = 0; y < 30; ++y)
+    for (int x = 0; x < 60; ++x)
+      chip.mc(x, y).actuate_n(static_cast<std::uint64_t>(x * y));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.health_matrix());
+  }
+  state.SetLabel("60x30 scan");
+}
+BENCHMARK(BM_HealthSensing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Extension experiment: how well does the synthesized model predict
+// reality? The controller plans on the quantized b-bit health matrix H; the
+// chip moves droplets according to the true degradation D. For every
+// completed routing job the scheduler records (model-expected cycles,
+// actual cycles); this bench aggregates the calibration across chip ages.
+//
+// Interpretation: expected/actual ≈ 1 means the 2-bit health sensor carries
+// enough information to predict time-to-result; systematic drift is the
+// cost of quantization (Section V-C's full- vs incomplete-information gap).
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+struct Calibration {
+  stats::RunningStats ratio;   // actual / expected per route
+  stats::RunningStats actual;  // actual cycles per route
+  int routes = 0;
+};
+
+Calibration measure(std::uint64_t pre_wear, int health_bits) {
+  Calibration cal;
+  for (int seed = 0; seed < 4; ++seed) {
+    sim::SimulatedChipConfig config;
+    config.chip.width = assay::kChipWidth;
+    config.chip.height = assay::kChipHeight;
+    config.chip.health_bits = health_bits;
+    config.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+    config.pre_wear_max = pre_wear;
+    sim::SimulatedChip chip(config, Rng(1500 + static_cast<std::uint64_t>(seed)));
+    core::SchedulerConfig sched;
+    sched.max_cycles = 3000;
+    core::Scheduler scheduler(sched);
+    const core::ExecutionStats stats =
+        scheduler.run(chip, assay::serial_dilution());
+    if (!stats.success) continue;
+    for (const core::RouteRecord& r : stats.routes) {
+      if (r.expected_cycles <= 0.0) continue;  // trivial (start at goal)
+      ++cal.routes;
+      cal.ratio.add(static_cast<double>(r.actual_cycles) /
+                    r.expected_cycles);
+      cal.actual.add(static_cast<double>(r.actual_cycles));
+    }
+  }
+  return cal;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension — model calibration (expected vs actual "
+               "route cycles) ===\n(Serial Dilution, 4 chips per row)\n\n";
+  Table table({"chip age (pre-wear)", "b", "routes",
+               "mean actual cycles", "actual/expected mean", "±95% CI"});
+  for (const std::uint64_t wear : {0ull, 100ull, 200ull, 350ull}) {
+    for (const int bits : {2, 4}) {
+      Calibration cal = measure(wear, bits);
+      if (cal.routes == 0) {
+        table.add_row({std::to_string(wear), std::to_string(bits), "0",
+                       "-", "-", "-"});
+        continue;
+      }
+      table.add_row({std::to_string(wear), std::to_string(bits),
+                     std::to_string(cal.routes),
+                     fmt_double(cal.actual.mean(), 1),
+                     fmt_double(cal.ratio.mean(), 3),
+                     fmt_double(cal.ratio.ci95_halfwidth(), 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the age-0 row is the scheduling-overhead floor\n"
+               "(waiting on partners/ports inflates 'actual' slightly even\n"
+               "with a perfect model). With age, b = 2 develops a clear\n"
+               "optimistic bias on top of that floor (a code-3 cell may\n"
+               "truly be at D = 0.75); b = 4 stays near the floor —\n"
+               "quantifying what the extra sensing bits buy.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension experiment: cooperative routing beyond the paper's disjoint-
+// zone assumption. Two droplets exchange the ends of a corridor whose
+// height we sweep; we compare
+//   - joint search over the product space (pair_planner — optimal,
+//     exponential state space), and
+//   - prioritized time-expanded planning (fleet_planner — linear in the
+//     fleet size, but incomplete).
+// The interesting band is where the corridor is just wide enough for a
+// coordinated pass but too tight for prioritized planning.
+
+#include <iostream>
+
+#include "core/fleet_planner.hpp"
+#include "core/pair_planner.hpp"
+#include "model/outcomes.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+struct Outcome {
+  bool feasible = false;
+  std::size_t makespan = 0;
+  std::size_t effort = 0;  // states expanded / visited
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension — joint vs prioritized cooperative routing "
+               "===\n(two 3×3 droplets swapping the ends of a 24-column "
+               "corridor)\n\n";
+  Table table({"corridor rows", "joint feasible", "joint makespan",
+               "joint states expanded", "prioritized feasible",
+               "prioritized makespan"});
+  for (const int rows : {4, 6, 8, 10, 12}) {
+    const Rect chip{0, 0, 23, rows - 1};
+    const DoubleMatrix force = full_health_force(24, rows);
+    assay::RoutingJob ja;
+    ja.start = Rect::from_size(0, rows / 2 - 1, 3, 3);
+    ja.goal = Rect::from_size(21, rows / 2 - 1, 3, 3);
+    ja.hazard = chip;
+    assay::RoutingJob jb;
+    jb.start = ja.goal;
+    jb.goal = ja.start;
+    jb.hazard = chip;
+
+    core::PairPlannerConfig pair_config;
+    pair_config.rules.enable_morphing = false;
+    const core::PairPlan joint =
+        core::plan_pair(ja, jb, force, chip, pair_config);
+
+    core::FleetPlannerConfig fleet_config;
+    fleet_config.rules.enable_morphing = false;
+    fleet_config.horizon = 128;
+    const std::vector<assay::RoutingJob> jobs = {ja, jb};
+    const core::FleetPlan prioritized =
+        core::plan_fleet(jobs, chip, fleet_config);
+
+    table.add_row({std::to_string(rows), joint.feasible ? "yes" : "no",
+                   joint.feasible ? std::to_string(joint.steps.size()) : "-",
+                   fmt_int(static_cast<long long>(joint.states_expanded)),
+                   prioritized.feasible ? "yes" : "no",
+                   prioritized.feasible
+                       ? std::to_string(prioritized.makespan)
+                       : "-"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected crossovers: two 3-cell droplets plus the one-free-cell\n"
+         "separation rule need 8 rows to pass at all (3+2+3), so corridors\n"
+         "of 6 rows or fewer are infeasible for everyone. At exactly 8 rows\n"
+         "only the joint planner passes (droplet 0's solo optimum hogs the\n"
+         "middle lane under prioritized planning); from 10 rows both\n"
+         "succeed with identical makespans, with the joint search paying\n"
+         "an order of magnitude more expansions.\n";
+  return 0;
+}

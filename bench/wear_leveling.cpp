@@ -1,0 +1,83 @@
+// Extension experiment: wear-aware synthesis (proactive wear-leveling).
+// The paper's Rmin reward counts cycles only; routes therefore reuse the
+// same optimal corridor until it degrades enough for the health code to
+// drop. The wear-aware extension charges each action
+//   cost = 1 + λ·mean(1 − F̄) over its actuated pattern,
+// so the synthesizer starts spreading traffic over healthy cells *before*
+// the corridor wears out. We sweep λ on the chip-reuse scenario and report
+// the resulting lifetime.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sim/analysis.hpp"
+#include "sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+constexpr int kChips = 5;
+constexpr int kRuns = 16;
+
+struct Outcome {
+  double mean_successful_runs = 0.0;  ///< lifetime out of kRuns
+  double mean_first3_cycles = 0.0;    ///< early-life cost of the penalty
+  double mean_gini = 0.0;             ///< wear concentration (lower = leveled)
+};
+
+Outcome run_with(double lambda) {
+  stats::RunningStats lifetime, early, gini;
+  for (int chip_idx = 0; chip_idx < kChips; ++chip_idx) {
+    sim::SimulatedChipConfig chip_config;
+    chip_config.chip.width = assay::kChipWidth;
+    chip_config.chip.height = assay::kChipHeight;
+    chip_config.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+    sim::SimulatedChip chip(
+        chip_config, Rng(900 + static_cast<std::uint64_t>(chip_idx)));
+    core::SchedulerConfig sched;
+    sched.adaptive = true;
+    sched.synthesis.wear_penalty_lambda = lambda;
+    sched.max_cycles = 1200;
+    core::StrategyLibrary library;
+    core::Scheduler scheduler(sched, &library);
+    int successes = 0;
+    double first3 = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+      chip.clear_droplets();
+      const core::ExecutionStats stats =
+          scheduler.run(chip, assay::serial_dilution());
+      successes += stats.success;
+      if (run < 3) first3 += static_cast<double>(stats.cycles) / 3.0;
+    }
+    lifetime.add(successes);
+    early.add(first3);
+    gini.add(
+        sim::wear_distribution(chip.substrate().actuation_matrix()).gini);
+  }
+  return Outcome{lifetime.mean(), early.mean(), gini.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension — wear-aware synthesis (λ sweep) ===\n(Serial "
+               "Dilution, "
+            << kChips << " chips x " << kRuns << " executions)\n\n";
+  Table table({"lambda", "mean successful runs (of 16)",
+               "mean cycles, runs 1-3", "wear Gini (lower = leveled)"});
+  for (const double lambda : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const Outcome o = run_with(lambda);
+    table.add_row({fmt_double(lambda, 1),
+                   fmt_double(o.mean_successful_runs, 1),
+                   fmt_double(o.mean_first3_cycles, 1),
+                   fmt_double(o.mean_gini, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: moderate λ extends chip lifetime (routes start\n"
+               "avoiding worn cells while they still work) at a small\n"
+               "early-life cycle overhead; very large λ over-detours.\n";
+  return 0;
+}

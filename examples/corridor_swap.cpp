@@ -1,0 +1,66 @@
+// Cooperative pair routing (extension beyond the paper): two droplets must
+// exchange the ends of a narrow corridor. Routed independently their
+// shortest paths collide head-on and deadlock; the pair planner searches
+// the joint state space and choreographs a passing maneuver that respects
+// the MEDA separation rule at every cycle.
+
+#include <iostream>
+
+#include "core/pair_planner.hpp"
+#include "model/outcomes.hpp"
+#include "sim/simulated_chip.hpp"
+
+using namespace meda;
+
+int main() {
+  // A 24×8 corridor; two 3×3 droplets swap ends.
+  const Rect bounds{0, 0, 23, 7};
+  sim::SimulatedChipConfig config;
+  config.chip.width = 24;
+  config.chip.height = 8;
+  config.record_droplet_trace = true;
+  sim::SimulatedChip chip(config, Rng(11));
+
+  assay::RoutingJob job_a;
+  job_a.start = Rect::from_size(0, 2, 3, 3);
+  job_a.goal = Rect::from_size(21, 2, 3, 3);
+  job_a.hazard = bounds;
+  assay::RoutingJob job_b;
+  job_b.start = job_a.goal;
+  job_b.goal = job_a.start;
+  job_b.hazard = bounds;
+
+  core::PairPlannerConfig planner_config;
+  planner_config.rules.enable_morphing = false;
+  const core::PairPlan plan = core::plan_pair(
+      job_a, job_b, full_health_force(24, 8), bounds, planner_config);
+  if (!plan.feasible) {
+    std::cerr << "no joint plan found\n";
+    return 1;
+  }
+  std::cout << "Joint plan: " << plan.steps.size() << " cycles ("
+            << plan.states_expanded << " pair states expanded)\n\n";
+
+  const core::DropletId da = chip.dispense(job_a.start);
+  const core::DropletId db = chip.dispense(job_b.start);
+  for (const core::PairPlanStep& step : plan.steps) {
+    std::vector<core::Command> commands;
+    if (step.a) commands.push_back(core::Command{da, *step.a, -1});
+    if (step.b) commands.push_back(core::Command{db, *step.b, -1});
+    chip.step(commands);
+  }
+
+  // Show the maneuver as ASCII frames (every third cycle).
+  const auto& trace = chip.droplet_trace();
+  for (std::size_t f = 0; f < trace.size(); f += 3) {
+    std::cout << "cycle " << f + 1 << ":\n"
+              << render_frame(chip, trace[f]) << '\n';
+  }
+
+  const bool ok = job_a.goal.contains(chip.droplet_position(da)) &&
+                  job_b.goal.contains(chip.droplet_position(db));
+  std::cout << (ok ? "Both droplets reached their goals — the pair plan\n"
+                     "passes where independent shortest paths deadlock.\n"
+                   : "Swap FAILED\n");
+  return ok ? 0 : 1;
+}

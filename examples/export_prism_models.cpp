@@ -1,0 +1,53 @@
+// Exports the Table V routing-job MDPs in PRISM's explicit-state format so
+// the models built by this library can be cross-validated against the
+// actual PRISM / PRISM-games model checker the paper used:
+//
+//   prism -importtrans tablev_10x10_d3.tra -importstates tablev_10x10_d3.sta
+//         -importlabels tablev_10x10_d3.lab -mdp tablev_10x10_d3.props
+//   (one command line)
+//
+// Files are written to the current directory.
+
+#include <iostream>
+
+#include "core/prism_export.hpp"
+#include "core/synthesizer.hpp"
+#include "model/outcomes.hpp"
+
+using namespace meda;
+
+int main() {
+  ActionRules rules;
+  rules.enable_morphing = false;  // Table V's positional state space
+  for (const int area : {10, 20, 30}) {
+    for (const int droplet : {3, 4, 5, 6}) {
+      const Rect chip{0, 0, area - 1, area - 1};
+      assay::RoutingJob rj;
+      rj.start = Rect::from_size(0, 0, droplet, droplet);
+      rj.goal = Rect::from_size(area - droplet, area - droplet, droplet,
+                                droplet);
+      rj.hazard = chip;
+      // Worst-case health for model size: degraded but no zero codes.
+      const DoubleMatrix force = force_from_health(
+          IntMatrix(area, area, 2), 2, HealthEstimator::kScaled);
+      const core::RoutingMdp mdp =
+          core::build_routing_mdp(rj, force, chip, rules);
+      const std::string base = "tablev_" + std::to_string(area) + "x" +
+                               std::to_string(area) + "_d" +
+                               std::to_string(droplet);
+      core::export_prism_model(mdp, base);
+      const core::ModelStats stats = mdp.stats();
+      std::cout << base << ".{sta,tra,lab,props}: " << stats.states
+                << " states, " << stats.transitions << " transitions, "
+                << stats.choices << " choices\n";
+    }
+  }
+  std::cout << "\nVerify with, e.g.:\n"
+               "  prism -importtrans tablev_10x10_d3.tra \\\n"
+               "        -importstates tablev_10x10_d3.sta \\\n"
+               "        -importlabels tablev_10x10_d3.lab -mdp \\\n"
+               "        tablev_10x10_d3.props\n"
+               "and compare the reported Pmax/Rmin with "
+               "bench/tablev_synthesis_runtime.\n";
+  return 0;
+}

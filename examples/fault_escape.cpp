@@ -1,0 +1,55 @@
+// Clustered-fault scenario (Section VII-C): 2×2 clusters of microelectrodes
+// fail suddenly mid-execution. Shows the adaptive router detecting the health
+// change through the 2-bit sensor and re-synthesizing around the cluster,
+// while the baseline stalls on it.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+int main() {
+  Table table({"router", "fault mode", "result", "cycles", "re-syntheses"});
+
+  for (const bool adaptive : {true, false}) {
+    for (const FaultMode mode : {FaultMode::kUniform, FaultMode::kClustered}) {
+      sim::SimulatedChipConfig config;
+      config.chip.width = assay::kChipWidth;
+      config.chip.height = assay::kChipHeight;
+      // A mid-life (pre-worn) chip whose injected faults trip within the
+      // first dozens of actuations — the clusters become roadblocks during
+      // the run.
+      config.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+      config.pre_wear_max = 150;
+      config.faults.mode = mode;
+      config.faults.faulty_fraction = 0.10;
+      config.faults.fail_at_lo = 5;
+      config.faults.fail_at_hi = 60;
+      sim::SimulatedChip chip(config, Rng(4242));  // same chip per router
+
+      core::SchedulerConfig sched;
+      sched.adaptive = adaptive;
+      sched.max_cycles = 3000;
+      core::Scheduler scheduler(sched);
+
+      const core::ExecutionStats stats =
+          scheduler.run(chip, assay::cep());
+      table.add_row({adaptive ? "adaptive" : "baseline",
+                     mode == FaultMode::kUniform ? "uniform" : "clustered",
+                     stats.success ? "success" : "FAILED",
+                     std::to_string(stats.cycles),
+                     std::to_string(stats.resyntheses)});
+    }
+  }
+
+  std::cout << "CEP bioassay with sudden mid-run microelectrode failures\n\n";
+  table.print(std::cout);
+  std::cout << "\nClustered faults act as roadblocks; the adaptive router\n"
+               "re-synthesizes when the sensed health matrix changes and\n"
+               "escapes them.\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Command-line bioassay runner: executes any benchmark bioassay on a
+// configurable simulated MEDA biochip and reports execution statistics.
+//
+// Usage:
+//   run_assay [assay] [options]
+//
+//   assay                 master-mix | cep | serial-dilution | nuip |
+//                         covid-rat | covid-pcr | chip-ip | multiplex |
+//                         gene-expression        (default: serial-dilution)
+//   --file PATH           load a custom bioassay in the assay text format
+//                         (see src/assay/parser.hpp) instead of a benchmark
+//   --baseline            degradation-unaware shortest-path router
+//   --reactive N          baseline + retrial recovery after N stuck cycles
+//   --runs N              repeated executions on the same chip (default 1)
+//   --seed S              master RNG seed (default 1)
+//   --prewear N           mid-life chip: up to N prior actuations per MC
+//   --faults MODE FRAC    inject faults: uniform|clustered, fraction (0-1)
+//   --degradation LO HI   per-MC constant c ~ U(LO, HI) (default 200 500)
+//   --max-cycles N        per-execution abort bound (default 3000)
+//   --trace N             print an ASCII chip frame every N cycles
+//   --report PATH         write a self-contained HTML execution report
+//   --health-bits B       health-sensor resolution (default 2)
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "assay/benchmarks.hpp"
+#include "assay/parser.hpp"
+#include "assay/registry.hpp"
+#include "core/scheduler.hpp"
+#include "sim/report.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+namespace {
+
+assay::MoList pick_assay(const std::string& name) {
+  return assay::make_benchmark(name);
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: run_assay [assay] [--file PATH] [--baseline] "
+               "[--reactive N] [--runs N] [--seed S]\n                 "
+               "[--prewear N] [--faults uniform|clustered FRAC]\n"
+               "                 [--degradation LO HI] [--max-cycles N] "
+               "[--trace N] [--report PATH] [--health-bits B]\n"
+               "benchmarks:\n";
+  for (const auto& info : assay::list_benchmarks())
+    std::cerr << "  " << info.key << " — " << info.description << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string assay_name = "serial-dilution";
+  std::string assay_file;
+  sim::SimulatedChipConfig chip_config;
+  chip_config.chip.width = assay::kChipWidth;
+  chip_config.chip.height = assay::kChipHeight;
+  core::SchedulerConfig sched;
+  sched.max_cycles = 3000;
+  std::uint64_t seed = 1;
+  int runs = 1;
+  int trace_every = 0;
+  std::string report_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (++i >= argc) usage();
+        return argv[i];
+      };
+      if (arg == "--file") {
+        assay_file = next();
+      } else if (arg == "--baseline") {
+        sched.adaptive = false;
+      } else if (arg == "--reactive") {
+        sched.adaptive = false;
+        sched.reactive_recovery_stuck_cycles = std::stoi(next());
+      } else if (arg == "--runs") {
+        runs = std::stoi(next());
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else if (arg == "--prewear") {
+        chip_config.pre_wear_max = std::stoull(next());
+      } else if (arg == "--faults") {
+        const std::string mode = next();
+        if (mode == "uniform") chip_config.faults.mode = FaultMode::kUniform;
+        else if (mode == "clustered")
+          chip_config.faults.mode = FaultMode::kClustered;
+        else usage();
+        chip_config.faults.faulty_fraction = std::stod(next());
+        chip_config.faults.fail_at_lo = 15;
+        chip_config.faults.fail_at_hi = 150;
+      } else if (arg == "--degradation") {
+        chip_config.chip.degradation.c_lo = std::stod(next());
+        chip_config.chip.degradation.c_hi = std::stod(next());
+      } else if (arg == "--max-cycles") {
+        sched.max_cycles = std::stoull(next());
+      } else if (arg == "--trace") {
+        trace_every = std::stoi(next());
+        chip_config.record_droplet_trace = true;
+      } else if (arg == "--report") {
+        report_path = next();
+        chip_config.record_droplet_trace = true;
+      } else if (arg == "--health-bits") {
+        chip_config.chip.health_bits = std::stoi(next());
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage();
+      } else {
+        assay_name = arg;
+      }
+    }
+
+    const assay::MoList assay_list = assay_file.empty()
+                                         ? pick_assay(assay_name)
+                                         : assay::load_assay_file(assay_file);
+    sim::SimulatedChip chip(chip_config, Rng(seed));
+    core::StrategyLibrary library;
+    core::Scheduler scheduler(sched, &library);
+
+    const char* router = sched.adaptive ? "adaptive (proposed)"
+                         : sched.reactive_recovery_stuck_cycles > 0
+                             ? "baseline + reactive recovery"
+                             : "baseline (shortest path)";
+    std::cout << assay_list.name << " on a " << chip_config.chip.width << "x"
+              << chip_config.chip.height << " MEDA biochip — " << router
+              << "\n\n";
+
+    Table table({"run", "result", "cycles", "synth calls", "lib hits",
+                 "re-syntheses", "synth ms"});
+    int successes = 0;
+    for (int run = 0; run < runs; ++run) {
+      chip.clear_droplets();
+      const core::ExecutionStats stats = scheduler.run(chip, assay_list);
+      successes += stats.success;
+      if (!report_path.empty() && run == 0) {
+        sim::write_html_report(report_path, assay_list, stats, chip);
+        std::cout << "report written to " << report_path << "\n\n";
+      }
+      table.add_row(
+          {std::to_string(run + 1),
+           stats.success ? "success" : "FAILED (" + stats.failure_reason + ")",
+           std::to_string(stats.cycles), std::to_string(stats.synthesis_calls),
+           std::to_string(stats.library_hits),
+           std::to_string(stats.resyntheses),
+           fmt_double(stats.synthesis_seconds * 1e3, 2)});
+
+      if (trace_every > 0 && run == 0) {
+        const auto& frames = chip.droplet_trace();
+        for (std::size_t f = 0; f < frames.size();
+             f += static_cast<std::size_t>(trace_every)) {
+          std::cout << "cycle " << f << ":\n"
+                    << render_frame(chip, frames[f]) << '\n';
+        }
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n" << successes << "/" << runs << " executions succeeded; "
+              << "total MC actuations "
+              << chip.substrate().total_actuations() << "\n";
+    return successes == runs ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

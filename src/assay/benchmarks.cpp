@@ -1,0 +1,294 @@
+#include "assay/benchmarks.hpp"
+
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+int AssayBuilder::push(Mo mo) {
+  mo.id = static_cast<int>(list_.ops.size());
+  list_.ops.push_back(std::move(mo));
+  return list_.ops.back().id;
+}
+
+int AssayBuilder::dispense(double cx, double cy, int area) {
+  MEDA_REQUIRE(area >= 1, "dispense area must be positive");
+  Mo mo;
+  mo.type = MoType::kDispense;
+  mo.locs = {Loc{cx, cy}};
+  mo.area = area;
+  return push(std::move(mo));
+}
+
+int AssayBuilder::mix(PreRef a, PreRef b, double cx, double cy,
+                      int hold_cycles) {
+  Mo mo;
+  mo.type = MoType::kMix;
+  mo.pre = {a, b};
+  mo.locs = {Loc{cx, cy}};
+  mo.hold_cycles = hold_cycles;
+  return push(std::move(mo));
+}
+
+int AssayBuilder::split(PreRef a, double cx0, double cy0, double cx1,
+                        double cy1) {
+  Mo mo;
+  mo.type = MoType::kSplit;
+  mo.pre = {a};
+  mo.locs = {Loc{cx0, cy0}, Loc{cx1, cy1}};
+  return push(std::move(mo));
+}
+
+int AssayBuilder::dilute(PreRef a, PreRef b, double cx0, double cy0,
+                         double cx1, double cy1, int hold_cycles) {
+  Mo mo;
+  mo.type = MoType::kDilute;
+  mo.pre = {a, b};
+  mo.locs = {Loc{cx0, cy0}, Loc{cx1, cy1}};
+  mo.hold_cycles = hold_cycles;
+  return push(std::move(mo));
+}
+
+int AssayBuilder::mag(PreRef a, double cx, double cy, int hold_cycles) {
+  Mo mo;
+  mo.type = MoType::kMagSense;
+  mo.pre = {a};
+  mo.locs = {Loc{cx, cy}};
+  mo.hold_cycles = hold_cycles;
+  return push(std::move(mo));
+}
+
+int AssayBuilder::output(PreRef a, double cx, double cy) {
+  Mo mo;
+  mo.type = MoType::kOutput;
+  mo.pre = {a};
+  mo.locs = {Loc{cx, cy}};
+  return push(std::move(mo));
+}
+
+int AssayBuilder::discard(PreRef a, double cx, double cy) {
+  Mo mo;
+  mo.type = MoType::kDiscard;
+  mo.pre = {a};
+  mo.locs = {Loc{cx, cy}};
+  return push(std::move(mo));
+}
+
+MoList master_mix(int droplet_area) {
+  AssayBuilder b("Master-Mix");
+  const int primer = b.dispense(17.5, 3.5, droplet_area);
+  const int polymerase = b.dispense(17.5, 25.5, droplet_area);
+  const int premix = b.mix({primer}, {polymerase}, 11.0, 15.0, 8);
+  const int buffer = b.dispense(45.5, 3.5, droplet_area);
+  const int full = b.mix({premix}, {buffer}, 30.0, 15.0, 8);
+  const int sensed = b.mag({full}, 45.0, 15.0, 15);
+  b.output({sensed}, 54.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList cep(int droplet_area) {
+  AssayBuilder b("CEP");
+  // Stage 1 — cell lysis.
+  const int cells = b.dispense(4.5, 3.5, droplet_area);
+  const int lysis = b.dispense(4.5, 25.5, droplet_area);
+  const int lysed = b.mix({cells}, {lysis}, 11.0, 15.0, 10);
+  const int lysed_s = b.mag({lysed}, 19.0, 15.0, 15);
+  // Stage 2 — mRNA extraction (bead capture, discard supernatant).
+  const int cut1 = b.split({lysed_s}, 19.0, 8.0, 19.0, 22.0);
+  b.discard({cut1, 1}, 19.0, 26.0);
+  const int beads = b.dispense(29.5, 3.5, droplet_area);
+  const int captured = b.mix({cut1, 0}, {beads}, 29.0, 15.0, 10);
+  const int captured_s = b.mag({captured}, 37.0, 15.0, 15);
+  const int cut2 = b.split({captured_s}, 37.0, 8.0, 37.0, 22.0);
+  b.discard({cut2, 1}, 37.0, 26.0);
+  // Stage 3 — mRNA purification (wash and elute).
+  const int wash = b.dispense(47.5, 3.5, droplet_area);
+  const int washed = b.mix({cut2, 0}, {wash}, 47.0, 15.0, 10);
+  const int washed_s = b.mag({washed}, 52.0, 15.0, 15);
+  b.output({washed_s}, 55.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList cep_cell_lysis(int droplet_area) {
+  // Stage 1 of CEP standalone: lyse the cells and pellet the debris.
+  AssayBuilder b("CEP: cell lysis");
+  const int cells = b.dispense(4.5, 3.5, droplet_area);
+  const int lysis = b.dispense(4.5, 25.5, droplet_area);
+  const int lysed = b.mix({cells}, {lysis}, 16.0, 15.0, 10);
+  const int lysed_s = b.mag({lysed}, 30.0, 15.0, 15);
+  const int cut = b.split({lysed_s}, 30.0, 8.0, 30.0, 22.0);
+  b.discard({cut, 1}, 30.0, 26.0);
+  b.output({cut, 0}, 54.0, 9.0);
+  return std::move(b).build();
+}
+
+MoList cep_mrna_extraction(int droplet_area) {
+  // Stage 2 standalone: bead-capture the mRNA from a lysate droplet.
+  AssayBuilder b("CEP: mRNA extraction");
+  const int lysate = b.dispense(4.5, 15.5, droplet_area);
+  const int beads = b.dispense(18.5, 3.5, droplet_area);
+  const int captured = b.mix({lysate}, {beads}, 24.0, 15.0, 10);
+  const int captured_s = b.mag({captured}, 36.0, 15.0, 15);
+  const int cut = b.split({captured_s}, 36.0, 8.0, 36.0, 22.0);
+  b.discard({cut, 1}, 36.0, 26.0);
+  b.output({cut, 0}, 54.0, 9.0);
+  return std::move(b).build();
+}
+
+MoList cep_mrna_purification(int droplet_area) {
+  // Stage 3 standalone: wash the captured mRNA and elute.
+  AssayBuilder b("CEP: mRNA purification");
+  const int captured = b.dispense(4.5, 15.5, droplet_area);
+  const int wash = b.dispense(18.5, 3.5, droplet_area);
+  const int washed = b.mix({captured}, {wash}, 24.0, 15.0, 10);
+  const int washed_s = b.mag({washed}, 34.0, 15.0, 15);
+  const int cut = b.split({washed_s}, 34.0, 8.0, 34.0, 22.0);
+  b.discard({cut, 1}, 34.0, 26.0);
+  const int elution = b.dispense(42.5, 3.5, droplet_area);
+  const int eluted = b.mix({cut, 0}, {elution}, 44.0, 9.0, 10);
+  b.output({eluted}, 54.0, 9.0);
+  return std::move(b).build();
+}
+
+MoList serial_dilution(int droplet_area) {
+  AssayBuilder b("Serial Dilution");
+  // A four-stage dilution ladder; each stage halves the concentration and
+  // discards the byproduct. Droplet areas stay constant along the chain.
+  PreRef sample{b.dispense(3.5, 15.5, droplet_area)};
+  for (int stage = 0; stage < 4; ++stage) {
+    const double x = 11.0 + 12.0 * stage;  // 11, 23, 35, 47
+    const int buffer = b.dispense(x, 3.5, droplet_area);
+    const int dlt =
+        b.dilute(sample, {buffer}, x, 15.0, x, 22.0, 8);
+    b.discard({dlt, 1}, x, 26.0);
+    sample = PreRef{dlt, 0};
+  }
+  b.output(sample, 55.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList nuip(int droplet_area) {
+  AssayBuilder b("NuIP");
+  const int chromatin = b.dispense(4.5, 3.5, droplet_area);
+  const int antibody = b.dispense(4.5, 25.5, droplet_area);
+  const int incubated = b.mix({chromatin}, {antibody}, 9.0, 15.0, 12);
+  const int incubated_s = b.mag({incubated}, 14.0, 15.0, 20);
+  const int beads = b.dispense(14.5, 3.5, droplet_area);
+  const int bound = b.mix({incubated_s}, {beads}, 20.0, 15.0, 12);
+  const int bound_s = b.mag({bound}, 26.0, 15.0, 20);
+  const int cut1 = b.split({bound_s}, 26.0, 8.0, 26.0, 22.0);
+  b.discard({cut1, 1}, 26.0, 26.0);
+  const int wash1 = b.dispense(33.5, 3.5, droplet_area);
+  const int washed1 = b.mix({cut1, 0}, {wash1}, 33.0, 15.0, 10);
+  const int washed1_s = b.mag({washed1}, 39.0, 15.0, 20);
+  const int cut2 = b.split({washed1_s}, 39.0, 8.0, 39.0, 22.0);
+  b.discard({cut2, 1}, 39.0, 26.0);
+  const int elution = b.dispense(46.5, 3.5, droplet_area);
+  const int eluted = b.mix({cut2, 0}, {elution}, 46.0, 15.0, 10);
+  const int eluted_s = b.mag({eluted}, 51.0, 15.0, 20);
+  b.output({eluted_s}, 55.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList covid_rat(int droplet_area) {
+  AssayBuilder b("COVID-RAT");
+  const int sample = b.dispense(3.5, 15.5, droplet_area);
+  const int reagent = b.dispense(17.5, 3.5, droplet_area);
+  const int mixed = b.mix({sample}, {reagent}, 18.0, 15.0, 10);
+  const int read = b.mag({mixed}, 36.0, 15.0, 25);
+  b.output({read}, 54.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList covid_pcr(int droplet_area) {
+  AssayBuilder b("COVID-PCR");
+  const int sample = b.dispense(4.5, 3.5, droplet_area);
+  const int lysis = b.dispense(4.5, 25.5, droplet_area);
+  const int lysed = b.mix({sample}, {lysis}, 10.0, 15.0, 10);
+  const int lysed_s = b.mag({lysed}, 16.0, 15.0, 15);
+  const int beads = b.dispense(16.5, 3.5, droplet_area);
+  const int captured = b.mix({lysed_s}, {beads}, 23.0, 15.0, 10);
+  const int captured_s = b.mag({captured}, 30.0, 15.0, 15);
+  const int cut = b.split({captured_s}, 30.0, 8.0, 30.0, 22.0);
+  b.discard({cut, 1}, 30.0, 26.0);
+  const int mastermix = b.dispense(38.5, 3.5, droplet_area);
+  const int reaction = b.mix({cut, 0}, {mastermix}, 38.0, 15.0, 10);
+  // Thermocycling: modeled as successive held processing steps.
+  const int thermo1 = b.mag({reaction}, 44.0, 15.0, 20);
+  const int thermo2 = b.mag({thermo1}, 50.0, 15.0, 20);
+  const int detect = b.mag({thermo2}, 54.0, 15.0, 10);
+  b.output({detect}, 55.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList chip_ip(int droplet_area) {
+  AssayBuilder b("ChIP");
+  const int chromatin = b.dispense(4.5, 4.5, droplet_area);
+  const int antibody = b.dispense(4.5, 24.5, droplet_area);
+  const int incubated = b.mix({chromatin}, {antibody}, 12.0, 15.0, 12);
+  const int incubated_s = b.mag({incubated}, 20.0, 15.0, 18);
+  const int beads = b.dispense(20.5, 4.5, droplet_area);
+  const int bound = b.mix({incubated_s}, {beads}, 28.0, 15.0, 12);
+  const int bound_s = b.mag({bound}, 35.0, 15.0, 18);
+  const int cut = b.split({bound_s}, 35.0, 8.0, 35.0, 22.0);
+  b.discard({cut, 1}, 35.0, 25.0);
+  const int elution = b.dispense(44.5, 4.5, droplet_area);
+  const int eluted = b.mix({cut, 0}, {elution}, 44.0, 15.0, 10);
+  const int eluted_s = b.mag({eluted}, 50.0, 15.0, 18);
+  b.output({eluted_s}, 54.0, 15.0);
+  return std::move(b).build();
+}
+
+MoList multiplex_invitro(int droplet_area) {
+  AssayBuilder b("Multiplex in-vitro");
+  // Two independent assay chains that execute concurrently.
+  const int a_sample = b.dispense(4.5, 4.5, droplet_area);
+  const int a_reagent = b.dispense(4.5, 13.5, droplet_area);
+  const int a_mixed = b.mix({a_sample}, {a_reagent}, 14.0, 9.0, 10);
+  const int a_read = b.mag({a_mixed}, 28.0, 9.0, 15);
+  b.output({a_read}, 54.0, 9.0);
+  const int b_sample = b.dispense(4.5, 24.5, droplet_area);
+  const int b_reagent = b.dispense(17.5, 24.5, droplet_area);
+  const int b_mixed = b.mix({b_sample}, {b_reagent}, 27.0, 20.0, 10);
+  const int b_read = b.mag({b_mixed}, 40.0, 20.0, 15);
+  b.output({b_read}, 54.0, 20.0);
+  return std::move(b).build();
+}
+
+MoList gene_expression(int droplet_area) {
+  AssayBuilder b("Gene Expression");
+  const int sample = b.dispense(4.5, 15.5, droplet_area);
+  const int reagent = b.dispense(12.5, 3.5, droplet_area);
+  const int prepared = b.mix({sample}, {reagent}, 13.0, 15.0, 10);
+  const int prepared_s = b.mag({prepared}, 20.0, 15.0, 15);
+  const int cut = b.split({prepared_s}, 20.0, 8.0, 20.0, 22.0);
+  const int probe1 = b.dispense(30.5, 3.5, droplet_area);
+  const int branch1 = b.mix({cut, 0}, {probe1}, 31.0, 9.0, 10);
+  const int branch1_s = b.mag({branch1}, 41.0, 9.0, 15);
+  b.output({branch1_s}, 54.0, 9.0);
+  const int probe2 = b.dispense(30.5, 25.5, droplet_area);
+  const int branch2 = b.mix({cut, 1}, {probe2}, 31.0, 21.0, 10);
+  const int branch2_s = b.mag({branch2}, 41.0, 21.0, 15);
+  b.output({branch2_s}, 54.0, 21.0);
+  return std::move(b).build();
+}
+
+std::vector<MoList> evaluation_suite(int droplet_area) {
+  std::vector<MoList> suite;
+  suite.push_back(master_mix(droplet_area));
+  suite.push_back(cep(droplet_area));
+  suite.push_back(serial_dilution(droplet_area));
+  suite.push_back(nuip(droplet_area));
+  suite.push_back(covid_rat(droplet_area));
+  suite.push_back(covid_pcr(droplet_area));
+  return suite;
+}
+
+std::vector<MoList> correlation_suite(int droplet_area) {
+  std::vector<MoList> suite;
+  suite.push_back(chip_ip(droplet_area));
+  suite.push_back(multiplex_invitro(droplet_area));
+  suite.push_back(gene_expression(droplet_area));
+  return suite;
+}
+
+}  // namespace meda::assay

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <vector>
+
+#include "assay/mo.hpp"
+
+/// @file benchmarks.hpp
+/// The benchmark bioassays used in the paper's evaluation (Section VII) and
+/// degradation-pattern study (Section III-C), written as sequencing graphs
+/// pre-processed into placed MO lists for the fabricated 60×30 MEDA biochip.
+///
+/// The six evaluation bioassays (Fig. 15/16): Master-Mix, CEP, Serial
+/// Dilution, NuIP, COVID-RAT, COVID-PCR. The three Fig. 3 bioassays: ChIP,
+/// multiplex in-vitro, gene expression.
+///
+/// Each factory takes the dispensed-droplet area (16 = the default 4×4
+/// pattern; the Fig. 3 sweep uses 9/16/25/36). The three Fig. 3 bioassays
+/// are placed so every droplet pattern fits the 60×30 array for areas in
+/// [9, 36]; the evaluation bioassays are placed for the default area.
+
+namespace meda::assay {
+
+inline constexpr int kChipWidth = 60;
+inline constexpr int kChipHeight = 30;
+
+/// Fluent MO-list builder used by the benchmark factories (and available for
+/// user-defined bioassays). Methods return the new MO's id.
+class AssayBuilder {
+ public:
+  explicit AssayBuilder(std::string name) { list_.name = std::move(name); }
+
+  int dispense(double cx, double cy, int area);
+  int mix(PreRef a, PreRef b, double cx, double cy, int hold_cycles = 8);
+  int split(PreRef a, double cx0, double cy0, double cx1, double cy1);
+  int dilute(PreRef a, PreRef b, double cx0, double cy0, double cx1,
+             double cy1, int hold_cycles = 8);
+  int mag(PreRef a, double cx, double cy, int hold_cycles = 15);
+  int output(PreRef a, double cx, double cy);
+  int discard(PreRef a, double cx, double cy);
+
+  /// Finalizes the list (no validation; call assay::validate separately).
+  MoList build() && { return std::move(list_); }
+
+ private:
+  int push(Mo mo);
+
+  MoList list_;
+};
+
+// -- The six evaluation bioassays (Fig. 15/16) ------------------------------
+
+/// PCR master-mix preparation: combine primer, polymerase and buffer, verify,
+/// and output. The shortest benchmark.
+MoList master_mix(int droplet_area = 16);
+
+/// CEP bioprotocol: cell lysis, mRNA extraction, and mRNA purification as
+/// three chained stages with bead-based separation.
+MoList cep(int droplet_area = 16);
+
+/// The three constituent bioassays of the CEP protocol, runnable standalone
+/// (the paper names them explicitly in Section VII-A).
+MoList cep_cell_lysis(int droplet_area = 16);
+MoList cep_mrna_extraction(int droplet_area = 16);
+MoList cep_mrna_purification(int droplet_area = 16);
+
+/// Serial dilution: a chain of four dilution stages, each halving the sample
+/// concentration [40]. The longest transport distances of the suite.
+MoList serial_dilution(int droplet_area = 16);
+
+/// Nucleosome immunoprecipitation (NuIP) [17]: antibody incubation, bead
+/// capture, two wash stages, elution. The longest benchmark.
+MoList nuip(int droplet_area = 16);
+
+/// COVID-19 rapid antigen test: mix sample with antigen reagent and read.
+MoList covid_rat(int droplet_area = 16);
+
+/// COVID-19 PCR test: lysis, bead-based RNA capture, master-mix addition,
+/// thermocycling (modeled as held sensing steps), detection.
+MoList covid_pcr(int droplet_area = 16);
+
+// -- The Fig. 3 degradation-pattern bioassays -------------------------------
+
+/// Chromatin immunoprecipitation (ChIP).
+MoList chip_ip(int droplet_area = 16);
+
+/// Multiplexed in-vitro diagnostics: two independent assay chains running
+/// concurrently.
+MoList multiplex_invitro(int droplet_area = 16);
+
+/// Gene-expression analysis: sample preparation followed by a split into two
+/// probe branches.
+MoList gene_expression(int droplet_area = 16);
+
+/// The six Fig. 15/16 bioassays, in the paper's order.
+std::vector<MoList> evaluation_suite(int droplet_area = 16);
+
+/// The three Fig. 3 bioassays.
+std::vector<MoList> correlation_suite(int droplet_area = 16);
+
+}  // namespace meda::assay

@@ -1,0 +1,86 @@
+#include "assay/concentration.hpp"
+
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+std::vector<std::vector<double>> compute_concentrations(
+    const MoList& list,
+    const std::map<int, double>& dispense_concentrations) {
+  // Areas (volumes) propagate exactly as in validate(); concentrations mix
+  // volume-weighted.
+  std::vector<std::vector<int>> areas;
+  std::vector<std::vector<double>> conc;
+  areas.reserve(list.ops.size());
+  conc.reserve(list.ops.size());
+
+  for (const Mo& mo : list.ops) {
+    std::vector<int> in_area;
+    std::vector<double> in_conc;
+    for (const PreRef& ref : mo.pre) {
+      MEDA_REQUIRE(ref.mo >= 0 && ref.mo < mo.id,
+                   "predecessor reference must point backwards");
+      const auto& pre_areas = areas[static_cast<std::size_t>(ref.mo)];
+      MEDA_REQUIRE(
+          ref.out >= 0 && ref.out < static_cast<int>(pre_areas.size()),
+          "predecessor output index out of range");
+      in_area.push_back(pre_areas[static_cast<std::size_t>(ref.out)]);
+      in_conc.push_back(conc[static_cast<std::size_t>(ref.mo)]
+                            [static_cast<std::size_t>(ref.out)]);
+    }
+    switch (mo.type) {
+      case MoType::kDispense: {
+        const auto it = dispense_concentrations.find(mo.id);
+        const double c = it == dispense_concentrations.end() ? 0.0
+                                                             : it->second;
+        MEDA_REQUIRE(c >= 0.0, "concentration must be non-negative");
+        areas.push_back({mo.area});
+        conc.push_back({c});
+        break;
+      }
+      case MoType::kMix:
+      case MoType::kDilute: {
+        const int total = in_area[0] + in_area[1];
+        const double mixed = (in_conc[0] * in_area[0] +
+                              in_conc[1] * in_area[1]) /
+                             static_cast<double>(total);
+        if (mo.type == MoType::kMix) {
+          areas.push_back({total});
+          conc.push_back({mixed});
+        } else {
+          areas.push_back({(total + 1) / 2, total / 2});
+          conc.push_back({mixed, mixed});
+        }
+        break;
+      }
+      case MoType::kSplit:
+        areas.push_back({(in_area[0] + 1) / 2, in_area[0] / 2});
+        conc.push_back({in_conc[0], in_conc[0]});
+        break;
+      case MoType::kMagSense:
+        areas.push_back({in_area[0]});
+        conc.push_back({in_conc[0]});
+        break;
+      case MoType::kOutput:
+      case MoType::kDiscard:
+        areas.push_back({});
+        conc.push_back({});
+        break;
+    }
+  }
+  return conc;
+}
+
+double exit_concentration(
+    const MoList& list, int mo_id,
+    const std::map<int, double>& dispense_concentrations) {
+  const Mo& mo = list.op(mo_id);
+  MEDA_REQUIRE(mo.type == MoType::kOutput || mo.type == MoType::kDiscard,
+               "exit_concentration expects an output/discard MO");
+  const auto conc = compute_concentrations(list, dispense_concentrations);
+  const PreRef& ref = mo.pre[0];
+  return conc[static_cast<std::size_t>(ref.mo)]
+             [static_cast<std::size_t>(ref.out)];
+}
+
+}  // namespace meda::assay

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "assay/mo.hpp"
+
+/// @file concentration.hpp
+/// Reagent-concentration bookkeeping through a bioassay. Dilution assays
+/// exist to hit target concentrations; this module computes the analyte
+/// concentration of every droplet in an MO list so a protocol can be
+/// checked against its chemical intent (e.g. the Serial Dilution benchmark
+/// must halve the concentration at every stage).
+///
+/// Model: droplet volume is proportional to its pattern area; mixing is
+/// ideal (volume-weighted average); splitting preserves concentration.
+
+namespace meda::assay {
+
+/// Per-MO output concentrations: result[mo][out] is the analyte
+/// concentration of that output droplet. Output/discard MOs have no
+/// entries.
+///
+/// @param dispense_concentrations analyte concentration per dispense MO id;
+///        dispense MOs not listed default to 0 (pure buffer).
+std::vector<std::vector<double>> compute_concentrations(
+    const MoList& list, const std::map<int, double>& dispense_concentrations);
+
+/// Concentration of the droplet consumed by a given output/discard MO.
+/// Requires the MO to be of type kOutput or kDiscard.
+double exit_concentration(
+    const MoList& list, int mo_id,
+    const std::map<int, double>& dispense_concentrations);
+
+}  // namespace meda::assay

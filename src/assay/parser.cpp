@@ -1,0 +1,222 @@
+#include "assay/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw PreconditionError("assay parse error at line " +
+                          std::to_string(line) + ": " + what);
+}
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parses "M<k>" or "M<k>.<i>".
+PreRef parse_ref(const std::string& token, int line, int current_id) {
+  if (token.size() < 2 || token[0] != 'M') fail(line, "bad ref " + token);
+  PreRef ref;
+  try {
+    const auto dot = token.find('.');
+    ref.mo = std::stoi(token.substr(1, dot - 1));
+    ref.out = dot == std::string::npos
+                  ? 0
+                  : std::stoi(token.substr(dot + 1));
+  } catch (const std::exception&) {
+    fail(line, "bad ref " + token);
+  }
+  if (ref.mo < 0 || ref.mo >= current_id)
+    fail(line, "ref " + token + " must point to an earlier MO");
+  return ref;
+}
+
+double parse_num(const std::string& token, int line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) fail(line, "bad number " + token);
+    return v;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "bad number " + token);
+  }
+}
+
+/// Consumes an optional trailing "hold=N" token.
+int parse_hold(std::vector<std::string>& tokens, int line) {
+  if (tokens.empty()) return 0;
+  const std::string& last = tokens.back();
+  if (last.rfind("hold=", 0) != 0) return 0;
+  const int hold = static_cast<int>(parse_num(last.substr(5), line));
+  if (hold < 0) fail(line, "negative hold");
+  tokens.pop_back();
+  return hold;
+}
+
+void expect_arity(const std::vector<std::string>& args, std::size_t n,
+                  int line, const std::string& type) {
+  if (args.size() != n)
+    fail(line, type + " expects " + std::to_string(n) + " arguments, got " +
+                   std::to_string(args.size()));
+}
+
+}  // namespace
+
+MoList parse_assay(std::istream& in) {
+  MoList list;
+  list.name = "unnamed";
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "name") {
+      // Everything after the keyword (re-joined) is the assay name.
+      std::string name;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (i > 1) name += ' ';
+        name += tokens[i];
+      }
+      if (name.empty()) fail(line_no, "empty assay name");
+      list.name = name;
+      continue;
+    }
+
+    // "M<k> = <type> <args...>"
+    if (tokens.size() < 3 || tokens[1] != "=")
+      fail(line_no, "expected 'M<k> = <type> ...'");
+    const int id = static_cast<int>(list.ops.size());
+    if (tokens[0] != "M" + std::to_string(id))
+      fail(line_no, "expected operation name M" + std::to_string(id) +
+                        ", got " + tokens[0]);
+    const std::string type = tokens[2];
+    std::vector<std::string> args(tokens.begin() + 3, tokens.end());
+    const int hold = parse_hold(args, line_no);
+
+    Mo mo;
+    mo.id = id;
+    mo.hold_cycles = hold;
+    if (type == "dis") {
+      expect_arity(args, 3, line_no, type);
+      mo.type = MoType::kDispense;
+      mo.locs = {Loc{parse_num(args[0], line_no), parse_num(args[1], line_no)}};
+      mo.area = static_cast<int>(parse_num(args[2], line_no));
+      if (mo.area < 1) fail(line_no, "dispense area must be positive");
+    } else if (type == "mix" || type == "dlt") {
+      const bool is_mix = type == "mix";
+      expect_arity(args, is_mix ? 4 : 6, line_no, type);
+      mo.type = is_mix ? MoType::kMix : MoType::kDilute;
+      mo.pre = {parse_ref(args[0], line_no, id),
+                parse_ref(args[1], line_no, id)};
+      mo.locs = {Loc{parse_num(args[2], line_no), parse_num(args[3], line_no)}};
+      if (!is_mix)
+        mo.locs.push_back(
+            Loc{parse_num(args[4], line_no), parse_num(args[5], line_no)});
+    } else if (type == "spt") {
+      expect_arity(args, 5, line_no, type);
+      mo.type = MoType::kSplit;
+      mo.pre = {parse_ref(args[0], line_no, id)};
+      mo.locs = {Loc{parse_num(args[1], line_no), parse_num(args[2], line_no)},
+                 Loc{parse_num(args[3], line_no), parse_num(args[4], line_no)}};
+    } else if (type == "mag" || type == "out" || type == "dsc") {
+      expect_arity(args, 3, line_no, type);
+      mo.type = type == "mag"   ? MoType::kMagSense
+                : type == "out" ? MoType::kOutput
+                                : MoType::kDiscard;
+      mo.pre = {parse_ref(args[0], line_no, id)};
+      mo.locs = {Loc{parse_num(args[1], line_no), parse_num(args[2], line_no)}};
+    } else {
+      fail(line_no, "unknown operation type '" + type + "'");
+    }
+    if (hold != 0 && (mo.type == MoType::kDispense ||
+                      mo.type == MoType::kOutput ||
+                      mo.type == MoType::kDiscard ||
+                      mo.type == MoType::kSplit))
+      fail(line_no, "hold= is only valid for mix/dlt/mag");
+    list.ops.push_back(std::move(mo));
+  }
+  if (list.ops.empty()) fail(line_no, "no operations");
+  return list;
+}
+
+MoList parse_assay_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_assay(is);
+}
+
+MoList load_assay_file(const std::string& path) {
+  std::ifstream in(path);
+  MEDA_REQUIRE(in.is_open(), "cannot open assay file " + path);
+  return parse_assay(in);
+}
+
+namespace {
+
+std::string fmt_loc(const Loc& loc) {
+  std::ostringstream os;
+  os << loc.x << ' ' << loc.y;
+  return os.str();
+}
+
+std::string fmt_ref(const PreRef& ref) {
+  std::string out = "M" + std::to_string(ref.mo);
+  if (ref.out != 0) out += "." + std::to_string(ref.out);
+  return out;
+}
+
+}  // namespace
+
+std::string to_assay_text(const MoList& list) {
+  std::ostringstream os;
+  os << "name " << list.name << '\n';
+  for (const Mo& mo : list.ops) {
+    os << 'M' << mo.id << " = " << to_string(mo.type);
+    switch (mo.type) {
+      case MoType::kDispense:
+        os << ' ' << fmt_loc(mo.locs[0]) << ' ' << mo.area;
+        break;
+      case MoType::kMix:
+        os << ' ' << fmt_ref(mo.pre[0]) << ' ' << fmt_ref(mo.pre[1]) << ' '
+           << fmt_loc(mo.locs[0]);
+        break;
+      case MoType::kDilute:
+        os << ' ' << fmt_ref(mo.pre[0]) << ' ' << fmt_ref(mo.pre[1]) << ' '
+           << fmt_loc(mo.locs[0]) << ' ' << fmt_loc(mo.locs[1]);
+        break;
+      case MoType::kSplit:
+        os << ' ' << fmt_ref(mo.pre[0]) << ' ' << fmt_loc(mo.locs[0]) << ' '
+           << fmt_loc(mo.locs[1]);
+        break;
+      case MoType::kMagSense:
+      case MoType::kOutput:
+      case MoType::kDiscard:
+        os << ' ' << fmt_ref(mo.pre[0]) << ' ' << fmt_loc(mo.locs[0]);
+        break;
+    }
+    if (mo.hold_cycles > 0 && (mo.type == MoType::kMix ||
+                               mo.type == MoType::kDilute ||
+                               mo.type == MoType::kMagSense))
+      os << " hold=" << mo.hold_cycles;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace meda::assay

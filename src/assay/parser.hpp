@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "assay/mo.hpp"
+
+/// @file parser.hpp
+/// Text format for bioassay sequencing graphs, so custom bioassays can be
+/// defined without recompiling. One microfluidic operation per line:
+///
+/// ```
+/// # PCR master-mix preparation
+/// name Master-Mix
+/// M0 = dis 17.5 3.5 16          # dispense: cx cy area
+/// M1 = dis 17.5 25.5 16
+/// M2 = mix M0 M1 11 15 hold=8   # mix: refA refB cx cy [hold=N]
+/// M3 = spt M2 11 8 11 22        # split: ref cx0 cy0 cx1 cy1
+/// M4 = dsc M3.1 11 26           # discard: ref cx cy
+/// M5 = mag M3.0 30 15 hold=15   # sense/process: ref cx cy [hold=N]
+/// M6 = out M5 54 15             # output: ref cx cy
+/// ```
+///
+/// References are `M<k>` (first output of MO k) or `M<k>.<i>` (output i).
+/// Operation names must be `M<position>` in order. `dlt` takes
+/// `refA refB cx0 cy0 cx1 cy1 [hold=N]`. Blank lines and `#` comments are
+/// ignored. Errors throw PreconditionError with the line number.
+
+namespace meda::assay {
+
+/// Parses an assay description from a stream.
+MoList parse_assay(std::istream& in);
+
+/// Parses an assay description from a string.
+MoList parse_assay_string(const std::string& text);
+
+/// Loads and parses an assay file. Throws on I/O failure.
+MoList load_assay_file(const std::string& path);
+
+/// Serializes an MO list back into the text format (round-trips through
+/// parse_assay_string).
+std::string to_assay_text(const MoList& list);
+
+}  // namespace meda::assay

@@ -1,0 +1,216 @@
+#include "assay/planner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+namespace {
+
+/// Output droplet areas per node (same propagation as validate()).
+std::vector<std::vector<int>> propagate_areas(
+    const std::vector<SgNode>& nodes) {
+  std::vector<std::vector<int>> areas;
+  areas.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SgNode& node = nodes[i];
+    MEDA_REQUIRE(static_cast<int>(node.pre.size()) == input_count(node.type),
+                 "node " + std::to_string(i) +
+                     ": wrong number of predecessor references");
+    std::vector<int> in;
+    for (const PreRef& ref : node.pre) {
+      MEDA_REQUIRE(ref.mo >= 0 && ref.mo < static_cast<int>(i),
+                   "node " + std::to_string(i) +
+                       ": predecessor must point backwards");
+      const auto& outs = areas[static_cast<std::size_t>(ref.mo)];
+      MEDA_REQUIRE(ref.out >= 0 && ref.out < static_cast<int>(outs.size()),
+                   "node " + std::to_string(i) +
+                       ": predecessor output index out of range");
+      in.push_back(outs[static_cast<std::size_t>(ref.out)]);
+    }
+    switch (node.type) {
+      case MoType::kDispense:
+        MEDA_REQUIRE(node.area >= 1, "dispense area must be positive");
+        areas.push_back({node.area});
+        break;
+      case MoType::kMix:
+        areas.push_back({in[0] + in[1]});
+        break;
+      case MoType::kSplit:
+        areas.push_back({(in[0] + 1) / 2, in[0] / 2});
+        break;
+      case MoType::kDilute: {
+        const int total = in[0] + in[1];
+        areas.push_back({(total + 1) / 2, total / 2});
+        break;
+      }
+      case MoType::kMagSense:
+        areas.push_back({in[0]});
+        break;
+      case MoType::kOutput:
+      case MoType::kDiscard:
+        // No outputs; remember the consumed area (negated sentinel) for
+        // port sizing. Successors referencing it are rejected by the final
+        // validate().
+        areas.push_back({-in[0]});
+        break;
+    }
+  }
+  return areas;
+}
+
+/// Geometry allocator for the placement bands and ports.
+class SiteAllocator {
+ public:
+  SiteAllocator(const Rect& chip, int pitch)
+      : chip_(chip), pitch_(pitch) {}
+
+  /// Dispense ports: along the south edge west→east, then the north edge.
+  Loc dispense_port(const DropletSize& size) {
+    const int k = dispense_count_++;
+    const int per_edge = std::max(1, chip_.width() / pitch_);
+    const double cx =
+        chip_.xa + (k % per_edge + 0.5) * static_cast<double>(pitch_);
+    MEDA_REQUIRE(k < 2 * per_edge, "planner ran out of dispense ports");
+    if (k < per_edge)
+      return Loc{cx, chip_.ya + (size.h - 1) / 2.0 + 1.0};
+    return Loc{cx, chip_.yb - (size.h - 1) / 2.0 - 1.0};
+  }
+
+  /// Processing sites: interior bands (middle, lower, upper), west→east.
+  Loc processing_site(const DropletSize& /*size*/) {
+    const int k = processing_count_++;
+    const int ncols =
+        std::max(1, (chip_.width() - pitch_) / pitch_);
+    const int col = k % ncols;
+    const int band = k / ncols;
+    MEDA_REQUIRE(band < 3, "planner ran out of processing sites");
+    const double mid_y = (chip_.ya + chip_.yb) / 2.0;
+    const double cy = band == 0   ? mid_y
+                      : band == 1 ? mid_y - pitch_
+                                  : mid_y + pitch_;
+    return Loc{chip_.xa + pitch_ + col * static_cast<double>(pitch_), cy};
+  }
+
+  /// Secondary location for a split/dilute output: one pitch above the
+  /// site, or below when the top does not fit.
+  Loc secondary_site(const Loc& primary, const DropletSize& size) const {
+    const double above = primary.y + pitch_;
+    if (above + size.h / 2.0 + 1.0 <= chip_.yb)
+      return Loc{primary.x, above};
+    return Loc{primary.x, primary.y - pitch_};
+  }
+
+  /// Output/discard ports: along the east edge (staggered vertically),
+  /// overflowing onto the north edge counted from its east end.
+  Loc exit_port(const DropletSize& size) {
+    const int k = exit_count_++;
+    const int per_col = std::max(1, chip_.height() / pitch_);
+    if (k < per_col) {
+      const double cx = chip_.xb - (size.w - 1) / 2.0 - 1.0;
+      const double mid_y = (chip_.ya + chip_.yb) / 2.0;
+      const double offset = ((k + 1) / 2) * static_cast<double>(pitch_);
+      const double cy = k % 2 == 0 ? mid_y + offset : mid_y - offset;
+      // Keep the pattern on the chip (ports near the corners clamp).
+      const double lo = chip_.ya + (size.h - 1) / 2.0;
+      const double hi = chip_.yb - (size.h - 1) / 2.0;
+      return Loc{cx, std::clamp(cy, lo, hi)};
+    }
+    const int k2 = k - per_col;
+    const int per_edge = std::max(1, chip_.width() / pitch_);
+    MEDA_REQUIRE(k2 < per_edge, "planner ran out of exit ports");
+    return Loc{chip_.xb - (k2 + 0.5) * static_cast<double>(pitch_),
+               chip_.yb - (size.h - 1) / 2.0 - 1.0};
+  }
+
+ private:
+  Rect chip_;
+  int pitch_;
+  int dispense_count_ = 0;
+  int processing_count_ = 0;
+  int exit_count_ = 0;
+};
+
+}  // namespace
+
+MoList plan_placement(const std::string& name,
+                      const std::vector<SgNode>& nodes, const Rect& chip,
+                      const PlannerConfig& config) {
+  MEDA_REQUIRE(!nodes.empty(), "empty sequencing graph");
+  MEDA_REQUIRE(chip.valid(), "invalid chip bounds");
+  MEDA_REQUIRE(config.site_margin >= 1, "site margin must be positive");
+
+  const auto areas = propagate_areas(nodes);
+
+  // The site pitch accommodates the largest pattern anywhere in the graph;
+  // split/dilute sites additionally need room for the side-by-side split
+  // box (both halves plus the separating column).
+  int max_dim = 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int a : areas[i]) {
+      const DropletSize size = size_for_area(std::abs(a));
+      max_dim = std::max({max_dim, size.w, size.h});
+    }
+    if (nodes[i].type == MoType::kSplit ||
+        nodes[i].type == MoType::kDilute) {
+      const DropletSize s0 = size_for_area(areas[i][0]);
+      const DropletSize s1 = size_for_area(areas[i][1]);
+      max_dim = std::max(max_dim, s0.w + 1 + s1.w);
+    }
+  }
+  const int pitch = max_dim + config.site_margin;
+
+  SiteAllocator allocator(chip, pitch);
+  MoList list;
+  list.name = name;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SgNode& node = nodes[i];
+    Mo mo;
+    mo.id = static_cast<int>(i);
+    mo.type = node.type;
+    mo.pre = node.pre;
+    mo.area = node.area;
+    mo.hold_cycles = node.hold_cycles;
+    switch (node.type) {
+      case MoType::kDispense: {
+        mo.locs = {allocator.dispense_port(size_for_area(node.area))};
+        break;
+      }
+      case MoType::kMix:
+      case MoType::kMagSense: {
+        mo.locs = {
+            allocator.processing_site(size_for_area(areas[i].front()))};
+        break;
+      }
+      case MoType::kSplit:
+      case MoType::kDilute: {
+        const Loc primary =
+            allocator.processing_site(size_for_area(areas[i][0]));
+        mo.locs = {primary, allocator.secondary_site(
+                                primary, size_for_area(areas[i][1]))};
+        break;
+      }
+      case MoType::kOutput:
+      case MoType::kDiscard: {
+        mo.locs = {allocator.exit_port(size_for_area(-areas[i].front()))};
+        break;
+      }
+    }
+    list.ops.push_back(std::move(mo));
+  }
+  validate(list, chip);  // guarantees the plan is runnable geometry
+  return list;
+}
+
+std::vector<SgNode> to_sequence_graph(const MoList& list) {
+  std::vector<SgNode> nodes;
+  nodes.reserve(list.ops.size());
+  for (const Mo& mo : list.ops) {
+    nodes.push_back(SgNode{mo.type, mo.pre, mo.area, mo.hold_cycles});
+  }
+  return nodes;
+}
+
+}  // namespace meda::assay

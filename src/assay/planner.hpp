@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/mo.hpp"
+#include "geometry/rect.hpp"
+
+/// @file planner.hpp
+/// A simple module-placement planner. The paper assumes the sequencing
+/// graph "is preprocessed by a planner that determines the dependencies and
+/// module placements of MOs" and cites external synthesis tools; this
+/// planner provides that preprocessing for users who only have an unplaced
+/// sequencing graph:
+///
+///  - dispense ports alternate along the south and north chip edges,
+///  - processing sites (mix / dilute / sense) fill interior bands from
+///    west to east in dependency order,
+///  - split/dilute secondary outputs go to a band above or below the site,
+///  - outputs and discards use ports along the east edge and the corners.
+///
+/// The result is *valid and runnable*, not optimal — placements simply
+/// respect pattern sizes and a configurable inter-site margin.
+
+namespace meda::assay {
+
+/// One unplaced sequencing-graph node (dependencies but no locations).
+struct SgNode {
+  MoType type = MoType::kDispense;
+  std::vector<PreRef> pre;
+  int area = 16;        ///< dispensed droplet area (kDispense only)
+  int hold_cycles = 0;  ///< processing time (mix/dlt/mag)
+};
+
+/// Planner tuning.
+struct PlannerConfig {
+  int site_margin = 3;  ///< minimum free cells between placed patterns
+};
+
+/// Places @p nodes onto @p chip and returns a validated MO list.
+/// Throws PreconditionError when the graph is malformed or does not fit.
+MoList plan_placement(const std::string& name,
+                      const std::vector<SgNode>& nodes, const Rect& chip,
+                      const PlannerConfig& config = {});
+
+/// Strips the placements from an MO list, recovering the pure sequencing
+/// graph (useful for re-planning an existing bioassay on another chip).
+std::vector<SgNode> to_sequence_graph(const MoList& list);
+
+}  // namespace meda::assay

@@ -1,0 +1,59 @@
+#include "assay/registry.hpp"
+
+#include <functional>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+namespace {
+
+struct Entry {
+  const char* key;
+  const char* description;
+  MoList (*factory)(int);
+};
+
+constexpr Entry kEntries[] = {
+    {"master-mix", "PCR master-mix preparation (shortest benchmark)",
+     &master_mix},
+    {"cep", "CEP bioprotocol: lysis + mRNA extraction + purification", &cep},
+    {"serial-dilution", "four-stage 1:1 dilution ladder", &serial_dilution},
+    {"nuip", "nucleosome immunoprecipitation (longest benchmark)", &nuip},
+    {"covid-rat", "COVID-19 rapid antigen test", &covid_rat},
+    {"covid-pcr", "COVID-19 PCR test with thermocycling", &covid_pcr},
+    {"chip-ip", "chromatin immunoprecipitation (Fig. 3 study)", &chip_ip},
+    {"multiplex", "two concurrent in-vitro diagnostic chains (Fig. 3 study)",
+     &multiplex_invitro},
+    {"gene-expression", "sample prep + two probe branches (Fig. 3 study)",
+     &gene_expression},
+    {"cep-lysis", "CEP stage 1: cell lysis (standalone)", &cep_cell_lysis},
+    {"cep-extraction", "CEP stage 2: mRNA extraction (standalone)",
+     &cep_mrna_extraction},
+    {"cep-purification", "CEP stage 3: mRNA purification (standalone)",
+     &cep_mrna_purification},
+};
+
+}  // namespace
+
+std::vector<BenchmarkInfo> list_benchmarks() {
+  std::vector<BenchmarkInfo> out;
+  for (const Entry& entry : kEntries)
+    out.push_back(BenchmarkInfo{entry.key, entry.description});
+  return out;
+}
+
+MoList make_benchmark(const std::string& key, int droplet_area) {
+  for (const Entry& entry : kEntries)
+    if (key == entry.key) return entry.factory(droplet_area);
+  std::string known;
+  for (const Entry& entry : kEntries) {
+    if (!known.empty()) known += ", ";
+    known += entry.key;
+  }
+  throw PreconditionError("unknown benchmark '" + key + "' (known: " + known +
+                          ")");
+}
+
+}  // namespace meda::assay

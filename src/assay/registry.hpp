@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/mo.hpp"
+
+/// @file registry.hpp
+/// Name-based access to the built-in benchmark bioassays, for CLIs,
+/// experiment configs and scripts.
+
+namespace meda::assay {
+
+/// One registry entry.
+struct BenchmarkInfo {
+  std::string key;          ///< CLI-friendly identifier, e.g. "serial-dilution"
+  std::string description;  ///< one-line description
+};
+
+/// All built-in benchmarks (the six evaluation bioassays, the three Fig. 3
+/// bioassays, and the standalone CEP stages), in a stable order.
+std::vector<BenchmarkInfo> list_benchmarks();
+
+/// Instantiates a benchmark by key with the given dispensed-droplet area.
+/// Throws PreconditionError for unknown keys (message lists valid keys).
+MoList make_benchmark(const std::string& key, int droplet_area = 16);
+
+}  // namespace meda::assay

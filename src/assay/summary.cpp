@@ -1,0 +1,49 @@
+#include "assay/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "assay/helper.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+
+AssaySummary summarize(const MoList& list, const Rect& chip) {
+  validate(list, chip);
+  AssaySummary summary;
+  summary.operations = static_cast<int>(list.ops.size());
+
+  std::vector<int> depth(list.ops.size(), 1);
+  for (const Mo& mo : list.ops) {
+    ++summary.counts[static_cast<std::size_t>(mo.type)];
+    summary.total_hold_cycles += mo.hold_cycles;
+    switch (mo.type) {
+      case MoType::kDispense:
+        ++summary.droplets_created;
+        break;
+      case MoType::kSplit:
+      case MoType::kDilute:
+        // One input becomes two droplets (dilute first merges, then the
+        // split re-creates the second droplet).
+        ++summary.droplets_created;
+        break;
+      default:
+        break;
+    }
+    for (const PreRef& ref : mo.pre)
+      depth[static_cast<std::size_t>(mo.id)] =
+          std::max(depth[static_cast<std::size_t>(mo.id)],
+                   depth[static_cast<std::size_t>(ref.mo)] + 1);
+  }
+  summary.critical_path = *std::max_element(depth.begin(), depth.end());
+
+  for (const RoutingJob& rj : make_all_routing_jobs(list, chip)) {
+    if (!rj.start.valid()) continue;  // dispense entry legs excluded
+    summary.transport_distance +=
+        std::abs(rj.start.center_x() - rj.goal.center_x()) +
+        std::abs(rj.start.center_y() - rj.goal.center_y());
+  }
+  return summary;
+}
+
+}  // namespace meda::assay

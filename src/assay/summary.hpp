@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+
+#include "assay/mo.hpp"
+
+/// @file summary.hpp
+/// Structural summary of a planned bioassay: operation mix, dependency
+/// depth, processing time and on-chip transport demand. Useful for
+/// comparing benchmark sizes (the paper orders its evaluation by bioassay
+/// length) and for sanity-checking custom assays before execution.
+
+namespace meda::assay {
+
+/// Aggregate structural metrics of an MO list.
+struct AssaySummary {
+  int operations = 0;
+  /// Operation count per MoType (indexed by the enum's underlying value).
+  std::array<int, 7> counts{};
+  /// Total droplets ever created (dispensed + produced by splits/dilutions).
+  int droplets_created = 0;
+  /// Total in-place processing time (Σ hold_cycles).
+  int total_hold_cycles = 0;
+  /// Σ over routing jobs with on-chip starts of the Manhattan distance
+  /// between the start and goal centers — a lower bound on transport
+  /// cycles (dispense entry legs are excluded; they depend on the port).
+  double transport_distance = 0.0;
+  /// Length (in operations) of the longest dependency chain.
+  int critical_path = 0;
+
+  int count(MoType type) const {
+    return counts[static_cast<std::size_t>(type)];
+  }
+};
+
+/// Computes the summary. Requires a list that validates against @p chip.
+AssaySummary summarize(const MoList& list, const Rect& chip);
+
+}  // namespace meda::assay

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/microelectrode.hpp"
+#include "geometry/rect.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+/// @file biochip.hpp
+/// The MEDA biochip substrate: a W×H array of microelectrode cells with
+/// degradation tracking and health sensing (Sections III-V).
+
+namespace meda {
+
+/// Uniform sampling range for per-MC degradation constants
+/// (Section VII-B uses c ~ U(200, 500) and τ ~ U(0.5, 0.9)).
+struct DegradationRange {
+  double tau_lo = 0.5;
+  double tau_hi = 0.9;
+  double c_lo = 200.0;
+  double c_hi = 500.0;
+
+  /// Samples one (τ, c) pair.
+  DegradationParams sample(Rng& rng) const;
+};
+
+/// Chip-level configuration.
+struct BiochipConfig {
+  int width = 60;        ///< W, number of MC columns
+  int height = 30;       ///< H, number of MC rows
+  int health_bits = 2;   ///< b, health-sensor resolution (paper's design: 2)
+  DegradationRange degradation{};  ///< constants for normal MCs
+};
+
+/// A MEDA biochip: owns the MC array, applies actuation patterns, and exposes
+/// the three matrices of the paper — actuation counts N, true degradation D,
+/// and sensed health H.
+class Biochip {
+ public:
+  /// Builds a chip whose MCs get (τ, c) sampled from config.degradation.
+  Biochip(const BiochipConfig& config, Rng& rng);
+
+  int width() const { return config_.width; }
+  int height() const { return config_.height; }
+  int health_bits() const { return config_.health_bits; }
+  const BiochipConfig& config() const { return config_; }
+
+  /// The full chip area as a rectangle (0, 0, W-1, H-1).
+  Rect bounds() const {
+    return Rect{0, 0, config_.width - 1, config_.height - 1};
+  }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < config_.width && y >= 0 && y < config_.height;
+  }
+  bool in_bounds(const Rect& r) const {
+    return r.valid() && bounds().contains(r);
+  }
+
+  Microelectrode& mc(int x, int y);
+  const Microelectrode& mc(int x, int y) const;
+
+  /// Applies one operational cycle's actuation pattern: every set cell in
+  /// @p pattern is charged once (its actuation count increments).
+  void actuate(const BoolMatrix& pattern);
+
+  /// Actuates every cell inside @p cells (clipped to the chip bounds).
+  void actuate(const Rect& cells);
+
+  /// True degradation matrix D (full-information view; simulator-only).
+  DoubleMatrix degradation_matrix() const;
+
+  /// Sensed b-bit health matrix H (what the controller observes).
+  IntMatrix health_matrix() const;
+
+  /// Sensed health restricted to @p area (clipped to chip bounds); cells are
+  /// addressed by absolute chip coordinates in the returned matrix' frame
+  /// starting at the clipped area's lower-left corner.
+  IntMatrix health_matrix(const Rect& area) const;
+
+  /// Actuation-count matrix N.
+  Matrix<std::uint64_t> actuation_matrix() const;
+
+  /// Total number of MC actuations applied so far (Σ N_ij).
+  std::uint64_t total_actuations() const { return total_actuations_; }
+
+  /// Number of operational cycles applied via actuate().
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) *
+               static_cast<std::size_t>(config_.width) +
+           static_cast<std::size_t>(x);
+  }
+
+  BiochipConfig config_;
+  std::vector<Microelectrode> cells_;
+  std::uint64_t total_actuations_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace meda

@@ -1,0 +1,55 @@
+#include "chip/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda {
+
+double DegradationParams::degradation(std::uint64_t n) const {
+  MEDA_REQUIRE(tau >= 0.0 && tau <= 1.0, "tau must lie in [0, 1]");
+  MEDA_REQUIRE(c > 0.0, "c must be positive");
+  if (n == 0) return 1.0;
+  if (tau == 0.0) return 0.0;
+  return std::pow(tau, static_cast<double>(n) / c);
+}
+
+double DegradationParams::relative_force(std::uint64_t n) const {
+  const double d = degradation(n);
+  return d * d;
+}
+
+int quantize_health(double degradation, int bits) {
+  MEDA_REQUIRE(bits >= 1 && bits <= 16, "health bits out of range");
+  MEDA_REQUIRE(degradation >= 0.0 && degradation <= 1.0,
+               "degradation level out of range");
+  const int levels = 1 << bits;
+  const int h = static_cast<int>(
+      std::floor(static_cast<double>(levels) * degradation));
+  return std::min(h, levels - 1);
+}
+
+double estimate_degradation(int health, int bits, HealthEstimator estimator) {
+  MEDA_REQUIRE(bits >= 1 && bits <= 16, "health bits out of range");
+  const int levels = 1 << bits;
+  MEDA_REQUIRE(health >= 0 && health < levels, "health code out of range");
+  double d = 0.0;
+  switch (estimator) {
+    case HealthEstimator::kScaled:
+      d = static_cast<double>(health) / static_cast<double>(levels - 1);
+      break;
+    case HealthEstimator::kMidpoint:
+      d = (static_cast<double>(health) + 0.5) / static_cast<double>(levels);
+      break;
+    case HealthEstimator::kLower:
+      d = static_cast<double>(health) / static_cast<double>(levels);
+      break;
+    case HealthEstimator::kUpper:
+      d = (static_cast<double>(health) + 1.0) / static_cast<double>(levels);
+      break;
+  }
+  return std::clamp(d, 0.0, 1.0);
+}
+
+}  // namespace meda

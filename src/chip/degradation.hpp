@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+/// @file degradation.hpp
+/// The microelectrode degradation/health model of Section IV-B.
+///
+/// Charge trapping makes the effective actuation voltage decay exponentially
+/// with the number of actuations n:
+///
+///   degradation level  D(n) = V(n)/V_a ≈ τ^(n/c)        ∈ [0, 1]   (eq. 3)
+///   relative EWOD force F̄(n) ≈ (V(n)/V_a)² = τ^(2n/c)   ∈ [0, 1]   (eq. 1-2)
+///   observed health     H(n) = min(2^b − 1, ⌊2^b·D(n)⌋)             (b-bit)
+///
+/// τ ∈ [0,1] and c > 0 are per-microelectrode constants capturing the
+/// degradation rate (the paper fits e.g. (τ, c) = (0.556, 822.7) from PCB
+/// measurements). b is the health sensor resolution; the proposed MC design
+/// of Section III provides b = 2.
+
+namespace meda {
+
+/// Per-microelectrode degradation constants (τ, c) of eq. (2)-(3).
+struct DegradationParams {
+  double tau = 0.7;  ///< base of the exponential decay, in [0, 1]
+  double c = 350.0;  ///< actuation-count scale, > 0
+
+  /// Degradation level D(n) = τ^(n/c).
+  double degradation(std::uint64_t n) const;
+
+  /// Relative EWOD force F̄(n) = τ^(2n/c) = D(n)².
+  double relative_force(std::uint64_t n) const;
+};
+
+/// Quantizes a degradation level into a b-bit health code
+/// H = min(2^b − 1, ⌊2^b·D⌋). The clamp keeps a brand-new microelectrode
+/// (D = 1) representable in b bits; the paper's 2-bit code "11" = 3.
+int quantize_health(double degradation, int bits);
+
+/// How the synthesizer turns a quantized b-bit health code back into a
+/// degradation estimate D̂ (the simulator always uses the true D).
+enum class HealthEstimator : unsigned char {
+  /// D̂ = H/(2^b − 1) — the paper's "substitute H for D" convention: the top
+  /// code is full health and the bottom code is a dead microelectrode, so a
+  /// fresh chip synthesizes exactly the shortest path and dead MCs are
+  /// genuinely avoided (zero-probability transitions).
+  kScaled,
+  kMidpoint,  ///< D̂ = (H + 0.5)/2^b  — center of the quantization bucket
+  kLower,     ///< D̂ = H/2^b          — pessimistic
+  kUpper,     ///< D̂ = (H + 1)/2^b    — optimistic
+};
+
+/// Degradation estimate for health code @p health under @p bits-bit sensing.
+/// Result is clamped to [0, 1].
+double estimate_degradation(int health, int bits, HealthEstimator estimator);
+
+}  // namespace meda

@@ -1,0 +1,67 @@
+#include "chip/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace meda {
+
+namespace {
+
+std::uint64_t sample_threshold(const FaultInjectionConfig& cfg, Rng& rng) {
+  MEDA_REQUIRE(cfg.fail_at_lo <= cfg.fail_at_hi,
+               "fault threshold range invalid");
+  return static_cast<std::uint64_t>(rng.uniform_int(
+      static_cast<int>(cfg.fail_at_lo), static_cast<int>(cfg.fail_at_hi)));
+}
+
+}  // namespace
+
+std::vector<Vec2i> inject_faults(Biochip& chip,
+                                 const FaultInjectionConfig& config,
+                                 Rng& rng) {
+  MEDA_REQUIRE(config.faulty_fraction >= 0.0 && config.faulty_fraction <= 1.0,
+               "faulty fraction out of range");
+  std::vector<Vec2i> injected;
+  if (config.mode == FaultMode::kNone || config.faulty_fraction == 0.0)
+    return injected;
+
+  const int total = chip.width() * chip.height();
+  const int target =
+      static_cast<int>(std::llround(config.faulty_fraction * total));
+  if (target == 0) return injected;
+
+  std::unordered_set<Vec2i> chosen;
+  if (config.mode == FaultMode::kUniform) {
+    for (int flat : sample_without_replacement(rng, total, target))
+      chosen.insert(Vec2i{flat % chip.width(), flat / chip.width()});
+  } else {
+    MEDA_REQUIRE(config.cluster_size >= 1, "cluster size must be positive");
+    const int cs = std::min({config.cluster_size, chip.width(), chip.height()});
+    // Place clusters until the target cell count is covered. Clusters are
+    // placed independently, so overlaps are possible (and simply merge).
+    const int max_attempts = 50 * (target / (cs * cs) + 1);
+    int attempts = 0;
+    while (static_cast<int>(chosen.size()) < target &&
+           attempts++ < max_attempts) {
+      const int x0 = rng.uniform_int(0, chip.width() - cs);
+      const int y0 = rng.uniform_int(0, chip.height() - cs);
+      for (int dy = 0; dy < cs; ++dy)
+        for (int dx = 0; dx < cs; ++dx)
+          chosen.insert(Vec2i{x0 + dx, y0 + dy});
+    }
+  }
+
+  injected.reserve(chosen.size());
+  for (const Vec2i& p : chosen) {
+    chip.mc(p.x, p.y).inject_fault(sample_threshold(config, rng));
+    injected.push_back(p);
+  }
+  // Deterministic output order (the set iteration order is unspecified).
+  std::sort(injected.begin(), injected.end());
+  return injected;
+}
+
+}  // namespace meda

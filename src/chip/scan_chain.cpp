@@ -1,0 +1,62 @@
+#include "chip/scan_chain.hpp"
+
+#include "util/check.hpp"
+
+namespace meda {
+
+std::vector<bool> scan_out_health(const IntMatrix& health, int bits) {
+  MEDA_REQUIRE(bits >= 1 && bits <= 16, "health bits out of range");
+  std::vector<bool> stream;
+  stream.reserve(health.size() * static_cast<std::size_t>(bits));
+  for (int y = 0; y < health.height(); ++y) {
+    for (int x = 0; x < health.width(); ++x) {
+      const int code = health(x, y);
+      MEDA_REQUIRE(code >= 0 && code < (1 << bits),
+                   "health code does not fit the scan width");
+      for (int b = 0; b < bits; ++b) stream.push_back((code >> b) & 1);
+    }
+  }
+  return stream;
+}
+
+IntMatrix scan_in_health(const std::vector<bool>& stream, int width,
+                         int height, int bits) {
+  MEDA_REQUIRE(bits >= 1 && bits <= 16, "health bits out of range");
+  MEDA_REQUIRE(stream.size() == static_cast<std::size_t>(width) * height *
+                                    static_cast<std::size_t>(bits),
+               "scan stream length mismatch");
+  IntMatrix health(width, height);
+  std::size_t pos = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      int code = 0;
+      for (int b = 0; b < bits; ++b)
+        code |= static_cast<int>(stream[pos++]) << b;
+      health(x, y) = code;
+    }
+  }
+  return health;
+}
+
+std::vector<bool> scan_out_actuation(const BoolMatrix& pattern) {
+  std::vector<bool> stream;
+  stream.reserve(pattern.size());
+  for (int y = 0; y < pattern.height(); ++y)
+    for (int x = 0; x < pattern.width(); ++x)
+      stream.push_back(pattern(x, y) != 0);
+  return stream;
+}
+
+BoolMatrix scan_in_actuation(const std::vector<bool>& stream, int width,
+                             int height) {
+  MEDA_REQUIRE(stream.size() == static_cast<std::size_t>(width) * height,
+               "scan stream length mismatch");
+  BoolMatrix pattern(width, height);
+  std::size_t pos = 0;
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      pattern(x, y) = stream[pos++] ? 1 : 0;
+  return pattern;
+}
+
+}  // namespace meda

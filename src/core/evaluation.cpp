@@ -1,0 +1,60 @@
+#include "core/evaluation.hpp"
+
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+
+EvaluationResult evaluate_strategy(const Strategy& strategy,
+                                   const assay::RoutingJob& rj,
+                                   const DoubleMatrix& force,
+                                   const Rect& chip,
+                                   const EvaluationConfig& config, Rng& rng) {
+  MEDA_REQUIRE(config.episodes > 0, "need at least one episode");
+  MEDA_REQUIRE(rj.start.valid() && rj.hazard.contains(rj.start),
+               "start must lie within the hazard bounds");
+  EvaluationResult result;
+  result.episodes = config.episodes;
+  std::uint64_t success_cycle_sum = 0;
+
+  for (int episode = 0; episode < config.episodes; ++episode) {
+    Rect droplet = rj.start;
+    bool resolved = false;
+    for (std::uint64_t cycle = 0; cycle < config.max_cycles; ++cycle) {
+      if (rj.goal.contains(droplet)) {
+        ++result.successes;
+        success_cycle_sum += cycle;
+        resolved = true;
+        break;
+      }
+      const auto action = strategy.action(droplet);
+      if (!action) {
+        ++result.strategy_gaps;
+        resolved = true;
+        break;
+      }
+      MEDA_REQUIRE(action_enabled(*action, droplet, config.rules, chip),
+                   "strategy prescribes a disabled action");
+      const auto outcomes = action_outcomes(droplet, *action, force);
+      std::vector<double> weights(outcomes.size());
+      for (std::size_t i = 0; i < outcomes.size(); ++i)
+        weights[i] = outcomes[i].probability;
+      droplet = outcomes[rng.categorical(weights)].droplet;
+      if (!rj.hazard.contains(droplet)) {
+        ++result.hazard_violations;
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) ++result.timeouts;
+  }
+
+  result.success_rate =
+      static_cast<double>(result.successes) / result.episodes;
+  if (result.successes > 0)
+    result.mean_cycles_on_success =
+        static_cast<double>(success_cycle_sum) / result.successes;
+  return result;
+}
+
+}  // namespace meda::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "assay/helper.hpp"
+#include "core/strategy.hpp"
+#include "model/guards.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+/// @file evaluation.hpp
+/// Monte-Carlo evaluation of a synthesized routing strategy against an
+/// arbitrary force field. Used to
+///  - cross-validate the value-iteration engine (empirical success rate and
+///    mean cycles must match Pmax / Rmin when evaluated on the same field),
+///  - quantify the model/reality gap: a strategy synthesized from the
+///    quantized health matrix H evaluated against the true degradation D
+///    (the paper's full- vs incomplete-information distinction).
+
+namespace meda::core {
+
+/// Monte-Carlo evaluation controls.
+struct EvaluationConfig {
+  int episodes = 1000;               ///< independent simulated executions
+  std::uint64_t max_cycles = 10000;  ///< per-episode abort bound
+  ActionRules rules{};               ///< action semantics
+};
+
+/// Aggregate outcome of the evaluation.
+struct EvaluationResult {
+  int episodes = 0;
+  int successes = 0;          ///< reached the goal without a hazard
+  int hazard_violations = 0;  ///< left the hazard bounds
+  int strategy_gaps = 0;      ///< reached a state the strategy doesn't cover
+  int timeouts = 0;           ///< hit max_cycles
+  double success_rate = 0.0;
+  double mean_cycles_on_success = 0.0;  ///< 0 when nothing succeeded
+};
+
+/// Plays @p strategy from rj.start under the Section V-B outcome model with
+/// per-MC forces @p force, sampling with @p rng. Episodes end on goal entry,
+/// hazard exit, a state not covered by the strategy, or max_cycles.
+EvaluationResult evaluate_strategy(const Strategy& strategy,
+                                   const assay::RoutingJob& rj,
+                                   const DoubleMatrix& force,
+                                   const Rect& chip,
+                                   const EvaluationConfig& config, Rng& rng);
+
+}  // namespace meda::core

@@ -1,0 +1,141 @@
+#include "core/fleet_planner.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+struct TimedState {
+  Rect rect;
+  std::size_t t = 0;
+  friend bool operator==(const TimedState&, const TimedState&) = default;
+};
+
+struct TimedStateHash {
+  std::size_t operator()(const TimedState& s) const noexcept {
+    return std::hash<Rect>{}(s.rect) ^
+           (std::hash<std::size_t>{}(s.t) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// Position of an already-planned droplet at cycle @p t (parked at its
+/// final position beyond its trajectory's end).
+const Rect& position_at(const std::vector<Rect>& trajectory, std::size_t t) {
+  return t < trajectory.size() ? trajectory[t] : trajectory.back();
+}
+
+}  // namespace
+
+FleetPlan plan_fleet(std::span<const assay::RoutingJob> jobs,
+                     const Rect& chip, const FleetPlannerConfig& config) {
+  MEDA_REQUIRE(!jobs.empty(), "fleet planning needs at least one job");
+  MEDA_REQUIRE(config.min_gap >= 1, "separation gap must be positive");
+  MEDA_REQUIRE(config.horizon >= 1, "horizon must be positive");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    MEDA_REQUIRE(jobs[i].start.valid() &&
+                     jobs[i].hazard.contains(jobs[i].start),
+                 "job " + std::to_string(i) + ": invalid start");
+    for (std::size_t j = i + 1; j < jobs.size(); ++j)
+      MEDA_REQUIRE(
+          jobs[i].start.manhattan_gap(jobs[j].start) >= config.min_gap,
+          "starts of jobs " + std::to_string(i) + " and " +
+              std::to_string(j) + " violate the separation rule");
+  }
+
+  FleetPlan plan;
+  std::vector<std::vector<Rect>> planned;  // trajectories of planned fleet
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const assay::RoutingJob& job = jobs[i];
+
+    // A position is blocked at cycle t if it conflicts with any planned
+    // trajectory's position at t.
+    const auto blocked = [&](const Rect& rect, std::size_t t) {
+      for (const auto& trajectory : planned)
+        if (rect.manhattan_gap(position_at(trajectory, t)) < config.min_gap)
+          return true;
+      return false;
+    };
+    // Parking check: staying at @p rect from cycle t to the horizon.
+    const auto can_park = [&](const Rect& rect, std::size_t t) {
+      for (std::size_t k = t; k <= config.horizon; ++k)
+        if (blocked(rect, k)) return false;
+      return true;
+    };
+
+    // BFS over (rect, t) — unit step costs, so BFS is optimal in time.
+    std::unordered_map<TimedState, std::pair<TimedState, std::optional<Action>>,
+                       TimedStateHash>
+        parent;
+    std::queue<TimedState> frontier;
+    const TimedState start{job.start, 0};
+    MEDA_REQUIRE(!blocked(job.start, 0),
+                 "job " + std::to_string(i) +
+                     ": start conflicts with a planned trajectory");
+    parent.emplace(start, std::pair{start, std::optional<Action>{}});
+    frontier.push(start);
+    std::optional<TimedState> arrival;
+
+    while (!frontier.empty() && !arrival.has_value()) {
+      const TimedState current = frontier.front();
+      frontier.pop();
+      if (job.goal.contains(current.rect) &&
+          can_park(current.rect, current.t)) {
+        arrival = current;
+        break;
+      }
+      if (current.t >= config.horizon) continue;
+      const std::size_t next_t = current.t + 1;
+      // Hold, then every enabled action.
+      const auto try_push = [&](const Rect& target,
+                                std::optional<Action> action) {
+        if (!job.hazard.contains(target)) return;
+        if (blocked(target, next_t)) return;
+        const TimedState next{target, next_t};
+        if (parent.contains(next)) return;
+        parent.emplace(next, std::pair{current, action});
+        frontier.push(next);
+      };
+      try_push(current.rect, std::nullopt);
+      for (const Action a : kAllActions) {
+        if (!action_enabled(a, current.rect, config.rules, chip)) continue;
+        try_push(apply(a, current.rect), a);
+      }
+    }
+
+    if (!arrival.has_value()) return plan;  // infeasible under this order
+
+    // Reconstruct the trajectory and the action sequence.
+    std::vector<Rect> trajectory(arrival->t + 1);
+    std::vector<std::optional<Action>> actions(arrival->t);
+    TimedState cursor = *arrival;
+    while (cursor.t > 0) {
+      trajectory[cursor.t] = cursor.rect;
+      const auto& [prev, action] = parent.at(cursor);
+      actions[cursor.t - 1] = action;
+      cursor = prev;
+    }
+    trajectory[0] = job.start;
+    planned.push_back(std::move(trajectory));
+    plan.steps.push_back(std::move(actions));
+  }
+
+  // Pad every droplet's plan to the fleet makespan with holds.
+  plan.makespan = 0;
+  for (const auto& steps : plan.steps)
+    plan.makespan = std::max(plan.makespan, steps.size());
+  for (auto& steps : plan.steps) steps.resize(plan.makespan, std::nullopt);
+  for (auto& trajectory : planned) {
+    while (trajectory.size() <= plan.makespan)
+      trajectory.push_back(trajectory.back());
+  }
+  plan.trajectories = std::move(planned);
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace meda::core

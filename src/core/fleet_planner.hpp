@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "assay/helper.hpp"
+#include "model/guards.hpp"
+
+/// @file fleet_planner.hpp
+/// Prioritized multi-droplet planning (an extension beyond the paper and
+/// beyond the two-droplet pair planner): each droplet plans in priority
+/// order through a *time-expanded* search that treats the trajectories of
+/// higher-priority droplets as moving obstacles, enforcing the MEDA
+/// separation rule at every cycle.
+///
+/// Compared to `pair_planner` (jointly optimal, two droplets, exponential
+/// in the pair) this scales linearly in the number of droplets but is
+/// incomplete: a bad priority order can make a solvable instance fail
+/// (the classic prioritized-MAPF trade-off). Planning is kinematic
+/// (full-health, one action per cycle); under degradation, execute with
+/// re-planning.
+
+namespace meda::core {
+
+/// Per-droplet plan: one entry per cycle until the fleet's makespan
+/// (nullopt = hold).
+struct FleetPlan {
+  bool feasible = false;
+  /// steps[i][t] is droplet i's action at cycle t.
+  std::vector<std::vector<std::optional<Action>>> steps;
+  std::size_t makespan = 0;
+  /// Droplet trajectories including the start (trajectories[i][t] is the
+  /// position of droplet i at the *beginning* of cycle t).
+  std::vector<std::vector<Rect>> trajectories;
+};
+
+/// Fleet-planner configuration.
+struct FleetPlannerConfig {
+  ActionRules rules{};
+  int min_gap = 2;        ///< separation (one free cell) at every cycle
+  std::size_t horizon = 256;  ///< maximum plan length in cycles
+};
+
+/// Plans all jobs in the given (priority) order on @p chip. Starts must be
+/// pairwise separated by min_gap. Each droplet parks inside its goal once
+/// it arrives; the parking position must stay conflict-free for the rest of
+/// the horizon.
+FleetPlan plan_fleet(std::span<const assay::RoutingJob> jobs,
+                     const Rect& chip, const FleetPlannerConfig& config = {});
+
+}  // namespace meda::core

@@ -1,0 +1,69 @@
+#include "core/library.hpp"
+
+namespace meda::core {
+
+std::uint64_t health_digest(const IntMatrix& health, const Rect& area) {
+  const Rect chip{0, 0, health.width() - 1, health.height() - 1};
+  const Rect clipped = area.intersection_with(chip);
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  if (!clipped.valid()) return h;
+  for (int y = clipped.ya; y <= clipped.yb; ++y)
+    for (int x = clipped.xa; x <= clipped.xb; ++x)
+      mix(static_cast<std::uint64_t>(health(x, y)) + 1);
+  return h;
+}
+
+std::size_t StrategyLibrary::KeyHash::operator()(const Key& k) const noexcept {
+  std::size_t h = std::hash<Rect>{}(k.start);
+  auto mixin = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mixin(std::hash<Rect>{}(k.goal));
+  mixin(std::hash<Rect>{}(k.hazard));
+  mixin(std::hash<std::uint64_t>{}(k.digest));
+  return h;
+}
+
+const SynthesisResult* StrategyLibrary::lookup(const assay::RoutingJob& rj,
+                                               std::uint64_t digest) const {
+  const Key key{rj.start, rj.goal, rj.hazard, digest};
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void StrategyLibrary::store(const assay::RoutingJob& rj, std::uint64_t digest,
+                            SynthesisResult result) {
+  const Key key{rj.start, rj.goal, rj.hazard, digest};
+  entries_[key] = std::move(result);
+}
+
+void StrategyLibrary::clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::vector<StrategyLibrary::EntryView> StrategyLibrary::entries() const {
+  std::vector<EntryView> views;
+  views.reserve(entries_.size());
+  for (const auto& [key, result] : entries_)
+    views.push_back(EntryView{key.start, key.goal, key.hazard, key.digest,
+                              &result});
+  std::sort(views.begin(), views.end(),
+            [](const EntryView& a, const EntryView& b) {
+              return std::tie(a.start, a.goal, a.hazard, a.digest) <
+                     std::tie(b.start, b.goal, b.hazard, b.digest);
+            });
+  return views;
+}
+
+}  // namespace meda::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "assay/helper.hpp"
+#include "core/synthesizer.hpp"
+#include "util/matrix.hpp"
+
+/// @file library.hpp
+/// The offline/online strategy library of the hybrid scheduling scheme
+/// (Section VI-D): pre-synthesized strategies are cached and retrieved by
+/// (routing job, health digest); a health change within the job's hazard
+/// area changes the digest and forces a fresh synthesis.
+
+namespace meda::core {
+
+/// FNV-1a digest of the health values inside @p area (clipped to the
+/// matrix). Two health matrices that agree on the area produce equal
+/// digests; the digest therefore identifies the inputs that can affect a
+/// routing job's synthesized strategy.
+std::uint64_t health_digest(const IntMatrix& health, const Rect& area);
+
+/// Cache of synthesized strategies keyed by (δ_s, δ_g, δ_h, health digest).
+class StrategyLibrary {
+ public:
+  /// Returns the cached result for the job under the digest, if present.
+  const SynthesisResult* lookup(const assay::RoutingJob& rj,
+                                std::uint64_t digest) const;
+
+  /// Stores @p result for the job/digest (overwrites an existing entry —
+  /// health can only degrade, so newer entries supersede older ones).
+  void store(const assay::RoutingJob& rj, std::uint64_t digest,
+             SynthesisResult result);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clear();
+
+  /// A read-only view of one cached entry (used by persistence/inspection).
+  struct EntryView {
+    Rect start, goal, hazard;
+    std::uint64_t digest = 0;
+    const SynthesisResult* result = nullptr;
+  };
+
+  /// All entries in a deterministic (key-sorted) order.
+  std::vector<EntryView> entries() const;
+
+ private:
+  struct Key {
+    Rect start, goal, hazard;
+    std::uint64_t digest = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  std::unordered_map<Key, SynthesisResult, KeyHash> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace meda::core

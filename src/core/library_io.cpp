@@ -1,0 +1,123 @@
+#include "core/library_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+void write_rect(std::ostream& os, const Rect& r) {
+  os << r.xa << ' ' << r.ya << ' ' << r.xb << ' ' << r.yb;
+}
+
+Rect read_rect(std::istream& is) {
+  Rect r;
+  is >> r.xa >> r.ya >> r.xb >> r.yb;
+  return r;
+}
+
+void write_double(std::ostream& os, double v) {
+  if (std::isinf(v)) {
+    os << "inf";
+  } else {
+    os << v;
+  }
+}
+
+double read_double(std::istream& is) {
+  std::string token;
+  is >> token;
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    throw PreconditionError("library file: bad number '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void save_library(const StrategyLibrary& library, std::ostream& os) {
+  os << "medalib 1\n";
+  os.precision(17);
+  for (const StrategyLibrary::EntryView& entry : library.entries()) {
+    const SynthesisResult& r = *entry.result;
+    // Deterministic strategy row order.
+    std::vector<std::pair<Rect, Action>> rows(r.strategy.begin(),
+                                              r.strategy.end());
+    std::sort(rows.begin(), rows.end());
+    os << "entry ";
+    write_rect(os, entry.start);
+    os << ' ';
+    write_rect(os, entry.goal);
+    os << ' ';
+    write_rect(os, entry.hazard);
+    os << ' ' << entry.digest << ' ' << (r.feasible ? 1 : 0) << ' ';
+    write_double(os, r.expected_cycles);
+    os << ' ';
+    write_double(os, r.reach_probability);
+    os << ' ' << rows.size() << '\n';
+    for (const auto& [droplet, action] : rows) {
+      write_rect(os, droplet);
+      os << ' ' << static_cast<int>(action) << '\n';
+    }
+  }
+}
+
+void load_library(StrategyLibrary& library, std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  MEDA_REQUIRE(magic == "medalib" && version == 1,
+               "not a version-1 medalib file");
+  std::string keyword;
+  while (is >> keyword) {
+    MEDA_REQUIRE(keyword == "entry", "library file: expected 'entry'");
+    assay::RoutingJob rj;
+    rj.start = read_rect(is);
+    rj.goal = read_rect(is);
+    rj.hazard = read_rect(is);
+    std::uint64_t digest = 0;
+    int feasible = 0;
+    std::size_t rows = 0;
+    is >> digest >> feasible;
+    SynthesisResult result;
+    result.feasible = feasible != 0;
+    result.expected_cycles = read_double(is);
+    result.reach_probability = read_double(is);
+    is >> rows;
+    MEDA_REQUIRE(is.good(), "library file: truncated entry header");
+    for (std::size_t i = 0; i < rows; ++i) {
+      const Rect droplet = read_rect(is);
+      int action = -1;
+      is >> action;
+      MEDA_REQUIRE(is.good() && action >= 0 &&
+                       action < static_cast<int>(kAllActions.size()),
+                   "library file: bad strategy row");
+      result.strategy.set(droplet, static_cast<Action>(action));
+    }
+    library.store(rj, digest, std::move(result));
+  }
+}
+
+void save_library_file(const StrategyLibrary& library,
+                       const std::string& path) {
+  std::ofstream out(path);
+  MEDA_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  save_library(library, out);
+}
+
+void load_library_file(StrategyLibrary& library, const std::string& path) {
+  std::ifstream in(path);
+  MEDA_REQUIRE(in.is_open(), "cannot open " + path);
+  load_library(library, in);
+}
+
+}  // namespace meda::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/library.hpp"
+
+/// @file library_io.hpp
+/// Persistence for the strategy library, so the offline phase of the hybrid
+/// scheduling scheme (Section VI-D) survives process restarts: pre-compute
+/// once per (chip, bioassay) pair, save, and ship the file with the
+/// instrument.
+///
+/// Format (line-oriented text, versioned):
+///   medalib 1
+///   entry <start> <goal> <hazard> <digest> <feasible> <E[cycles]> <pmax> <n>
+///   <xa> <ya> <xb> <yb> <action-index>     (n strategy rows)
+/// Rectangles are four integers; infinities serialize as "inf".
+
+namespace meda::core {
+
+/// Writes every library entry to @p os.
+void save_library(const StrategyLibrary& library, std::ostream& os);
+
+/// Reads entries from @p is into @p library (merging with existing
+/// entries). Throws PreconditionError on malformed input.
+void load_library(StrategyLibrary& library, std::istream& is);
+
+/// File conveniences. Throw on I/O failure.
+void save_library_file(const StrategyLibrary& library,
+                       const std::string& path);
+void load_library_file(StrategyLibrary& library, const std::string& path);
+
+}  // namespace meda::core

@@ -1,0 +1,118 @@
+#include "core/mdp.hpp"
+
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+
+ModelStats RoutingMdp::stats() const {
+  ModelStats s;
+  s.states = state_count();
+  for (const auto& state_choices : choices) {
+    s.choices += state_choices.size();
+    for (const Choice& c : state_choices) s.transitions += c.transitions.size();
+  }
+  return s;
+}
+
+namespace {
+
+/// The goal label of Section VI-C: the droplet lies inside δ_g.
+bool inside_goal(const Rect& droplet, const Rect& goal) {
+  return goal.contains(droplet);
+}
+
+/// Placeholder for the hazard sink while the state count is still growing;
+/// remapped to the final sink index after exploration.
+constexpr std::uint32_t kHazardSentinel =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+RoutingMdp build_routing_mdp(const assay::RoutingJob& rj,
+                             const DoubleMatrix& force, const Rect& chip,
+                             const ActionRules& rules,
+                             double wear_penalty_lambda) {
+  MEDA_REQUIRE(wear_penalty_lambda >= 0.0,
+               "wear penalty must be non-negative");
+  MEDA_REQUIRE(rj.start.valid(), "routing job start must be a valid droplet");
+  MEDA_REQUIRE(rj.goal.valid() && rj.hazard.valid(),
+               "routing job goal/hazard must be valid");
+  MEDA_REQUIRE(chip.contains(rj.start), "start droplet must be on the chip");
+  MEDA_REQUIRE(rj.hazard.contains(rj.start),
+               "start droplet must lie within the hazard bounds");
+  MEDA_REQUIRE(force.width() == chip.width() &&
+                   force.height() == chip.height(),
+               "force matrix must be chip-sized");
+
+  RoutingMdp mdp;
+  std::unordered_map<Rect, std::uint32_t> index;
+
+  auto intern = [&](const Rect& droplet) -> std::uint32_t {
+    auto [it, inserted] = index.emplace(
+        droplet, static_cast<std::uint32_t>(mdp.droplets.size()));
+    if (inserted) {
+      mdp.droplets.push_back(droplet);
+      mdp.is_goal.push_back(inside_goal(droplet, rj.goal));
+      mdp.choices.emplace_back();
+    }
+    return it->second;
+  };
+
+  mdp.start = intern(rj.start);
+  std::deque<std::uint32_t> worklist = {mdp.start};
+  std::vector<bool> expanded = {false};
+
+  while (!worklist.empty()) {
+    const std::uint32_t s = worklist.front();
+    worklist.pop_front();
+    if (expanded[s]) continue;
+    expanded[s] = true;
+    if (mdp.is_goal[s]) continue;  // goal states are absorbing
+
+    const Rect droplet = mdp.droplets[s];
+    for (Action a : kAllActions) {
+      if (!action_enabled(a, droplet, rules, chip)) continue;
+      Choice choice;
+      choice.action = a;
+      if (wear_penalty_lambda > 0.0) {
+        // Wear-aware reward: penalize actuating already-degraded cells.
+        // The actuated cells are the move's target pattern a(δ).
+        const Rect target = apply(a, droplet).intersection_with(chip);
+        choice.cost =
+            1.0 + wear_penalty_lambda *
+                      (1.0 - mean_frontier_force(force, target));
+      }
+      for (const Outcome& o : action_outcomes(droplet, a, force)) {
+        std::uint32_t target;
+        if (!rj.hazard.contains(o.droplet)) {
+          target = kHazardSentinel;  // leaving δ_h is a hazard violation
+        } else {
+          const std::size_t before = mdp.droplets.size();
+          target = intern(o.droplet);
+          if (mdp.droplets.size() > before) {
+            worklist.push_back(target);
+            expanded.push_back(false);
+          }
+        }
+        choice.transitions.push_back(Transition{target, o.probability});
+      }
+      mdp.choices[s].push_back(std::move(choice));
+    }
+  }
+
+  // Remap the sink sentinel to the final (stable) sink index.
+  const std::uint32_t sink = mdp.hazard_sink();
+  for (auto& state_choices : mdp.choices)
+    for (Choice& c : state_choices)
+      for (Transition& t : c.transitions)
+        if (t.target == kHazardSentinel) t.target = sink;
+
+  return mdp;
+}
+
+}  // namespace meda::core

@@ -1,0 +1,157 @@
+#include "core/pair_planner.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+#include "model/frontier.hpp"
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+struct PairKey {
+  Rect a, b;
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const noexcept {
+    const std::size_t ha = std::hash<Rect>{}(k.a);
+    const std::size_t hb = std::hash<Rect>{}(k.b);
+    return ha ^ (hb + 0x9e3779b97f4a7c15ull + (ha << 6) + (ha >> 2));
+  }
+};
+
+/// One droplet's motion option: an action (or hold), its resulting
+/// rectangle, and the expected cycles to complete the move under the retry
+/// semantics (1 for a hold).
+struct MoveOption {
+  std::optional<Action> action;
+  Rect target;
+  double cost = 1.0;
+};
+
+/// Probability that @p action completes in one attempt on @p droplet.
+double success_probability(const Rect& droplet, Action action,
+                           const DoubleMatrix& force) {
+  double p = 1.0;
+  const FrontierDirs dirs = pulling_directions(action);
+  for (int i = 0; i < dirs.count; ++i)
+    p *= mean_frontier_force(force, frontier(droplet, action, dirs.dirs[i]));
+  if (action_class(action) == ActionClass::kDouble) {
+    const Vec2i step = unit(cardinal_of(action));
+    const Rect mid = droplet.shifted(step.x, step.y);
+    p *= mean_frontier_force(force,
+                             frontier(mid, action, cardinal_of(action)));
+  }
+  return p;
+}
+
+/// All motion options for one droplet within its hazard bounds.
+std::vector<MoveOption> move_options(const Rect& droplet,
+                                     const assay::RoutingJob& job,
+                                     const DoubleMatrix& force,
+                                     const Rect& chip,
+                                     const ActionRules& rules) {
+  std::vector<MoveOption> options;
+  options.push_back(MoveOption{std::nullopt, droplet, 1.0});
+  for (const Action a : kAllActions) {
+    if (!action_enabled(a, droplet, rules, chip)) continue;
+    const Rect target = apply(a, droplet);
+    if (!job.hazard.contains(target)) continue;
+    const double p = success_probability(droplet, a, force);
+    if (p <= 1e-9) continue;  // dead frontier: the move can never complete
+    options.push_back(MoveOption{a, target, 1.0 / p});
+  }
+  return options;
+}
+
+}  // namespace
+
+PairPlan plan_pair(const assay::RoutingJob& job_a,
+                   const assay::RoutingJob& job_b, const DoubleMatrix& force,
+                   const Rect& chip, const PairPlannerConfig& config) {
+  MEDA_REQUIRE(job_a.start.valid() && job_b.start.valid(),
+               "pair planning needs valid start droplets");
+  MEDA_REQUIRE(config.min_gap >= 1, "separation gap must be positive");
+  MEDA_REQUIRE(job_a.start.manhattan_gap(job_b.start) >= config.min_gap,
+               "start pair violates the separation rule");
+
+  struct NodeInfo {
+    double dist = 0.0;
+    PairKey parent;
+    PairPlanStep step;
+    bool closed = false;
+    bool has_parent = false;
+  };
+  std::unordered_map<PairKey, NodeInfo, PairKeyHash> nodes;
+  using QueueEntry = std::pair<double, PairKey>;
+  const auto cmp = [](const QueueEntry& x, const QueueEntry& y) {
+    return x.first > y.first;
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+      queue(cmp);
+
+  const PairKey start{job_a.start, job_b.start};
+  nodes[start] = NodeInfo{};
+  queue.push({0.0, start});
+
+  PairPlan plan;
+  std::optional<PairKey> goal_key;
+  while (!queue.empty()) {
+    const auto [dist, key] = queue.top();
+    queue.pop();
+    NodeInfo& node = nodes[key];
+    if (node.closed) continue;
+    node.closed = true;
+    ++plan.states_expanded;
+    if (plan.states_expanded > config.max_expansions) break;
+
+    if (job_a.goal.contains(key.a) && job_b.goal.contains(key.b)) {
+      goal_key = key;
+      plan.expected_cycles = dist;
+      break;
+    }
+
+    const auto options_a = move_options(key.a, job_a, force, chip,
+                                        config.rules);
+    const auto options_b = move_options(key.b, job_b, force, chip,
+                                        config.rules);
+    for (const MoveOption& oa : options_a) {
+      for (const MoveOption& ob : options_b) {
+        if (!oa.action.has_value() && !ob.action.has_value())
+          continue;  // both-hold makes no progress
+        if (oa.target.manhattan_gap(ob.target) < config.min_gap) continue;
+        const PairKey next{oa.target, ob.target};
+        const double weight = std::max(oa.cost, ob.cost);
+        const double next_dist = dist + weight;
+        auto [it, inserted] = nodes.try_emplace(next);
+        if (!inserted && (it->second.closed || it->second.dist <= next_dist))
+          continue;
+        it->second.dist = next_dist;
+        it->second.parent = key;
+        it->second.step = PairPlanStep{oa.action, ob.action};
+        it->second.has_parent = true;
+        it->second.closed = false;
+        queue.push({next_dist, next});
+      }
+    }
+  }
+
+  if (!goal_key.has_value()) return plan;  // infeasible (or effort bound)
+
+  // Walk the parent chain back to the start.
+  std::vector<PairPlanStep> reversed;
+  PairKey cursor = *goal_key;
+  while (nodes[cursor].has_parent) {
+    reversed.push_back(nodes[cursor].step);
+    cursor = nodes[cursor].parent;
+  }
+  plan.steps.assign(reversed.rbegin(), reversed.rend());
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace meda::core

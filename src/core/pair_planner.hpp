@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "assay/helper.hpp"
+#include "model/guards.hpp"
+#include "util/matrix.hpp"
+
+/// @file pair_planner.hpp
+/// Cooperative two-droplet routing (an extension beyond the paper).
+///
+/// The paper's framework routes each droplet independently and relies on
+/// disjoint hazard zones (plus runtime blocking) to keep droplets apart.
+/// That breaks down when two routing jobs *must* share a corridor — e.g.
+/// two droplets exchanging ends of a narrow channel, where every
+/// independent strategy deadlocks. This planner searches the product state
+/// space (δ_a, δ_b) with Dijkstra, enforcing the MEDA separation rule
+/// (≥ 1 free cell between the droplets) on every intermediate state, and
+/// weighting each joint step by the expected number of cycles of its slower
+/// move (1/p under the retry semantics of Section V-B).
+///
+/// The result is an open-loop joint plan — under stochastic outcomes the
+/// caller re-plans from the current pair state when execution deviates
+/// (the plan is exact on a full-health chip, where moves are
+/// deterministic).
+
+namespace meda::core {
+
+/// One joint step: an action (or hold) per droplet. Both-hold never occurs.
+struct PairPlanStep {
+  std::optional<Action> a;
+  std::optional<Action> b;
+};
+
+/// Result of a pair-planning query.
+struct PairPlan {
+  bool feasible = false;
+  std::vector<PairPlanStep> steps;  ///< joint actions, start → goals
+  double expected_cycles = 0.0;     ///< Σ per-step max expected move cost
+  std::size_t states_expanded = 0;  ///< search effort (diagnostics)
+};
+
+/// Pair-planner configuration.
+struct PairPlannerConfig {
+  ActionRules rules{};
+  /// Minimum manhattan gap between the droplets at every step (2 = one
+  /// free cell, the MEDA separation rule).
+  int min_gap = 2;
+  /// Search-effort bound; the query fails (feasible = false) beyond it.
+  std::size_t max_expansions = 2'000'000;
+};
+
+/// Plans joint motion for two routing jobs on the same chip. Both start
+/// pairs and all intermediate pairs must respect the separation rule;
+/// the plan ends when each droplet is inside its own goal.
+PairPlan plan_pair(const assay::RoutingJob& job_a,
+                   const assay::RoutingJob& job_b, const DoubleMatrix& force,
+                   const Rect& chip, const PairPlannerConfig& config = {});
+
+}  // namespace meda::core

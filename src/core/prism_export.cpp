@@ -1,0 +1,92 @@
+#include "core/prism_export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+
+void write_prism_states(const RoutingMdp& mdp, std::ostream& os) {
+  os << "(xa,ya,xb,yb)\n";
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+    const Rect& d = mdp.droplets[s];
+    os << s << ":(" << d.xa << ',' << d.ya << ',' << d.xb << ',' << d.yb
+       << ")\n";
+  }
+  // The hazard sink has no droplet; encode it with the canonical
+  // out-of-band tuple.
+  os << mdp.hazard_sink() << ":(-1,-1,-1,-1)\n";
+}
+
+void write_prism_transitions(const RoutingMdp& mdp, std::ostream& os) {
+  const ModelStats stats = mdp.stats();
+  // Absorbing states (goal states and the sink) need explicit self-loops in
+  // the PRISM explicit format — every state must have at least one choice.
+  std::size_t absorbing = 1;  // the sink
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s)
+    if (mdp.choices[s].empty()) ++absorbing;
+  os << stats.states << ' ' << (stats.choices + absorbing) << ' '
+     << (stats.transitions + absorbing) << '\n';
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+    if (mdp.choices[s].empty()) {
+      os << s << " 0 " << s << " 1 done\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < mdp.choices[s].size(); ++c) {
+      const Choice& choice = mdp.choices[s][c];
+      for (const Transition& t : choice.transitions) {
+        os << s << ' ' << c << ' ' << t.target << ' ' << t.probability << ' '
+           << to_string(choice.action) << '\n';
+      }
+    }
+  }
+  os << mdp.hazard_sink() << " 0 " << mdp.hazard_sink() << " 1 hazard\n";
+}
+
+void write_prism_labels(const RoutingMdp& mdp, std::ostream& os) {
+  os << "0=\"init\" 1=\"deadlock\" 2=\"goal\" 3=\"hazard\"\n";
+  os << mdp.start << ": 0";
+  if (mdp.is_goal[mdp.start]) os << " 2";
+  os << '\n';
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+    if (s == mdp.start) continue;
+    if (mdp.is_goal[s]) os << s << ": 2\n";
+  }
+  os << mdp.hazard_sink() << ": 3\n";
+}
+
+void write_prism_properties(std::ostream& os) {
+  os << "// phi_p — maximum probability of reaching the goal while never\n"
+        "// entering the hazard sink (Section VI-C)\n"
+        "Pmax=? [ !\"hazard\" U \"goal\" ];\n"
+        "// phi_r — minimum expected cycles to the goal (PRISM reward\n"
+        "// semantics: infinite when the goal is not a.s. reachable)\n"
+        "Rmin=? [ F \"goal\" ];\n";
+}
+
+void export_prism_model(const RoutingMdp& mdp, const std::string& basename) {
+  const auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    MEDA_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+    return out;
+  };
+  {
+    std::ofstream out = open(basename + ".sta");
+    write_prism_states(mdp, out);
+  }
+  {
+    std::ofstream out = open(basename + ".tra");
+    write_prism_transitions(mdp, out);
+  }
+  {
+    std::ofstream out = open(basename + ".lab");
+    write_prism_labels(mdp, out);
+  }
+  {
+    std::ofstream out = open(basename + ".props");
+    write_prism_properties(out);
+  }
+}
+
+}  // namespace meda::core

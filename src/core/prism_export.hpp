@@ -1,0 +1,49 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mdp.hpp"
+
+/// @file prism_export.hpp
+/// Export of routing-job MDPs in PRISM's explicit-state input format, so a
+/// model built by this library can be cross-validated against the actual
+/// PRISM / PRISM-games model checker the paper used:
+///
+///   prism -importtrans model.tra -importstates model.sta
+///         -importlabels model.lab -mdp ...     (one command line)
+///
+/// Files follow the formats documented at
+/// prismmodelchecker.org/manual/Appendices/ExplicitModelFiles:
+///   .sta — "(x_a,y_a,x_b,y_b)" per state
+///   .tra — "states choices transitions" header, then
+///           "<state> <choice> <target> <prob> <action>" rows
+///   .lab — label declarations ("init", "goal", "hazard") and memberships
+
+namespace meda::core {
+
+/// Writes the .sta states file.
+void write_prism_states(const RoutingMdp& mdp, std::ostream& os);
+
+/// Writes the .tra transitions file (MDP flavour, with action names).
+void write_prism_transitions(const RoutingMdp& mdp, std::ostream& os);
+
+/// Writes the .lab labels file marking init, goal and hazard states.
+void write_prism_labels(const RoutingMdp& mdp, std::ostream& os);
+
+/// Writes the .props property file with the paper's two synthesis queries
+/// (φ_p and φ_r of Section VI-C) phrased over the exported labels:
+///   Pmax=? [ !"hazard" U "goal" ]
+///   Rmin=? [ F "goal" ]
+/// (□¬hazard ∧ ◇goal is the until form over an absorbing hazard sink; the
+/// reward "cycles" charges 1 per non-absorbing choice, which the .tra
+/// export encodes implicitly — PRISM's default transition reward of 1 per
+/// step matches because absorbing states self-loop with the 'done'/'hazard'
+/// action names.)
+void write_prism_properties(std::ostream& os);
+
+/// Convenience: writes `<basename>.sta`, `<basename>.tra`, `<basename>.lab`
+/// and `<basename>.props`. Throws on I/O failure.
+void export_prism_model(const RoutingMdp& mdp, const std::string& basename);
+
+}  // namespace meda::core

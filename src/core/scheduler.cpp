@@ -1,0 +1,630 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+using assay::Mo;
+using assay::MoList;
+using assay::MoType;
+using assay::RoutingJob;
+
+/// Droplet pattern of @p area centered at an MO location.
+Rect placed_rect(const assay::Loc& loc, int area) {
+  const assay::DropletSize size = assay::size_for_area(area);
+  return Rect::from_center(loc.x, loc.y, size.w, size.h);
+}
+
+/// Translates @p r the minimum amount needed to fit inside @p chip.
+Rect clamp_into(Rect r, const Rect& chip) {
+  MEDA_REQUIRE(r.width() <= chip.width() && r.height() <= chip.height(),
+               "pattern larger than the chip");
+  int dx = 0, dy = 0;
+  if (r.xa < chip.xa) dx = chip.xa - r.xa;
+  if (r.xb > chip.xb) dx = chip.xb - r.xb;
+  if (r.ya < chip.ya) dy = chip.ya - r.ya;
+  if (r.yb > chip.yb) dy = chip.yb - r.yb;
+  return r.shifted(dx, dy);
+}
+
+}  // namespace
+
+Rect dispense_entry_rect(const Rect& goal, const Rect& chip) {
+  MEDA_REQUIRE(chip.contains(goal), "dispense goal must be on the chip");
+  const int west = goal.xa - chip.xa;
+  const int east = chip.xb - goal.xb;
+  const int south = goal.ya - chip.ya;
+  const int north = chip.yb - goal.yb;
+  const int best = std::min({west, east, south, north});
+  if (best == west) return goal.shifted(-west, 0);
+  if (best == east) return goal.shifted(east, 0);
+  if (best == south) return goal.shifted(0, -south);
+  return goal.shifted(0, north);
+}
+
+std::pair<Rect, Rect> split_rects(const Rect& droplet, int area0, int area1,
+                                  const Rect& chip) {
+  MEDA_REQUIRE(droplet.valid(), "split of an invalid droplet");
+  const assay::DropletSize s0 = assay::size_for_area(area0);
+  const assay::DropletSize s1 = assay::size_for_area(area1);
+  const double cx = droplet.center_x();
+  const double cy = droplet.center_y();
+  Rect part0, part1;
+  if (droplet.width() >= droplet.height()) {
+    // Split along x: part0 west, part1 east, one free column between them.
+    const int total_w = s0.w + 1 + s1.w;
+    const int x0 = static_cast<int>(std::lround(cx - total_w / 2.0));
+    part0 = Rect::from_size(
+        x0, static_cast<int>(std::lround(cy - (s0.h - 1) / 2.0)), s0.w, s0.h);
+    part1 = Rect::from_size(
+        x0 + s0.w + 1, static_cast<int>(std::lround(cy - (s1.h - 1) / 2.0)),
+        s1.w, s1.h);
+    const Rect box{part0.xa, std::min(part0.ya, part1.ya), part1.xb,
+                   std::max(part0.yb, part1.yb)};
+    const Rect clamped = clamp_into(box, chip);
+    part0 = part0.shifted(clamped.xa - box.xa, clamped.ya - box.ya);
+    part1 = part1.shifted(clamped.xa - box.xa, clamped.ya - box.ya);
+  } else {
+    // Split along y: part0 south, part1 north.
+    const int total_h = s0.h + 1 + s1.h;
+    const int y0 = static_cast<int>(std::lround(cy - total_h / 2.0));
+    part0 = Rect::from_size(
+        static_cast<int>(std::lround(cx - (s0.w - 1) / 2.0)), y0, s0.w, s0.h);
+    part1 = Rect::from_size(
+        static_cast<int>(std::lround(cx - (s1.w - 1) / 2.0)), y0 + s0.h + 1,
+        s1.w, s1.h);
+    const Rect box{std::min(part0.xa, part1.xa), part0.ya,
+                   std::max(part0.xb, part1.xb), part1.yb};
+    const Rect clamped = clamp_into(box, chip);
+    part0 = part0.shifted(clamped.xa - box.xa, clamped.ya - box.ya);
+    part1 = part1.shifted(clamped.xa - box.xa, clamped.ya - box.ya);
+  }
+  MEDA_ASSERT(chip.contains(part0) && chip.contains(part1),
+              "split parts do not fit on the chip");
+  MEDA_ASSERT(part0.manhattan_gap(part1) >= 1, "split parts touch");
+  return {part0, part1};
+}
+
+namespace {
+
+/// One in-flight single-droplet route (a routing job being executed).
+struct RouteTask {
+  RoutingJob rj;
+  DropletId droplet = -1;
+  DropletId partner = -1;  ///< merge partner; arrival = contact with it
+  Strategy strategy;
+  std::uint64_t digest = 0;
+  bool has_strategy = false;
+  // Asynchronous (latency-modeled) synthesis in flight.
+  bool pending = false;
+  int pending_countdown = 0;
+  Strategy pending_strategy;
+  std::uint64_t pending_digest = 0;
+  // Reactive-recovery bookkeeping: consecutive commanded cycles without
+  // progress.
+  Rect last_pos = Rect::none();
+  int stuck_cycles = 0;
+  // Model-vs-reality bookkeeping.
+  std::uint64_t created_cycle = 0;
+  double first_expected_cycles = -1.0;
+  bool recorded = false;
+};
+
+/// Runtime state of one MO.
+struct MoRun {
+  const Mo* mo = nullptr;
+  enum class State { kWaiting, kActive, kDone } state = State::kWaiting;
+  int phase = 0;
+  int hold_remaining = 0;
+  std::vector<RouteTask> routes;
+  std::vector<DropletId> in;
+  std::vector<DropletId> out;
+  DropletId merged = -1;                          // mix/dlt intermediate
+  std::pair<DropletId, DropletId> parts{-1, -1};  // spt/dlt parts
+};
+
+/// Per-execution driver implementing Algorithm 3.
+class Runner {
+ public:
+  Runner(const SchedulerConfig& config, StrategyLibrary& library,
+         BiochipIo& chip, const MoList& assay_list)
+      : config_(config),
+        library_(library),
+        chip_(chip),
+        assay_(assay_list),
+        chip_bounds_(chip.bounds()),
+        synthesizer_(chip.bounds(), config.synthesis),
+        outputs_(assay::compute_outputs(assay_list)) {
+    runs_.resize(assay_.ops.size());
+    for (std::size_t i = 0; i < assay_.ops.size(); ++i)
+      runs_[i].mo = &assay_.ops[i];
+  }
+
+  ExecutionStats execute() {
+    const std::uint64_t start_cycle = chip_.cycle();
+    start_cycle_ = start_cycle;
+    stats_.mo_timings.resize(runs_.size());
+    for (std::size_t i = 0; i < runs_.size(); ++i)
+      stats_.mo_timings[i].mo = static_cast<int>(i);
+    while (!failed_ && !all_done()) {
+      if (chip_.cycle() - start_cycle >= config_.max_cycles) {
+        fail("cycle limit exceeded");
+        break;
+      }
+      IntMatrix health;
+      if (config_.adaptive || config_.reactive_recovery_stuck_cycles > 0)
+        health = chip_.sense_health();
+      std::vector<Command> commands;
+      for (MoRun& run : runs_) {
+        if (failed_) break;
+        if (run.state == MoRun::State::kWaiting) try_activate(run);
+        if (run.state == MoRun::State::kActive) process(run, health, commands);
+      }
+      if (failed_) break;
+      chip_.step(commands);
+    }
+    stats_.cycles = chip_.cycle() - start_cycle;
+    stats_.success = !failed_ && all_done();
+    if (failed_) stats_.failure_reason = failure_reason_;
+    return stats_;
+  }
+
+ private:
+  bool all_done() const {
+    return std::all_of(runs_.begin(), runs_.end(), [](const MoRun& r) {
+      return r.state == MoRun::State::kDone;
+    });
+  }
+
+  void fail(std::string reason) {
+    failed_ = true;
+    failure_reason_ = std::move(reason);
+  }
+
+  void try_activate(MoRun& run) {
+    for (const assay::PreRef& ref : run.mo->pre) {
+      if (runs_[static_cast<std::size_t>(ref.mo)].state !=
+          MoRun::State::kDone)
+        return;
+    }
+    run.in.clear();
+    for (const assay::PreRef& ref : run.mo->pre) {
+      const MoRun& pre = runs_[static_cast<std::size_t>(ref.mo)];
+      MEDA_ASSERT(ref.out < static_cast<int>(pre.out.size()),
+                  "predecessor output missing");
+      run.in.push_back(pre.out[static_cast<std::size_t>(ref.out)]);
+    }
+    run.state = MoRun::State::kActive;
+    run.phase = 0;
+    stats_.mo_timings[static_cast<std::size_t>(run.mo->id)].activated =
+        chip_.cycle() - start_cycle_;
+  }
+
+  void finish(MoRun& run, std::vector<DropletId> out) {
+    run.out = std::move(out);
+    run.routes.clear();
+    run.state = MoRun::State::kDone;
+    MoTiming& timing = stats_.mo_timings[static_cast<std::size_t>(run.mo->id)];
+    timing.completed = chip_.cycle() - start_cycle_;
+    timing.done = true;
+  }
+
+  int droplet_area(DropletId id) const {
+    return chip_.droplet_position(id).area();
+  }
+
+  /// Creates a routing job for @p droplet from its current position.
+  RouteTask make_route(int mo_id, DropletId droplet, const Rect& goal,
+                       DropletId partner = -1) const {
+    RouteTask task;
+    task.rj.start = chip_.droplet_position(droplet);
+    task.rj.goal = goal;
+    task.rj.hazard =
+        assay::zone(task.rj.start, goal, chip_bounds_, config_.zone_margin);
+    task.rj.mo = mo_id;
+    task.droplet = droplet;
+    task.partner = partner;
+    task.created_cycle = chip_.cycle();
+    return task;
+  }
+
+  /// True once the task's droplet has arrived: inside the goal, or — for
+  /// merge-partnered routes — in contact with the partner.
+  bool route_arrived(const RouteTask& task) const {
+    const Rect pos = chip_.droplet_position(task.droplet);
+    if (task.partner >= 0) {
+      return pos.manhattan_gap(chip_.droplet_position(task.partner)) <= 1;
+    }
+    return task.rj.goal.contains(pos);
+  }
+
+  /// Advances one route by one cycle (emits at most one command).
+  /// Returns true when the droplet has arrived (no command emitted).
+  bool advance_route(RouteTask& task, const IntMatrix& health,
+                     std::vector<Command>& commands) {
+    if (route_arrived(task)) {
+      if (!task.recorded && task.first_expected_cycles >= 0.0) {
+        stats_.routes.push_back(
+            RouteRecord{task.rj.mo, task.first_expected_cycles,
+                        chip_.cycle() - task.created_cycle});
+        task.recorded = true;
+      }
+      return true;
+    }
+    const Rect pos = chip_.droplet_position(task.droplet);
+    if (task.partner >= 0 && task.rj.goal.contains(pos)) {
+      // Parked at the mixer waiting for the partner to make contact.
+      commands.push_back(Command{task.droplet, std::nullopt, task.partner});
+      return false;
+    }
+
+    // Reactive error recovery (retrial-based, Section II-C): once the
+    // droplet has been stuck long enough, re-route using the sensed health.
+    if (config_.reactive_recovery_stuck_cycles > 0 && !config_.adaptive) {
+      if (pos == task.last_pos) {
+        if (++task.stuck_cycles >= config_.reactive_recovery_stuck_cycles) {
+          task.stuck_cycles = 0;
+          task.has_strategy = false;
+          task.pending = false;
+          recover_strategy(task, pos, health);
+          if (failed_) return false;
+        }
+      } else {
+        task.last_pos = pos;
+        task.stuck_cycles = 0;
+      }
+    }
+
+    ensure_strategy(task, pos, health);
+    if (failed_) return false;
+    if (!task.has_strategy) {
+      // Synthesis still pending; hold in place.
+      commands.push_back(Command{task.droplet, std::nullopt, task.partner});
+      return false;
+    }
+
+    std::optional<Action> action = task.strategy.action(pos);
+    if (!action) {
+      // The droplet drifted off the synthesized region (can happen after a
+      // strategy swap); force a fresh synthesis from the current state.
+      task.has_strategy = false;
+      task.pending = false;
+      ensure_strategy(task, pos, health);
+      if (failed_) return false;
+      if (task.has_strategy) action = task.strategy.action(pos);
+    }
+    if (!action) {
+      fail("strategy does not cover the droplet state for MO " +
+           std::to_string(task.rj.mo));
+      return false;
+    }
+    commands.push_back(Command{task.droplet, action, task.partner});
+    return false;
+  }
+
+  /// One-shot reactive re-route from the sensed health matrix (used by the
+  /// retrial-recovery comparison mode; bypasses the adaptive digest logic).
+  void recover_strategy(RouteTask& task, const Rect& pos,
+                        const IntMatrix& health) {
+    ++stats_.resyntheses;
+    RoutingJob rj = task.rj;
+    rj.start = pos;
+    const std::uint64_t digest = health_digest(health, task.rj.hazard);
+    SynthesisResult result;
+    const SynthesisResult* cached =
+        config_.use_library ? library_.lookup(rj, digest) : nullptr;
+    if (cached != nullptr) {
+      ++stats_.library_hits;
+      result = *cached;
+    } else {
+      ++stats_.synthesis_calls;
+      result = synthesizer_.synthesize(rj, health, chip_.health_bits());
+      stats_.synthesis_seconds +=
+          result.construction_seconds + result.solve_seconds;
+      if (config_.use_library) library_.store(rj, digest, result);
+    }
+    if (!result.feasible) {
+      fail("reactive recovery found no feasible strategy for MO " +
+           std::to_string(task.rj.mo));
+      return;
+    }
+    task.strategy = std::move(result.strategy);
+    // Store the baseline digest so ensure_strategy keeps the recovered
+    // strategy until the droplet gets stuck again.
+    task.digest = 0;
+    task.has_strategy = true;
+  }
+
+  /// Retrieves / synthesizes / re-synthesizes the task's strategy
+  /// (Algorithm 3 lines 11-16 plus the hybrid re-synthesis rule).
+  void ensure_strategy(RouteTask& task, const Rect& pos,
+                       const IntMatrix& health) {
+    // Adopt a finished asynchronous synthesis.
+    if (task.pending) {
+      if (--task.pending_countdown <= 0) {
+        task.strategy = std::move(task.pending_strategy);
+        task.digest = task.pending_digest;
+        task.has_strategy = true;
+        task.pending = false;
+      } else {
+        return;  // keep executing the previous strategy meanwhile
+      }
+    }
+
+    const std::uint64_t digest =
+        config_.adaptive ? health_digest(health, task.rj.hazard) : 0;
+    if (task.has_strategy && digest == task.digest) return;
+
+    if (task.has_strategy) ++stats_.resyntheses;
+
+    RoutingJob rj = task.rj;
+    rj.start = pos;  // re-anchor at the droplet's current location
+
+    SynthesisResult result;
+    const SynthesisResult* cached =
+        config_.use_library ? library_.lookup(rj, digest) : nullptr;
+    if (cached != nullptr) {
+      ++stats_.library_hits;
+      result = *cached;
+    } else {
+      ++stats_.synthesis_calls;
+      if (config_.adaptive) {
+        result = synthesizer_.synthesize(rj, health, chip_.health_bits());
+      } else {
+        result = synthesizer_.synthesize_with_force(
+            rj,
+            full_health_force(chip_bounds_.width(), chip_bounds_.height()));
+      }
+      stats_.synthesis_seconds +=
+          result.construction_seconds + result.solve_seconds;
+      if (config_.use_library) library_.store(rj, digest, result);
+    }
+
+    if (!result.feasible) {
+      fail("no feasible routing strategy for MO " + std::to_string(task.rj.mo));
+      return;
+    }
+    if (task.first_expected_cycles < 0.0 &&
+        std::isfinite(result.expected_cycles))
+      task.first_expected_cycles = result.expected_cycles;
+
+    if (config_.synthesis_latency_cycles > 0) {
+      task.pending = true;
+      task.pending_countdown = config_.synthesis_latency_cycles;
+      task.pending_strategy = std::move(result.strategy);
+      task.pending_digest = digest;
+    } else {
+      task.strategy = std::move(result.strategy);
+      task.digest = digest;
+      task.has_strategy = true;
+    }
+  }
+
+  /// Where two partnered droplets merge: the output-sized pattern centered
+  /// on the contact centroid, clamped to the chip.
+  Rect merge_site(DropletId a, DropletId b, int merged_area) const {
+    const Rect pa = chip_.droplet_position(a);
+    const Rect pb = chip_.droplet_position(b);
+    const Rect box = pa.union_with(pb);
+    const assay::DropletSize size = assay::size_for_area(merged_area);
+    return clamp_into(
+        Rect::from_center(box.center_x(), box.center_y(), size.w, size.h),
+        chip_bounds_);
+  }
+
+  /// Mix machine shared by kMix and kDilute. Phases:
+  ///   0 — create both routing jobs (all of the MO's droplets move
+  ///       concurrently, per Algorithm 3);
+  ///   1 — route until the partners are in contact, then merge;
+  ///   2 — transport the merged droplet to the mixer location;
+  ///   3 — hold for the mixing duration.
+  /// Leaves run.phase == 4 when complete.
+  void process_mix_phases(MoRun& run, const IntMatrix& health,
+                          std::vector<Command>& commands) {
+    const Mo& mo = *run.mo;
+    if (run.phase == 0) {
+      run.routes.clear();
+      run.routes.push_back(make_route(mo.id, run.in[0],
+                                      placed_rect(mo.locs[0],
+                                                  droplet_area(run.in[0])),
+                                      /*partner=*/run.in[1]));
+      run.routes.push_back(make_route(mo.id, run.in[1],
+                                      placed_rect(mo.locs[0],
+                                                  droplet_area(run.in[1])),
+                                      /*partner=*/run.in[0]));
+      run.phase = 1;
+    }
+    if (run.phase == 1) {
+      if (chip_.droplet_position(run.in[0])
+              .manhattan_gap(chip_.droplet_position(run.in[1])) <= 1) {
+        const int merged_area =
+            droplet_area(run.in[0]) + droplet_area(run.in[1]);
+        run.merged = chip_.merge(run.in[0], run.in[1],
+                                 merge_site(run.in[0], run.in[1],
+                                            merged_area));
+        run.phase = 2;
+        return;  // merging consumes the cycle
+      }
+      // Route the partner with the shorter remaining distance second so the
+      // pair tends to meet near the mixer; both droplets are commanded.
+      advance_route(run.routes[0], health, commands);
+      if (failed_) return;
+      advance_route(run.routes[1], health, commands);
+      return;
+    }
+    if (run.phase == 2) {
+      run.routes.clear();
+      const Rect goal = placed_rect(mo.locs[0], droplet_area(run.merged));
+      run.routes.push_back(make_route(mo.id, run.merged, goal));
+      run.phase = 3;
+    }
+    if (run.phase == 3) {
+      if (advance_route(run.routes[0], health, commands)) {
+        run.hold_remaining = mo.hold_cycles;
+        run.phase = 4;
+      }
+      return;
+    }
+    if (run.phase == 4) {
+      if (run.hold_remaining > 0) {
+        --run.hold_remaining;
+        return;
+      }
+      run.phase = 5;
+    }
+  }
+
+  /// Drives one MO's phase machine for one cycle.
+  void process(MoRun& run, const IntMatrix& health,
+               std::vector<Command>& commands) {
+    const Mo& mo = *run.mo;
+    const int id = mo.id;
+    const auto& mo_outputs = outputs_[static_cast<std::size_t>(id)];
+    switch (mo.type) {
+      case MoType::kDispense: {
+        if (run.phase == 0) {
+          const Rect entry = dispense_entry_rect(mo_outputs[0], chip_bounds_);
+          if (!chip_.location_clear(entry)) return;  // port busy; wait
+          const DropletId d = chip_.dispense(entry);
+          run.in = {d};
+          run.routes = {make_route(id, d, mo_outputs[0])};
+          run.phase = 1;
+          return;  // dispensing consumes the cycle
+        }
+        if (advance_route(run.routes[0], health, commands))
+          finish(run, {run.routes[0].droplet});
+        return;
+      }
+      case MoType::kOutput:
+      case MoType::kDiscard: {
+        if (run.phase == 0) {
+          const Rect goal = placed_rect(mo.locs[0], droplet_area(run.in[0]));
+          run.routes = {make_route(id, run.in[0], goal)};
+          run.phase = 1;
+        }
+        if (run.phase == 1) {
+          if (advance_route(run.routes[0], health, commands)) run.phase = 2;
+          return;
+        }
+        chip_.discard(run.routes[0].droplet);  // exits through the edge
+        finish(run, {});
+        return;
+      }
+      case MoType::kMagSense: {
+        if (run.phase == 0) {
+          const Rect goal = placed_rect(mo.locs[0], droplet_area(run.in[0]));
+          run.routes = {make_route(id, run.in[0], goal)};
+          run.phase = 1;
+        }
+        if (run.phase == 1) {
+          if (advance_route(run.routes[0], health, commands)) {
+            run.phase = 2;
+            run.hold_remaining = mo.hold_cycles;
+          }
+          return;
+        }
+        if (run.hold_remaining > 0) {
+          --run.hold_remaining;  // droplet held (and actuated) in place
+          return;
+        }
+        finish(run, {run.routes[0].droplet});
+        return;
+      }
+      case MoType::kMix: {
+        process_mix_phases(run, health, commands);
+        if (run.phase == 5) finish(run, {run.merged});
+        return;
+      }
+      case MoType::kSplit: {
+        if (run.phase == 0) {
+          const Rect pos = chip_.droplet_position(run.in[0]);
+          const int area = pos.area();
+          const auto [r0, r1] =
+              split_rects(pos, (area + 1) / 2, area / 2, chip_bounds_);
+          if (!chip_.split_clear(run.in[0], r0, r1)) return;  // wait
+          run.parts = chip_.split(run.in[0], r0, r1);
+          run.phase = 1;
+          return;  // splitting consumes the cycle
+        }
+        if (run.phase == 1) {
+          run.routes = {make_route(id, run.parts.first, mo_outputs[0]),
+                        make_route(id, run.parts.second, mo_outputs[1])};
+          run.phase = 2;
+        }
+        // Route both parts concurrently; done when both have arrived.
+        const bool a0 = advance_route(run.routes[0], health, commands);
+        if (failed_) return;
+        const bool a1 = advance_route(run.routes[1], health, commands);
+        if (a0 && a1) finish(run, {run.parts.first, run.parts.second});
+        return;
+      }
+      case MoType::kDilute: {
+        // Mix at loc[0] (phases 0-4), split (5), then distribute: the
+        // departing half routes to loc[1] before the stayer settles at
+        // loc[0], so it cannot block the stayer's goal.
+        process_mix_phases(run, health, commands);
+        if (run.phase < 5) return;
+        if (run.phase == 5) {
+          const Rect pos = chip_.droplet_position(run.merged);
+          const int area = pos.area();
+          const auto [r0, r1] =
+              split_rects(pos, (area + 1) / 2, area / 2, chip_bounds_);
+          if (!chip_.split_clear(run.merged, r0, r1)) return;  // wait
+          run.parts = chip_.split(run.merged, r0, r1);
+          run.phase = 6;
+          return;  // splitting consumes the cycle
+        }
+        if (run.phase == 6) {
+          run.routes = {make_route(id, run.parts.second, mo_outputs[1])};
+          run.phase = 7;
+        }
+        if (run.phase == 7) {
+          if (advance_route(run.routes[0], health, commands)) run.phase = 8;
+          return;
+        }
+        if (run.phase == 8) {
+          run.routes = {make_route(id, run.parts.first, mo_outputs[0])};
+          run.phase = 9;
+        }
+        if (advance_route(run.routes[0], health, commands))
+          finish(run, {run.parts.first, run.parts.second});
+        return;
+      }
+    }
+  }
+
+  const SchedulerConfig& config_;
+  StrategyLibrary& library_;
+  BiochipIo& chip_;
+  const MoList& assay_;
+  Rect chip_bounds_;
+  Synthesizer synthesizer_;
+  std::vector<std::vector<Rect>> outputs_;
+  std::vector<MoRun> runs_;
+  ExecutionStats stats_;
+  std::uint64_t start_cycle_ = 0;
+  bool failed_ = false;
+  std::string failure_reason_;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerConfig config, StrategyLibrary* library)
+    : config_(config), shared_library_(library) {}
+
+ExecutionStats Scheduler::run(BiochipIo& chip, const MoList& assay_list) {
+  assay::validate(assay_list, chip.bounds());
+  StrategyLibrary private_library;
+  StrategyLibrary& library =
+      shared_library_ != nullptr ? *shared_library_ : private_library;
+  Runner runner(config_, library, chip, assay_list);
+  return runner.execute();
+}
+
+}  // namespace meda::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assay/benchmarks.hpp"
+#include "assay/helper.hpp"
+#include "assay/mo.hpp"
+#include "core/biochip_io.hpp"
+#include "core/library.hpp"
+#include "core/synthesizer.hpp"
+
+/// @file scheduler.hpp
+/// The hybrid scheduler of Section VI-D (Algorithm 3): executes a planned
+/// bioassay on a MEDA biochip, decomposing each microfluidic operation into
+/// routing jobs, retrieving or synthesizing routing strategies, and
+/// re-synthesizing whenever the sensed health matrix changes within a job's
+/// hazard area. With `adaptive = false` it degenerates into the
+/// degradation-unaware baseline of Section VII-A: shortest-path strategies
+/// synthesized once against a full-health force model and never revised.
+
+namespace meda::core {
+
+/// Scheduler configuration.
+struct SchedulerConfig {
+  SynthesisConfig synthesis{};
+  /// true — the proposed adaptive framework (synthesize from sensed H,
+  /// re-synthesize on health changes); false — the baseline router
+  /// (full-health shortest paths, never re-synthesized).
+  bool adaptive = true;
+  /// Cache strategies in a StrategyLibrary (hybrid scheme). When false,
+  /// every job is synthesized on demand (pure online scheme).
+  bool use_library = true;
+  /// Abort the execution after this many operational cycles.
+  std::uint64_t max_cycles = 5000;
+  /// Safety margin around routing jobs (ZONE margin, Section VI-B).
+  int zone_margin = 3;
+  /// Cycles a (re)synthesis takes; the droplet continues under the previous
+  /// strategy (or holds) until the new one is ready (Section VI-D discusses
+  /// this online-scheme delay; 0 models instantaneous synthesis).
+  int synthesis_latency_cycles = 0;
+  /// Reactive error recovery (the retrial-based techniques of Section II-C,
+  /// as a comparison point for the proactive framework): with
+  /// `adaptive = false`, re-route from the sensed health matrix only after
+  /// a droplet has made no progress for this many consecutive commanded
+  /// cycles. 0 disables recovery (the pure baseline). Ignored when
+  /// `adaptive` is true — the proactive router never waits to get stuck.
+  int reactive_recovery_stuck_cycles = 0;
+};
+
+/// Activation/completion cycle of one MO within an execution (cycle counts
+/// are relative to the start of the execution).
+struct MoTiming {
+  int mo = -1;
+  std::uint64_t activated = 0;
+  std::uint64_t completed = 0;
+  bool done = false;
+};
+
+/// Model-vs-reality record of one completed routing job: the synthesized
+/// strategy's expected cycle count (computed from the sensed H) against the
+/// cycles the route actually took on the chip (driven by the true D).
+struct RouteRecord {
+  int mo = -1;
+  double expected_cycles = 0.0;   ///< model prediction at synthesis time
+  std::uint64_t actual_cycles = 0;
+};
+
+/// Outcome of one bioassay execution.
+struct ExecutionStats {
+  bool success = false;
+  std::uint64_t cycles = 0;           ///< operational cycles consumed
+  int synthesis_calls = 0;            ///< model-checker invocations
+  int library_hits = 0;               ///< strategies served from the library
+  int resyntheses = 0;                ///< syntheses triggered by H changes
+  double synthesis_seconds = 0.0;     ///< wall time spent synthesizing
+  std::string failure_reason;         ///< empty on success
+  std::vector<MoTiming> mo_timings;   ///< per-MO schedule (by MO id)
+  std::vector<RouteRecord> routes;    ///< per-route model-vs-reality data
+};
+
+/// Executes planned bioassays on a biochip.
+class Scheduler {
+ public:
+  /// @param library optional shared strategy library (hybrid scheme across
+  ///        executions); pass nullptr for a per-run private library.
+  explicit Scheduler(SchedulerConfig config = {},
+                     StrategyLibrary* library = nullptr);
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Runs @p assay to completion (or abort) on @p chip. Algorithm 3.
+  ExecutionStats run(BiochipIo& chip, const assay::MoList& assay);
+
+ private:
+  SchedulerConfig config_;
+  StrategyLibrary* shared_library_;
+};
+
+/// The edge-adjacent rectangle a dispensed droplet enters through: the goal
+/// pattern translated to touch the nearest chip edge.
+Rect dispense_entry_rect(const Rect& goal, const Rect& chip);
+
+/// Geometric halves a droplet splits into: two patterns of the given areas
+/// placed side by side (separated by one cell) along the droplet's longer
+/// axis, clamped to the chip.
+std::pair<Rect, Rect> split_rects(const Rect& droplet, int area0, int area1,
+                                  const Rect& chip);
+
+}  // namespace meda::core

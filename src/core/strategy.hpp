@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "geometry/rect.hpp"
+#include "model/action.hpp"
+
+/// @file strategy.hpp
+/// A synthesized droplet routing strategy π: droplet state → microfluidic
+/// action (Section VI-C). Memoryless and deterministic — value iteration on
+/// an MDP always admits an optimal strategy of this form.
+
+namespace meda::core {
+
+/// Mapping from droplet rectangles to the optimal action.
+class Strategy {
+ public:
+  /// Records the action for @p droplet (overwrites a previous entry).
+  void set(const Rect& droplet, Action action) { map_[droplet] = action; }
+
+  /// The action prescribed for @p droplet, or nullopt if the state is not
+  /// covered (e.g. the droplet drifted outside the synthesized region and a
+  /// re-synthesis is required).
+  std::optional<Action> action(const Rect& droplet) const {
+    const auto it = map_.find(droplet);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<Rect, Action> map_;
+};
+
+}  // namespace meda::core

@@ -1,0 +1,59 @@
+#include "core/strategy_render.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+
+char action_glyph(Action action) {
+  switch (action) {
+    case Action::kN: return '^';
+    case Action::kS: return 'v';
+    case Action::kE: return '>';
+    case Action::kW: return '<';
+    case Action::kNN: return 'N';
+    case Action::kSS: return 'S';
+    case Action::kEE: return 'E';
+    case Action::kWW: return 'W';
+    case Action::kNE: return '/';
+    case Action::kNW: return '\\';
+    case Action::kSE: return 'r';
+    case Action::kSW: return 'j';
+    case Action::kWidenNE:
+    case Action::kWidenNW:
+    case Action::kWidenSE:
+    case Action::kWidenSW: return 'w';
+    case Action::kHeightenNE:
+    case Action::kHeightenNW:
+    case Action::kHeightenSE:
+    case Action::kHeightenSW: return 'h';
+  }
+  return '?';
+}
+
+std::string render_strategy_field(const Strategy& strategy,
+                                  const assay::RoutingJob& rj, int width,
+                                  int height) {
+  MEDA_REQUIRE(width >= 1 && height >= 1, "invalid droplet dimensions");
+  MEDA_REQUIRE(rj.hazard.valid(), "invalid hazard bounds");
+  std::ostringstream os;
+  // Anchor range: lower-left corners keeping the droplet inside δ_h.
+  const int x_max = rj.hazard.xb - width + 1;
+  const int y_max = rj.hazard.yb - height + 1;
+  for (int y = y_max; y >= rj.hazard.ya; --y) {
+    for (int x = rj.hazard.xa; x <= x_max; ++x) {
+      const Rect droplet = Rect::from_size(x, y, width, height);
+      if (rj.goal.contains(droplet)) {
+        os << '*';
+        continue;
+      }
+      const auto action = strategy.action(droplet);
+      os << (action ? action_glyph(*action) : ' ');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace meda::core

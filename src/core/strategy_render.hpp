@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "assay/helper.hpp"
+#include "core/strategy.hpp"
+
+/// @file strategy_render.hpp
+/// ASCII rendering of a synthesized routing strategy as a vector field:
+/// one glyph per droplet position (anchored at the pattern's lower-left
+/// corner) showing the prescribed action. Useful for debugging detours and
+/// for documentation.
+///
+/// Glyph legend:
+///   ^ v > <   single-step cardinal moves
+///   N S E W   double-step moves
+///   / \ r j   ordinal moves toward NE, NW, SE, SW
+///   w h       morphs (widen / heighten, any corner)
+///   *         goal positions (droplet inside δ_g)
+///   (space)   positions the strategy does not cover
+
+namespace meda::core {
+
+/// Renders the strategy field for droplets of @p width × @p height over the
+/// job's hazard area. Rows are printed north-to-south; the column/row of
+/// each glyph is the droplet's lower-left anchor.
+std::string render_strategy_field(const Strategy& strategy,
+                                  const assay::RoutingJob& rj, int width,
+                                  int height);
+
+/// The glyph used for @p action in the field rendering.
+char action_glyph(Action action);
+
+}  // namespace meda::core

@@ -1,0 +1,102 @@
+#include "core/synthesizer.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Extracts the strategy recorded by a solver run.
+Strategy extract_strategy(const RoutingMdp& mdp, const Solution& sol) {
+  Strategy strategy;
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+    const int c = sol.chosen[s];
+    if (c < 0) continue;
+    strategy.set(mdp.droplets[s], mdp.choices[s][static_cast<std::size_t>(c)]
+                                      .action);
+  }
+  return strategy;
+}
+
+}  // namespace
+
+Synthesizer::Synthesizer(Rect chip_bounds, SynthesisConfig config)
+    : chip_bounds_(chip_bounds), config_(config) {
+  MEDA_REQUIRE(chip_bounds.valid(), "invalid chip bounds");
+}
+
+SynthesisResult Synthesizer::synthesize(const assay::RoutingJob& rj,
+                                        const IntMatrix& health,
+                                        int health_bits) const {
+  MEDA_REQUIRE(health.width() == chip_bounds_.width() &&
+                   health.height() == chip_bounds_.height(),
+               "health matrix must be chip-sized");
+  return synthesize_with_force(
+      rj, force_from_health(health, health_bits, config_.estimator));
+}
+
+SynthesisResult Synthesizer::synthesize_with_force(
+    const assay::RoutingJob& rj, const DoubleMatrix& force) const {
+  SynthesisResult result;
+
+  const auto t_build = std::chrono::steady_clock::now();
+  const RoutingMdp mdp =
+      build_routing_mdp(rj, force, chip_bounds_, config_.rules,
+                        config_.wear_penalty_lambda);
+  result.construction_seconds = seconds_since(t_build);
+  result.stats = mdp.stats();
+
+  const auto t_solve = std::chrono::steady_clock::now();
+  const Solution pmax = solve_pmax(mdp, config_.solver);
+  result.reach_probability = pmax.values[mdp.start];
+
+  if (config_.query == Query::kPmaxReachability) {
+    if (result.reach_probability > 0.0) {
+      // A pure argmax strategy is degenerate wherever many actions tie at
+      // the same reach probability (on a healthy chip, all of them), so
+      // extract lexicographically: inside the almost-sure-winning region
+      // follow the Rmin strategy (fewest expected cycles among the
+      // Pmax-optimal choices); elsewhere fall back to the Pmax argmax.
+      const Solution rmin = solve_rmin(mdp, config_.solver);
+      result.strategy = extract_strategy(mdp, pmax);
+      for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+        if (rmin.chosen[s] >= 0) {
+          result.strategy.set(
+              mdp.droplets[s],
+              mdp.choices[s][static_cast<std::size_t>(rmin.chosen[s])]
+                  .action);
+        }
+      }
+      result.expected_cycles = rmin.values[mdp.start];
+      result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
+    }
+    result.solve_seconds = seconds_since(t_solve);
+    return result;
+  }
+
+  const Solution rmin = solve_rmin(mdp, config_.solver);
+  result.solve_seconds = seconds_since(t_solve);
+  result.expected_cycles = rmin.values[mdp.start];
+
+  if (std::isfinite(result.expected_cycles)) {
+    result.strategy = extract_strategy(mdp, rmin);
+    result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
+  } else if (config_.pmax_fallback && result.reach_probability > 0.0) {
+    // PRISM semantics give (π, k) = (∅, ∞) here; for runtime robustness we
+    // optionally fall back to the best-effort Pmax strategy.
+    result.strategy = extract_strategy(mdp, pmax);
+    result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
+  }
+  return result;
+}
+
+}  // namespace meda::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <limits>
+
+#include "assay/helper.hpp"
+#include "chip/degradation.hpp"
+#include "core/mdp.hpp"
+#include "core/strategy.hpp"
+#include "core/value_iteration.hpp"
+#include "model/guards.hpp"
+#include "util/matrix.hpp"
+
+/// @file synthesizer.hpp
+/// Algorithm 2 — SYNTH(RJ, H): builds the routing-job MDP from the current
+/// health matrix and synthesizes an optimal routing strategy with the
+/// model-checking engine (our PRISM-games substitute).
+
+namespace meda::core {
+
+/// Which synthesis query drives strategy extraction.
+enum class Query : unsigned char {
+  kRminExpectedCycles,  ///< φ_r: Rmin=? [□¬hazard ∧ ◇goal] (Algorithm 2)
+  kPmaxReachability,    ///< φ_p: Pmax=? [□¬hazard ∧ ◇goal]
+};
+
+/// Synthesis configuration.
+struct SynthesisConfig {
+  ActionRules rules{};
+  Query query = Query::kRminExpectedCycles;
+  HealthEstimator estimator = HealthEstimator::kScaled;
+  SolveConfig solver{};
+  /// When the Rmin query is infeasible (goal not almost-surely reachable)
+  /// fall back to the Pmax strategy if it has positive reach probability.
+  bool pmax_fallback = true;
+  /// Wear-aware synthesis extension: λ ≥ 0 weighting the wear imposed on
+  /// degraded cells against pure cycle count in the Rmin reward. 0 (the
+  /// default) is the paper's r_k reward; positive values make routes spread
+  /// wear proactively (see bench/wear_leveling).
+  double wear_penalty_lambda = 0.0;
+};
+
+/// Result of one synthesis call.
+struct SynthesisResult {
+  Strategy strategy;  ///< empty when infeasible
+  double expected_cycles =
+      std::numeric_limits<double>::infinity();  ///< E[r_k] at δ_s
+  double reach_probability = 0.0;               ///< Pmax at δ_s
+  ModelStats stats;
+  double construction_seconds = 0.0;
+  double solve_seconds = 0.0;
+  bool feasible = false;  ///< a usable strategy was produced
+};
+
+/// The routing-strategy synthesizer for a fixed chip.
+class Synthesizer {
+ public:
+  explicit Synthesizer(Rect chip_bounds, SynthesisConfig config = {});
+
+  const SynthesisConfig& config() const { return config_; }
+  const Rect& chip_bounds() const { return chip_bounds_; }
+
+  /// Algorithm 2: synthesize from the sensed b-bit health matrix (the
+  /// controller's information). @p health must be chip-sized.
+  SynthesisResult synthesize(const assay::RoutingJob& rj,
+                             const IntMatrix& health, int health_bits) const;
+
+  /// Synthesize from an explicit per-MC relative-force matrix. Used by the
+  /// degradation-unaware baseline (full-health force) and by analyses that
+  /// bypass quantization.
+  SynthesisResult synthesize_with_force(const assay::RoutingJob& rj,
+                                        const DoubleMatrix& force) const;
+
+ private:
+  Rect chip_bounds_;
+  SynthesisConfig config_;
+};
+
+}  // namespace meda::core

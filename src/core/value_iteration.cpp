@@ -1,0 +1,146 @@
+#include "core/value_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Probability mass a choice keeps in state @p s (failed-pull self-loop).
+double self_loop_mass(const Choice& choice, std::uint32_t s) {
+  double q = 0.0;
+  for (const Transition& t : choice.transitions)
+    if (t.target == s) q += t.probability;
+  return q;
+}
+
+/// Σ p·V(target) over the non-self-loop branches.
+double off_state_value(const Choice& choice, std::uint32_t s,
+                       const std::vector<double>& values) {
+  double acc = 0.0;
+  for (const Transition& t : choice.transitions)
+    if (t.target != s) acc += t.probability * values[t.target];
+  return acc;
+}
+
+}  // namespace
+
+Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
+  MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
+               "invalid solve configuration");
+  const std::size_t n = mdp.droplets.size();
+  Solution sol;
+  sol.values.assign(mdp.state_count(), 0.0);
+  sol.chosen.assign(n, -1);
+  for (std::size_t s = 0; s < n; ++s)
+    if (mdp.is_goal[s]) sol.values[s] = 1.0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (mdp.is_goal[s] || mdp.choices[s].empty()) continue;
+      double best = 0.0;
+      int best_choice = -1;
+      for (std::size_t c = 0; c < mdp.choices[s].size(); ++c) {
+        const Choice& choice = mdp.choices[s][c];
+        const double q =
+            self_loop_mass(choice, static_cast<std::uint32_t>(s));
+        double value;
+        if (q >= 1.0 - 1e-12) {
+          value = 0.0;  // pure self-loop: never reaches goal
+        } else {
+          // Value of committing to this choice until the state changes.
+          value = off_state_value(choice, static_cast<std::uint32_t>(s),
+                                  sol.values) /
+                  (1.0 - q);
+        }
+        if (value > best + 1e-15 || best_choice < 0) {
+          best = value;
+          best_choice = static_cast<int>(c);
+        }
+      }
+      best = std::min(best, 1.0);  // numeric slack
+      delta = std::max(delta, std::abs(best - sol.values[s]));
+      sol.values[s] = best;
+      sol.chosen[s] = best_choice;
+    }
+    sol.iterations = iter + 1;
+    if (delta < config.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
+  MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
+               "invalid solve configuration");
+  const std::size_t n = mdp.droplets.size();
+
+  // Almost-sure-winning region: with retry self-loops the maximum reach
+  // probability is 1 exactly on the states that admit an a.s. strategy.
+  const Solution pmax = solve_pmax(mdp, config);
+  std::vector<bool> winning(mdp.state_count(), false);
+  for (std::size_t s = 0; s < mdp.state_count(); ++s)
+    winning[s] = pmax.values[s] >= 1.0 - 1e-6;
+
+  Solution sol;
+  sol.values.assign(mdp.state_count(), kInf);
+  sol.chosen.assign(n, -1);
+  sol.values[mdp.hazard_sink()] = kInf;
+  for (std::size_t s = 0; s < n; ++s)
+    if (mdp.is_goal[s] && winning[s]) sol.values[s] = 0.0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (mdp.is_goal[s] || !winning[s] || mdp.choices[s].empty()) continue;
+      double best = kInf;
+      int best_choice = -1;
+      for (std::size_t c = 0; c < mdp.choices[s].size(); ++c) {
+        const Choice& choice = mdp.choices[s][c];
+        // A choice is admissible only if it keeps the run inside the
+        // winning region with probability 1.
+        bool safe = true;
+        for (const Transition& t : choice.transitions) {
+          if (t.probability > 0.0 && !winning[t.target]) {
+            safe = false;
+            break;
+          }
+        }
+        if (!safe) continue;
+        const double q =
+            self_loop_mass(choice, static_cast<std::uint32_t>(s));
+        if (q >= 1.0 - 1e-12) continue;  // no progress possible
+        const double rest = off_state_value(
+            choice, static_cast<std::uint32_t>(s), sol.values);
+        const double value = (choice.cost + rest) / (1.0 - q);
+        if (value < best - 1e-15) {
+          best = value;
+          best_choice = static_cast<int>(c);
+        }
+      }
+      if (best_choice < 0) continue;  // keep ∞ (should not happen in S1)
+      const double prev = sol.values[s];
+      const double diff = std::isinf(prev) ? 1.0 : std::abs(best - prev);
+      delta = std::max(delta, diff);
+      sol.values[s] = best;
+      sol.chosen[s] = best_choice;
+    }
+    sol.iterations = iter + 1;
+    if (delta < config.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+}  // namespace meda::core

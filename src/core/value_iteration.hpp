@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/mdp.hpp"
+
+/// @file value_iteration.hpp
+/// The model-checking engine standing in for PRISM-games (Section VI-C).
+/// Solves the two synthesis queries of the paper on a routing MDP:
+///
+///   φ_p: Pmax=? [ □(¬hazard) ∧ ◇goal ]  — maximum probability of reaching a
+///        goal state while never entering the hazard sink;
+///   φ_r: Rmin=? [ □(¬hazard) ∧ ◇goal ]  — minimum expected number of cycles
+///        (reward 1 per action) to reach goal, with PRISM reward semantics:
+///        states from which goal is not almost-surely reachable get ∞.
+///
+/// Failed pulls self-loop, so plain value iteration converges geometrically
+/// slowly; both solvers therefore eliminate per-choice self-loops
+/// algebraically (a choice with stay-probability q and off-state mass rest
+/// has committed value rest/(1−q), or (cost + rest)/(1−q) for rewards).
+
+namespace meda::core {
+
+/// Iteration controls.
+struct SolveConfig {
+  double tolerance = 1e-9;
+  int max_iterations = 200000;
+};
+
+/// Solver output: per-state values and the optimizing choice per state.
+struct Solution {
+  std::vector<double> values;  ///< indexed like the MDP (incl. hazard sink)
+  std::vector<int> chosen;     ///< choice index per droplet state; -1 if none
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Maximum reach-avoid probability. Goal states have value 1, the hazard
+/// sink 0; other values are the least fixed point of the Bellman maximum.
+Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config = {});
+
+/// Minimum expected cycles to goal under the almost-sure-reachability
+/// restriction. States (and choices) that cannot keep the reach probability
+/// at 1 are excluded; excluded states get value +∞.
+Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config = {});
+
+}  // namespace meda::core

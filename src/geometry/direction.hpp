@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "geometry/point.hpp"
+
+/// @file direction.hpp
+/// Cardinal and ordinal directions used by droplet movements (Section V-B).
+
+namespace meda {
+
+/// Cardinal direction of a droplet movement or a frontier set.
+enum class Dir : unsigned char { N, S, E, W };
+
+/// Ordinal (diagonal) direction, a pair of a vertical and horizontal cardinal.
+enum class Ordinal : unsigned char { NE, NW, SE, SW };
+
+inline constexpr std::array<Dir, 4> kAllDirs = {Dir::N, Dir::S, Dir::E,
+                                                Dir::W};
+inline constexpr std::array<Ordinal, 4> kAllOrdinals = {
+    Ordinal::NE, Ordinal::NW, Ordinal::SE, Ordinal::SW};
+
+/// Unit displacement of a cardinal direction (N = +y, E = +x).
+constexpr Vec2i unit(Dir d) {
+  switch (d) {
+    case Dir::N: return {0, 1};
+    case Dir::S: return {0, -1};
+    case Dir::E: return {1, 0};
+    case Dir::W: return {-1, 0};
+  }
+  return {0, 0};
+}
+
+/// Vertical component of an ordinal direction.
+constexpr Dir vertical(Ordinal o) {
+  return (o == Ordinal::NE || o == Ordinal::NW) ? Dir::N : Dir::S;
+}
+
+/// Horizontal component of an ordinal direction.
+constexpr Dir horizontal(Ordinal o) {
+  return (o == Ordinal::NE || o == Ordinal::SE) ? Dir::E : Dir::W;
+}
+
+/// Unit displacement of an ordinal direction.
+constexpr Vec2i unit(Ordinal o) { return unit(vertical(o)) + unit(horizontal(o)); }
+
+/// True for N and S.
+constexpr bool is_vertical(Dir d) { return d == Dir::N || d == Dir::S; }
+
+/// Opposite cardinal direction.
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::N: return Dir::S;
+    case Dir::S: return Dir::N;
+    case Dir::E: return Dir::W;
+    case Dir::W: return Dir::E;
+  }
+  return d;
+}
+
+constexpr std::string_view to_string(Dir d) {
+  switch (d) {
+    case Dir::N: return "N";
+    case Dir::S: return "S";
+    case Dir::E: return "E";
+    case Dir::W: return "W";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(Ordinal o) {
+  switch (o) {
+    case Ordinal::NE: return "NE";
+    case Ordinal::NW: return "NW";
+    case Ordinal::SE: return "SE";
+    case Ordinal::SW: return "SW";
+  }
+  return "??";
+}
+
+}  // namespace meda

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <compare>
+#include <cstdlib>
+#include <functional>
+
+/// @file point.hpp
+/// Integer grid coordinates. A microelectrode cell MC_ij sits at x = i
+/// (column) and y = j (row); the origin is the chip's lower-left corner.
+
+namespace meda {
+
+/// A 2-D integer point / displacement on the microelectrode grid.
+struct Vec2i {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr Vec2i operator+(Vec2i a, Vec2i b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2i operator-(Vec2i a, Vec2i b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr auto operator<=>(const Vec2i&, const Vec2i&) = default;
+};
+
+/// Manhattan (L1) distance between two grid points.
+constexpr int manhattan(Vec2i a, Vec2i b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L∞) distance between two grid points.
+constexpr int chebyshev(Vec2i a, Vec2i b) {
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+}  // namespace meda
+
+template <>
+struct std::hash<meda::Vec2i> {
+  std::size_t operator()(const meda::Vec2i& v) const noexcept {
+    return std::hash<long long>{}(
+        (static_cast<long long>(v.x) << 32) ^
+        static_cast<long long>(static_cast<unsigned int>(v.y)));
+  }
+};

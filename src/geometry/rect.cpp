@@ -1,0 +1,46 @@
+#include "geometry/rect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda {
+
+Rect Rect::from_center(double cx, double cy, int w, int h) {
+  MEDA_REQUIRE(w >= 1 && h >= 1, "droplet dimensions must be positive");
+  // The lower-left corner that best centers a w×h pattern on (cx, cy):
+  // xa = cx - (w-1)/2, rounded to the grid. For half-integer centers of
+  // matching parity this is exact (e.g. center 17.5, w=4 → xa=16).
+  const int xa = static_cast<int>(std::lround(cx - (w - 1) / 2.0));
+  const int ya = static_cast<int>(std::lround(cy - (h - 1) / 2.0));
+  return Rect::from_size(xa, ya, w, h);
+}
+
+Rect Rect::union_with(const Rect& o) const {
+  if (!valid()) return o;
+  if (!o.valid()) return *this;
+  return Rect{std::min(xa, o.xa), std::min(ya, o.ya), std::max(xb, o.xb),
+              std::max(yb, o.yb)};
+}
+
+Rect Rect::intersection_with(const Rect& o) const {
+  return Rect{std::max(xa, o.xa), std::max(ya, o.ya), std::min(xb, o.xb),
+              std::min(yb, o.yb)};
+}
+
+int Rect::manhattan_gap(const Rect& o) const {
+  MEDA_REQUIRE(valid() && o.valid(), "manhattan_gap of invalid rect");
+  const int dx = std::max({0, o.xa - xb, xa - o.xb});
+  const int dy = std::max({0, o.ya - yb, ya - o.yb});
+  return dx + dy;
+}
+
+std::string Rect::to_string() const {
+  std::ostringstream os;
+  os << '(' << xa << ", " << ya << ", " << xb << ", " << yb << ')';
+  return os.str();
+}
+
+}  // namespace meda

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <string>
+
+#include "geometry/point.hpp"
+
+/// @file rect.hpp
+/// Inclusive discrete rectangles. A droplet δ = (x_a, y_a, x_b, y_b) is
+/// exactly such a rectangle (Section V-A): (x_a, y_a) is the lower-left and
+/// (x_b, y_b) the upper-right corner, both inclusive.
+
+namespace meda {
+
+/// Axis-aligned inclusive rectangle on the microelectrode grid.
+///
+/// Invariant (checked by valid()): xa <= xb and ya <= yb. A Rect may be
+/// constructed invalid to represent "no droplet"; see Rect::none().
+struct Rect {
+  int xa = 0;
+  int ya = 0;
+  int xb = -1;
+  int yb = -1;
+
+  /// The canonical empty/absent rectangle (used for off-chip droplets).
+  static constexpr Rect none() { return Rect{0, 0, -1, -1}; }
+
+  /// Builds a w×h rectangle whose lower-left corner is (x, y).
+  static constexpr Rect from_size(int x, int y, int w, int h) {
+    return Rect{x, y, x + w - 1, y + h - 1};
+  }
+
+  /// Builds the w×h rectangle best centered on the fractional center
+  /// (cx, cy); the paper centers modules at half-integer coordinates
+  /// (e.g. (17.5, 2.5) for a 4×4 droplet spanning [16,19]×[1,4]).
+  static Rect from_center(double cx, double cy, int w, int h);
+
+  constexpr bool valid() const { return xa <= xb && ya <= yb; }
+  constexpr int width() const { return xb - xa + 1; }
+  constexpr int height() const { return yb - ya + 1; }
+  constexpr int area() const { return width() * height(); }
+
+  /// Aspect ratio AR = w/h.
+  constexpr double aspect_ratio() const {
+    return static_cast<double>(width()) / static_cast<double>(height());
+  }
+
+  /// Fractional center (cx, cy) of the rectangle.
+  constexpr double center_x() const { return (xa + xb) / 2.0; }
+  constexpr double center_y() const { return (ya + yb) / 2.0; }
+
+  constexpr Vec2i lower_left() const { return {xa, ya}; }
+  constexpr Vec2i upper_right() const { return {xb, yb}; }
+
+  /// True if the cell (x, y) lies inside the rectangle.
+  constexpr bool contains(int x, int y) const {
+    return x >= xa && x <= xb && y >= ya && y <= yb;
+  }
+  constexpr bool contains(Vec2i p) const { return contains(p.x, p.y); }
+
+  /// True if @p inner lies fully inside this rectangle.
+  constexpr bool contains(const Rect& inner) const {
+    return inner.xa >= xa && inner.ya >= ya && inner.xb <= xb &&
+           inner.yb <= yb;
+  }
+
+  /// True if the two rectangles share at least one cell.
+  constexpr bool intersects(const Rect& o) const {
+    return valid() && o.valid() && xa <= o.xb && o.xa <= xb && ya <= o.yb &&
+           o.ya <= yb;
+  }
+
+  /// Rectangle translated by (dx, dy).
+  constexpr Rect shifted(int dx, int dy) const {
+    return Rect{xa + dx, ya + dy, xb + dx, yb + dy};
+  }
+
+  /// Rectangle grown by @p m cells on every side.
+  constexpr Rect inflated(int m) const {
+    return Rect{xa - m, ya - m, xb + m, yb + m};
+  }
+
+  /// Smallest rectangle containing both this and @p o.
+  Rect union_with(const Rect& o) const;
+
+  /// Intersection; returns an invalid Rect when disjoint.
+  Rect intersection_with(const Rect& o) const;
+
+  /// Minimum Manhattan distance between cell sets (0 if intersecting).
+  int manhattan_gap(const Rect& o) const;
+
+  /// "(xa, ya, xb, yb)" for logs and test diagnostics.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+};
+
+}  // namespace meda
+
+template <>
+struct std::hash<meda::Rect> {
+  std::size_t operator()(const meda::Rect& r) const noexcept {
+    std::size_t h = std::hash<int>{}(r.xa);
+    auto mixin = [&h](int v) {
+      h ^= std::hash<int>{}(v) + 0x9e3779b9u + (h << 6) + (h >> 2);
+    };
+    mixin(r.ya);
+    mixin(r.xb);
+    mixin(r.yb);
+    return h;
+  }
+};

@@ -1,0 +1,155 @@
+#include "mcell/mcell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda::mcell {
+
+double Transient::at(double t_ns) const {
+  MEDA_REQUIRE(!v.empty() && dt_ns > 0.0, "empty transient");
+  if (t_ns <= 0.0) return v.front();
+  const double idx = t_ns / dt_ns;
+  const auto lo = static_cast<std::size_t>(idx);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double parallel_plate_capacitance(double area_m2, double permittivity_f_per_m,
+                                  double gap_m) {
+  MEDA_REQUIRE(area_m2 > 0.0 && permittivity_f_per_m > 0.0 && gap_m > 0.0,
+               "capacitance parameters must be positive");
+  return permittivity_f_per_m * area_m2 / gap_m;
+}
+
+Transient simulate_discharge(double r_ohm, double c_farad,
+                             const CircuitParams& params) {
+  MEDA_REQUIRE(r_ohm > 0.0 && c_farad > 0.0, "RC values must be positive");
+  MEDA_REQUIRE(params.sim_dt_ns > 0.0 && params.sim_horizon_ns > 0.0,
+               "simulation controls must be positive");
+  const double tau_ns = r_ohm * c_farad * 1e9;  // RC in nanoseconds
+  MEDA_REQUIRE(params.sim_dt_ns < tau_ns,
+               "integration step must resolve the RC constant");
+  Transient trace;
+  trace.dt_ns = params.sim_dt_ns;
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(params.sim_horizon_ns / params.sim_dt_ns));
+  trace.v.reserve(steps + 1);
+  double v = params.vdd;
+  trace.v.push_back(v);
+  for (std::size_t i = 0; i < steps; ++i) {
+    v += params.sim_dt_ns * (-v / tau_ns);  // explicit Euler on dV/dt = -V/RC
+    trace.v.push_back(v);
+  }
+  return trace;
+}
+
+double threshold_crossing_ns(const Transient& trace, double vth) {
+  MEDA_REQUIRE(!trace.v.empty(), "empty transient");
+  for (std::size_t i = 0; i < trace.v.size(); ++i) {
+    if (trace.v[i] < vth) {
+      if (i == 0) return 0.0;
+      // Linear interpolation between the bracketing samples.
+      const double v0 = trace.v[i - 1];
+      const double v1 = trace.v[i];
+      const double frac = (v0 - vth) / (v0 - v1);
+      return (static_cast<double>(i - 1) + frac) * trace.dt_ns;
+    }
+  }
+  return static_cast<double>(trace.v.size() - 1) * trace.dt_ns;
+}
+
+int sense_code(const Transient& trace, const CircuitParams& params) {
+  const double t_original = params.clk_original_ns;
+  const double t_added = params.clk_original_ns + params.clk_skew_ns;
+  const int bit_original = trace.at(t_original) >= params.vth ? 1 : 0;
+  const int bit_added = trace.at(t_added) >= params.vth ? 1 : 0;
+  return (bit_original << 1) | bit_added;
+}
+
+int sense_code(HealthClass cls, const CircuitParams& params) {
+  double r = params.r_healthy;
+  double c = params.c_healthy;
+  switch (cls) {
+    case HealthClass::kHealthy: break;
+    case HealthClass::kPartial:
+      r = params.r_partial;
+      c = params.c_partial;
+      break;
+    case HealthClass::kComplete:
+      r = params.r_complete;
+      c = params.c_complete;
+      break;
+  }
+  return sense_code(simulate_discharge(r, c, params), params);
+}
+
+HealthClass classify(int code) {
+  MEDA_REQUIRE(code >= 0 && code <= 3, "sense code out of range");
+  switch (code) {
+    case 0b11: return HealthClass::kHealthy;
+    case 0b00: return HealthClass::kComplete;
+    default: return HealthClass::kPartial;  // DFFs disagree
+  }
+}
+
+ClassificationStats classification_errors(HealthClass cls,
+                                          const CircuitParams& params,
+                                          const NoiseModel& noise,
+                                          int samples, Rng& rng) {
+  MEDA_REQUIRE(samples > 0, "need at least one sample");
+  MEDA_REQUIRE(noise.c_sigma_rel >= 0.0 && noise.clk_jitter_ns >= 0.0,
+               "noise parameters must be non-negative");
+  double r = params.r_healthy;
+  double c = params.c_healthy;
+  switch (cls) {
+    case HealthClass::kHealthy: break;
+    case HealthClass::kPartial:
+      r = params.r_partial;
+      c = params.c_partial;
+      break;
+    case HealthClass::kComplete:
+      r = params.r_complete;
+      c = params.c_complete;
+      break;
+  }
+  ClassificationStats stats;
+  stats.samples = samples;
+  const double log_ratio = std::log(params.vdd / params.vth);
+  for (int i = 0; i < samples; ++i) {
+    const double c_eff = c * (1.0 + rng.normal(0.0, noise.c_sigma_rel));
+    // Analytic exponential discharge: V(t) = VDD·e^{-t/RC} crosses Vth at
+    // t = RC·ln(VDD/Vth).
+    const double t_cross_ns = r * std::max(c_eff, 1e-18) * 1e9 * log_ratio;
+    const double t_original =
+        params.clk_original_ns + rng.normal(0.0, noise.clk_jitter_ns);
+    const double t_added = params.clk_original_ns + params.clk_skew_ns +
+                           rng.normal(0.0, noise.clk_jitter_ns);
+    const int bit_original = t_original < t_cross_ns ? 1 : 0;
+    const int bit_added = t_added < t_cross_ns ? 1 : 0;
+    if (classify((bit_original << 1) | bit_added) != cls) ++stats.errors;
+  }
+  stats.error_rate = static_cast<double>(stats.errors) / samples;
+  return stats;
+}
+
+SkewWindow distinguishing_skew_window(const CircuitParams& params) {
+  const Transient healthy =
+      simulate_discharge(params.r_healthy, params.c_healthy, params);
+  const Transient partial =
+      simulate_discharge(params.r_partial, params.c_partial, params);
+  const double t_healthy = threshold_crossing_ns(healthy, params.vth);
+  const double t_partial = threshold_crossing_ns(partial, params.vth);
+  // The original DFF must still read 1 for both classes; the added DFF must
+  // read 1 for healthy (edge before t_healthy) and 0 for partial (edge after
+  // t_partial).
+  SkewWindow window;
+  window.lo_ns = t_partial - params.clk_original_ns;
+  window.hi_ns = t_healthy - params.clk_original_ns;
+  window.lo_ns = std::max(window.lo_ns, 0.0);
+  return window;
+}
+
+}  // namespace meda::mcell

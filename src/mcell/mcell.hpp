@@ -1,0 +1,139 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// @file mcell.hpp
+/// Circuit-level model of the proposed microelectrode cell (Section III,
+/// Fig. 1(b) / Fig. 2).
+///
+/// The paper simulates the new MC design in HSPICE with a 350 nm foundry
+/// library; we substitute an ideal-switch RC transient simulation that
+/// preserves the design decision under test: a second DFF whose clock edge
+/// arrives a few nanoseconds after the original DFF's turns the capacitive
+/// droplet sensor into a 2-bit health sensor.
+///
+/// Physical picture. During sensing the bottom plate is first charged to VDD
+/// and then discharged; each DFF latches whether the plate voltage is still
+/// above the logic threshold at its clock edge. Charge trapped in the
+/// dielectric of a degraded MC opens a leakage path, so a degraded MC
+/// discharges faster ("the charging/discharging time is slightly less than
+/// that of a healthy microelectrode"). With the added DFF clocked ~5 ns after
+/// the original one:
+///
+///   healthy    — still above threshold at both edges   → code 11
+///   partial    — crosses between the two edges         → DFFs disagree
+///   complete   — already below threshold at both edges → code 00
+
+namespace meda::mcell {
+
+/// Electrical and timing parameters. Capacitances come from Table I of the
+/// paper; the discharge resistances are chosen so the three health classes
+/// have threshold-crossing times separated on the scale of the 5 ns skew.
+struct CircuitParams {
+  double vdd = 3.3;   ///< supply voltage (V)
+  double vth = 1.65;  ///< DFF input logic threshold (V)
+
+  // Table I capacitances (F).
+  double c_healthy = 2.375e-15;
+  double c_partial = 2.380e-15;
+  double c_complete = 2.385e-15;
+
+  // Effective discharge resistance (Ω) per health class. Trapped charge
+  // shortens the effective discharge path, so degraded classes see a lower
+  // resistance and discharge faster.
+  double r_healthy = 21.3e6;
+  double r_partial = 18.8e6;
+  double r_complete = 13.3e6;
+
+  // DFF clocking: the original DFF's rising edge and the extra skew of the
+  // newly added DFF (the paper's design point is 5 ns).
+  double clk_original_ns = 28.0;
+  double clk_skew_ns = 5.0;
+
+  // Transient integration controls (explicit Euler).
+  double sim_dt_ns = 0.005;
+  double sim_horizon_ns = 80.0;
+};
+
+/// Sensed microelectrode health class.
+enum class HealthClass : unsigned char { kHealthy, kPartial, kComplete };
+
+/// A simulated voltage trace, uniformly sampled in time.
+struct Transient {
+  double dt_ns = 0.0;
+  std::vector<double> v;  ///< v[i] = plate voltage at t = i·dt_ns
+
+  /// Linearly interpolated voltage at @p t_ns (clamped to the trace).
+  double at(double t_ns) const;
+};
+
+/// Parallel-plate capacitance C = ε·A/d (used to validate Table I: a 50×50 µm²
+/// electrode with silicone-oil permittivity 19 pF/m and a 20 µm gap gives
+/// 2.375 fF).
+double parallel_plate_capacitance(double area_m2, double permittivity_f_per_m,
+                                  double gap_m);
+
+/// Simulates the discharge phase V(t) of an RC node initially at VDD, by
+/// explicit Euler integration of dV/dt = −V/(R·C).
+Transient simulate_discharge(double r_ohm, double c_farad,
+                             const CircuitParams& params);
+
+/// First time (ns) the trace falls below @p vth; returns the horizon if it
+/// never does.
+double threshold_crossing_ns(const Transient& trace, double vth);
+
+/// Samples the two DFFs against @p trace: returns the 2-bit code with the
+/// original DFF in bit 1 and the added (delayed) DFF in bit 0. A bit is 1
+/// while the plate is still above threshold at the corresponding clock edge.
+int sense_code(const Transient& trace, const CircuitParams& params);
+
+/// Runs the full sensing pipeline for one health class.
+int sense_code(HealthClass cls, const CircuitParams& params);
+
+/// Maps a 2-bit sensor code to the health class it indicates. Codes where the
+/// DFFs disagree indicate partial degradation.
+HealthClass classify(int code);
+
+/// The window of DFF clock skews (ns) that distinguishes a partially degraded
+/// MC from a healthy one given params.clk_original_ns: skews strictly inside
+/// (lo, hi) produce code 11 for healthy and a disagreeing code for partial.
+struct SkewWindow {
+  double lo_ns = 0.0;
+  double hi_ns = 0.0;
+  bool valid() const { return lo_ns < hi_ns; }
+  bool contains(double skew_ns) const {
+    return skew_ns > lo_ns && skew_ns < hi_ns;
+  }
+};
+
+/// Computes the distinguishing skew window for the given parameters.
+SkewWindow distinguishing_skew_window(const CircuitParams& params);
+
+// -- Sensing-robustness analysis (design-margin extension) -------------------
+
+/// Gaussian variation applied per sensing operation.
+struct NoiseModel {
+  /// Relative σ of the effective capacitance (process variation + droplet
+  /// loading variation).
+  double c_sigma_rel = 0.0;
+  /// σ of each DFF clock edge (ns), independent per edge (jitter).
+  double clk_jitter_ns = 0.0;
+};
+
+/// Monte-Carlo misclassification statistics for one true health class.
+struct ClassificationStats {
+  int samples = 0;
+  int errors = 0;       ///< sensed class != true class
+  double error_rate = 0.0;
+};
+
+/// Estimates how often the dual-DFF sensor misclassifies a microelectrode
+/// of true class @p cls under @p noise (analytic RC crossing per sample).
+ClassificationStats classification_errors(HealthClass cls,
+                                          const CircuitParams& params,
+                                          const NoiseModel& noise,
+                                          int samples, Rng& rng);
+
+}  // namespace meda::mcell

@@ -1,0 +1,154 @@
+#include "model/action.hpp"
+
+#include "util/check.hpp"
+
+namespace meda {
+
+ActionClass action_class(Action a) {
+  switch (a) {
+    case Action::kN:
+    case Action::kS:
+    case Action::kE:
+    case Action::kW:
+      return ActionClass::kCardinal;
+    case Action::kNN:
+    case Action::kSS:
+    case Action::kEE:
+    case Action::kWW:
+      return ActionClass::kDouble;
+    case Action::kNE:
+    case Action::kNW:
+    case Action::kSE:
+    case Action::kSW:
+      return ActionClass::kOrdinal;
+    case Action::kWidenNE:
+    case Action::kWidenNW:
+    case Action::kWidenSE:
+    case Action::kWidenSW:
+      return ActionClass::kWiden;
+    case Action::kHeightenNE:
+    case Action::kHeightenNW:
+    case Action::kHeightenSE:
+    case Action::kHeightenSW:
+      return ActionClass::kHeighten;
+  }
+  throw InvariantError("unknown action");
+}
+
+Dir cardinal_of(Action a) {
+  switch (a) {
+    case Action::kN:
+    case Action::kNN:
+      return Dir::N;
+    case Action::kS:
+    case Action::kSS:
+      return Dir::S;
+    case Action::kE:
+    case Action::kEE:
+      return Dir::E;
+    case Action::kW:
+    case Action::kWW:
+      return Dir::W;
+    default:
+      throw PreconditionError("cardinal_of on a non-cardinal action");
+  }
+}
+
+Ordinal ordinal_of(Action a) {
+  switch (a) {
+    case Action::kNE:
+    case Action::kWidenNE:
+    case Action::kHeightenNE:
+      return Ordinal::NE;
+    case Action::kNW:
+    case Action::kWidenNW:
+    case Action::kHeightenNW:
+      return Ordinal::NW;
+    case Action::kSE:
+    case Action::kWidenSE:
+    case Action::kHeightenSE:
+      return Ordinal::SE;
+    case Action::kSW:
+    case Action::kWidenSW:
+    case Action::kHeightenSW:
+      return Ordinal::SW;
+    default:
+      throw PreconditionError("ordinal_of on a cardinal/double action");
+  }
+}
+
+Rect apply(Action a, const Rect& droplet) {
+  MEDA_REQUIRE(droplet.valid(), "apply on an invalid droplet");
+  const Rect& d = droplet;
+  switch (a) {
+    case Action::kN: return d.shifted(0, 1);
+    case Action::kS: return d.shifted(0, -1);
+    case Action::kE: return d.shifted(1, 0);
+    case Action::kW: return d.shifted(-1, 0);
+    case Action::kNN: return d.shifted(0, 2);
+    case Action::kSS: return d.shifted(0, -2);
+    case Action::kEE: return d.shifted(2, 0);
+    case Action::kWW: return d.shifted(-2, 0);
+    case Action::kNE: return d.shifted(1, 1);
+    case Action::kNW: return d.shifted(-1, 1);
+    case Action::kSE: return d.shifted(1, -1);
+    case Action::kSW: return d.shifted(-1, -1);
+    // A_↓: width +1 toward the corner's E/W side, height −1 from the
+    // corner's opposite N/S side (the droplet creeps toward the corner).
+    case Action::kWidenNE:
+      MEDA_REQUIRE(d.height() >= 2, "widen on unit-height droplet");
+      return Rect{d.xa, d.ya + 1, d.xb + 1, d.yb};
+    case Action::kWidenNW:
+      MEDA_REQUIRE(d.height() >= 2, "widen on unit-height droplet");
+      return Rect{d.xa - 1, d.ya + 1, d.xb, d.yb};
+    case Action::kWidenSE:
+      MEDA_REQUIRE(d.height() >= 2, "widen on unit-height droplet");
+      return Rect{d.xa, d.ya, d.xb + 1, d.yb - 1};
+    case Action::kWidenSW:
+      MEDA_REQUIRE(d.height() >= 2, "widen on unit-height droplet");
+      return Rect{d.xa - 1, d.ya, d.xb, d.yb - 1};
+    // A_↑: height +1 toward the corner's N/S side, width −1 from the
+    // corner's opposite E/W side.
+    case Action::kHeightenNE:
+      MEDA_REQUIRE(d.width() >= 2, "heighten on unit-width droplet");
+      return Rect{d.xa + 1, d.ya, d.xb, d.yb + 1};
+    case Action::kHeightenNW:
+      MEDA_REQUIRE(d.width() >= 2, "heighten on unit-width droplet");
+      return Rect{d.xa, d.ya, d.xb - 1, d.yb + 1};
+    case Action::kHeightenSE:
+      MEDA_REQUIRE(d.width() >= 2, "heighten on unit-width droplet");
+      return Rect{d.xa + 1, d.ya - 1, d.xb, d.yb};
+    case Action::kHeightenSW:
+      MEDA_REQUIRE(d.width() >= 2, "heighten on unit-width droplet");
+      return Rect{d.xa, d.ya - 1, d.xb - 1, d.yb};
+  }
+  throw InvariantError("unknown action");
+}
+
+std::string_view to_string(Action a) {
+  switch (a) {
+    case Action::kN: return "a_N";
+    case Action::kS: return "a_S";
+    case Action::kE: return "a_E";
+    case Action::kW: return "a_W";
+    case Action::kNN: return "a_NN";
+    case Action::kSS: return "a_SS";
+    case Action::kEE: return "a_EE";
+    case Action::kWW: return "a_WW";
+    case Action::kNE: return "a_NE";
+    case Action::kNW: return "a_NW";
+    case Action::kSE: return "a_SE";
+    case Action::kSW: return "a_SW";
+    case Action::kWidenNE: return "a_dn_NE";
+    case Action::kWidenNW: return "a_dn_NW";
+    case Action::kWidenSE: return "a_dn_SE";
+    case Action::kWidenSW: return "a_dn_SW";
+    case Action::kHeightenNE: return "a_up_NE";
+    case Action::kHeightenNW: return "a_up_NW";
+    case Action::kHeightenSE: return "a_up_SE";
+    case Action::kHeightenSW: return "a_up_SW";
+  }
+  return "a_?";
+}
+
+}  // namespace meda

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "geometry/direction.hpp"
+#include "geometry/rect.hpp"
+
+/// @file action.hpp
+/// The microfluidic action set A = A_d ∪ A_dd ∪ A_dd' ∪ A_↓ ∪ A_↑ of
+/// Section V-B and the effect of each action on a droplet (Fig. 9).
+
+namespace meda {
+
+/// A droplet-controller action. The 20 actions split into five classes:
+///  - single-step cardinal movements (A_d),
+///  - double-step cardinal movements (A_dd),
+///  - ordinal (diagonal) movements (A_dd'),
+///  - width-increasing morphs A_↓ (droplet gets wider and shorter), and
+///  - height-increasing morphs A_↑ (droplet gets taller and narrower).
+enum class Action : unsigned char {
+  // A_d
+  kN, kS, kE, kW,
+  // A_dd
+  kNN, kSS, kEE, kWW,
+  // A_dd'
+  kNE, kNW, kSE, kSW,
+  // A_↓ — increase width toward the named corner
+  kWidenNE, kWidenNW, kWidenSE, kWidenSW,
+  // A_↑ — increase height toward the named corner
+  kHeightenNE, kHeightenNW, kHeightenSE, kHeightenSW,
+};
+
+inline constexpr std::array<Action, 20> kAllActions = {
+    Action::kN,          Action::kS,          Action::kE,
+    Action::kW,          Action::kNN,         Action::kSS,
+    Action::kEE,         Action::kWW,         Action::kNE,
+    Action::kNW,         Action::kSE,         Action::kSW,
+    Action::kWidenNE,    Action::kWidenNW,    Action::kWidenSE,
+    Action::kWidenSW,    Action::kHeightenNE, Action::kHeightenNW,
+    Action::kHeightenSE, Action::kHeightenSW,
+};
+
+/// Structural class of an action; determines its event space (Section V-B).
+enum class ActionClass : unsigned char {
+  kCardinal,  ///< A_d: move one MC in a cardinal direction
+  kDouble,    ///< A_dd: move two MCs in a cardinal direction
+  kOrdinal,   ///< A_dd': move one MC diagonally
+  kWiden,     ///< A_↓: width +1, height −1
+  kHeighten,  ///< A_↑: height +1, width −1
+};
+
+/// Returns the class of @p a.
+ActionClass action_class(Action a);
+
+/// Cardinal direction of a movement action. Requires class kCardinal/kDouble.
+Dir cardinal_of(Action a);
+
+/// Ordinal corner of an ordinal or morphing action. Requires class
+/// kOrdinal/kWiden/kHeighten.
+Ordinal ordinal_of(Action a);
+
+/// The droplet resulting from *successful* execution of @p a on @p droplet
+/// (δ^(k+1) = a(δ^(k))). Requires a valid droplet; morphs additionally
+/// require the shrinking dimension to be at least 2 (else the result would
+/// be degenerate — guards prevent this upstream).
+Rect apply(Action a, const Rect& droplet);
+
+/// Short mnemonic, e.g. "a_NE", "a_dn_SE" (A_↓), "a_up_NW" (A_↑).
+std::string_view to_string(Action a);
+
+}  // namespace meda

@@ -1,0 +1,33 @@
+#include "model/actuation.hpp"
+
+#include "util/check.hpp"
+
+namespace meda {
+
+Rect actuated_pattern(const Rect& droplet, std::optional<Action> action) {
+  MEDA_REQUIRE(droplet.valid(), "actuation pattern of an invalid droplet");
+  return action.has_value() ? apply(*action, droplet) : droplet;
+}
+
+BoolMatrix build_actuation_matrix(int width, int height,
+                                  std::span<const DropletCommand> commands) {
+  MEDA_REQUIRE(width >= 1 && height >= 1, "invalid matrix dimensions");
+  BoolMatrix pattern(width, height);
+  const Rect chip{0, 0, width - 1, height - 1};
+  for (const auto& [droplet, action] : commands) {
+    const Rect cells =
+        actuated_pattern(droplet, action).intersection_with(chip);
+    if (!cells.valid()) continue;
+    for (int y = cells.ya; y <= cells.yb; ++y)
+      for (int x = cells.xa; x <= cells.xb; ++x) pattern(x, y) = 1;
+  }
+  return pattern;
+}
+
+int actuated_count(const BoolMatrix& pattern) {
+  int count = 0;
+  for (unsigned char v : pattern.data()) count += v;
+  return count;
+}
+
+}  // namespace meda

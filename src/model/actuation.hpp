@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "geometry/rect.hpp"
+#include "model/action.hpp"
+#include "util/matrix.hpp"
+
+/// @file actuation.hpp
+/// The biochip actuation matrix U of Section V-A: U_ij = 1 iff MC_ij is
+/// charged this operational cycle. Under Algorithm 3 the pattern for a
+/// droplet commanded with action a is its *target* pattern a(δ) (the
+/// shifted-in cells pull the droplet); droplets without a command are held
+/// by keeping their current pattern charged (free-roaming is not allowed).
+
+namespace meda {
+
+/// One droplet's contribution to the cycle's pattern: its current position
+/// and the commanded action (nullopt = hold).
+using DropletCommand = std::pair<Rect, std::optional<Action>>;
+
+/// Builds the W×H actuation matrix for one operational cycle. Patterns are
+/// clipped to the chip; overlapping contributions merge (logical OR).
+BoolMatrix build_actuation_matrix(int width, int height,
+                                  std::span<const DropletCommand> commands);
+
+/// The cells a single droplet charges this cycle (target pattern under a
+/// command, the held pattern otherwise).
+Rect actuated_pattern(const Rect& droplet, std::optional<Action> action);
+
+/// Number of set cells in an actuation matrix (Σ U_ij).
+int actuated_count(const BoolMatrix& pattern);
+
+}  // namespace meda

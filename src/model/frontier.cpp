@@ -1,0 +1,104 @@
+#include "model/frontier.hpp"
+
+#include "util/check.hpp"
+
+namespace meda {
+
+Rect frontier(const Rect& d, Action a, Dir dir) {
+  MEDA_REQUIRE(d.valid(), "frontier of an invalid droplet");
+  const int xa = d.xa, ya = d.ya, xb = d.xb, yb = d.yb;
+  const Rect empty = Rect::none();
+
+  switch (a) {
+    case Action::kN:
+    case Action::kNN:
+      return dir == Dir::N ? Rect{xa, yb + 1, xb, yb + 1} : empty;
+    case Action::kS:
+    case Action::kSS:
+      return dir == Dir::S ? Rect{xa, ya - 1, xb, ya - 1} : empty;
+    case Action::kE:
+    case Action::kEE:
+      return dir == Dir::E ? Rect{xb + 1, ya, xb + 1, yb} : empty;
+    case Action::kW:
+    case Action::kWW:
+      return dir == Dir::W ? Rect{xa - 1, ya, xa - 1, yb} : empty;
+
+    case Action::kNE:
+      if (dir == Dir::N) return Rect{xa + 1, yb + 1, xb + 1, yb + 1};
+      if (dir == Dir::E) return Rect{xb + 1, ya + 1, xb + 1, yb + 1};
+      return empty;
+    case Action::kNW:
+      if (dir == Dir::N) return Rect{xa - 1, yb + 1, xb - 1, yb + 1};
+      if (dir == Dir::W) return Rect{xa - 1, ya + 1, xa - 1, yb + 1};
+      return empty;
+    case Action::kSE:
+      if (dir == Dir::S) return Rect{xa + 1, ya - 1, xb + 1, ya - 1};
+      if (dir == Dir::E) return Rect{xb + 1, ya - 1, xb + 1, yb - 1};
+      return empty;
+    case Action::kSW:
+      if (dir == Dir::S) return Rect{xa - 1, ya - 1, xb - 1, ya - 1};
+      if (dir == Dir::W) return Rect{xa - 1, ya - 1, xa - 1, yb - 1};
+      return empty;
+
+    // A_↓ pull sideways with a column one cell shorter than the droplet.
+    case Action::kWidenNE:
+      MEDA_REQUIRE(d.height() >= 2, "widen frontier on unit-height droplet");
+      return dir == Dir::E ? Rect{xb + 1, ya + 1, xb + 1, yb} : empty;
+    case Action::kWidenNW:
+      MEDA_REQUIRE(d.height() >= 2, "widen frontier on unit-height droplet");
+      return dir == Dir::W ? Rect{xa - 1, ya + 1, xa - 1, yb} : empty;
+    case Action::kWidenSE:
+      MEDA_REQUIRE(d.height() >= 2, "widen frontier on unit-height droplet");
+      return dir == Dir::E ? Rect{xb + 1, ya, xb + 1, yb - 1} : empty;
+    case Action::kWidenSW:
+      MEDA_REQUIRE(d.height() >= 2, "widen frontier on unit-height droplet");
+      return dir == Dir::W ? Rect{xa - 1, ya, xa - 1, yb - 1} : empty;
+
+    // A_↑ pull vertically with a row one cell narrower than the droplet.
+    case Action::kHeightenNE:
+      MEDA_REQUIRE(d.width() >= 2, "heighten frontier on unit-width droplet");
+      return dir == Dir::N ? Rect{xa + 1, yb + 1, xb, yb + 1} : empty;
+    case Action::kHeightenNW:
+      MEDA_REQUIRE(d.width() >= 2, "heighten frontier on unit-width droplet");
+      return dir == Dir::N ? Rect{xa, yb + 1, xb - 1, yb + 1} : empty;
+    case Action::kHeightenSE:
+      MEDA_REQUIRE(d.width() >= 2, "heighten frontier on unit-width droplet");
+      return dir == Dir::S ? Rect{xa + 1, ya - 1, xb, ya - 1} : empty;
+    case Action::kHeightenSW:
+      MEDA_REQUIRE(d.width() >= 2, "heighten frontier on unit-width droplet");
+      return dir == Dir::S ? Rect{xa, ya - 1, xb - 1, ya - 1} : empty;
+  }
+  throw InvariantError("unknown action");
+}
+
+FrontierDirs pulling_directions(Action a) {
+  FrontierDirs out;
+  switch (action_class(a)) {
+    case ActionClass::kCardinal:
+    case ActionClass::kDouble:
+      out.dirs[0] = cardinal_of(a);
+      out.count = 1;
+      break;
+    case ActionClass::kOrdinal:
+      out.dirs[0] = vertical(ordinal_of(a));
+      out.dirs[1] = horizontal(ordinal_of(a));
+      out.count = 2;
+      break;
+    case ActionClass::kWiden:
+      out.dirs[0] = horizontal(ordinal_of(a));
+      out.count = 1;
+      break;
+    case ActionClass::kHeighten:
+      out.dirs[0] = vertical(ordinal_of(a));
+      out.count = 1;
+      break;
+  }
+  return out;
+}
+
+int frontier_size(const Rect& droplet, Action a, Dir d) {
+  const Rect fr = frontier(droplet, a, d);
+  return fr.valid() ? fr.area() : 0;
+}
+
+}  // namespace meda

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "geometry/direction.hpp"
+#include "geometry/rect.hpp"
+#include "model/action.hpp"
+
+/// @file frontier.hpp
+/// Frontier-set function Fr(δ; a, d) of Table II: the subset of MCs that
+/// pull the droplet δ in direction d when action a is actuated. All frontier
+/// sets are (possibly empty) rectangles.
+
+namespace meda {
+
+/// Frontier set Fr(δ; a, d). Returns an invalid Rect when the frontier is ∅
+/// (e.g. Fr(δ; a_N, E)). For double-step actions this is the *first-step*
+/// frontier, identical to the single-step action's (the second step's
+/// frontier is evaluated on the shifted droplet, per Section V-B).
+///
+/// Requires a valid droplet. Morphing frontiers require the shrinking
+/// dimension to be >= 2 (otherwise the frontier formula is degenerate; the
+/// guards disable such actions).
+Rect frontier(const Rect& droplet, Action a, Dir d);
+
+/// The (up to two) directions for which Fr(δ; a, ·) is non-empty.
+/// Cardinal/double/morph actions have one pulling direction; ordinal actions
+/// have two (vertical first, horizontal second).
+struct FrontierDirs {
+  Dir dirs[2] = {Dir::N, Dir::N};
+  int count = 0;
+};
+FrontierDirs pulling_directions(Action a);
+
+/// Number of MCs in Fr(δ; a, d); 0 when the frontier is ∅. Matches the
+/// |Fr(δ; a, d)| column of Table II.
+int frontier_size(const Rect& droplet, Action a, Dir d);
+
+}  // namespace meda

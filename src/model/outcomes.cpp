@@ -1,0 +1,135 @@
+#include "model/outcomes.hpp"
+
+#include <algorithm>
+
+#include "model/frontier.hpp"
+#include "util/check.hpp"
+
+namespace meda {
+
+double mean_frontier_force(const ForceFn& force, const Rect& fr) {
+  MEDA_REQUIRE(fr.valid(), "mean force over an empty frontier");
+  double total = 0.0;
+  for (int y = fr.ya; y <= fr.yb; ++y)
+    for (int x = fr.xa; x <= fr.xb; ++x)
+      total += std::clamp(force(x, y), 0.0, 1.0);
+  return total / static_cast<double>(fr.area());
+}
+
+double mean_frontier_force(const DoubleMatrix& force, const Rect& fr) {
+  MEDA_REQUIRE(fr.valid(), "mean force over an empty frontier");
+  MEDA_REQUIRE(fr.xa >= 0 && fr.ya >= 0 && fr.xb < force.width() &&
+                   fr.yb < force.height(),
+               "frontier outside the force matrix");
+  double total = 0.0;
+  for (int y = fr.ya; y <= fr.yb; ++y)
+    for (int x = fr.xa; x <= fr.xb; ++x)
+      total += std::clamp(force(x, y), 0.0, 1.0);
+  return total / static_cast<double>(fr.area());
+}
+
+namespace {
+
+/// Success probability of the pull in direction @p d for action @p a.
+double pull_probability(const Rect& droplet, Action a, Dir d,
+                        const ForceFn& force) {
+  return mean_frontier_force(force, frontier(droplet, a, d));
+}
+
+void push_outcome(std::vector<Outcome>& out, const Rect& droplet, double p) {
+  if (p <= 0.0) return;
+  out.push_back(Outcome{droplet, p});
+}
+
+}  // namespace
+
+std::vector<Outcome> action_outcomes(const Rect& droplet, Action a,
+                                     const DoubleMatrix& force) {
+  return action_outcomes(droplet, a, ForceFn([&force](int x, int y) {
+                           MEDA_REQUIRE(force.in_bounds(x, y),
+                                        "frontier outside the force matrix");
+                           return force(x, y);
+                         }));
+}
+
+std::vector<Outcome> action_outcomes(const Rect& droplet, Action a,
+                                     const ForceFn& force) {
+  MEDA_REQUIRE(droplet.valid(), "outcomes of an invalid droplet");
+  std::vector<Outcome> out;
+  switch (action_class(a)) {
+    case ActionClass::kCardinal: {
+      const Dir d = cardinal_of(a);
+      const double s = pull_probability(droplet, a, d, force);
+      push_outcome(out, apply(a, droplet), s);
+      push_outcome(out, droplet, 1.0 - s);
+      break;
+    }
+    case ActionClass::kDouble: {
+      const Dir d = cardinal_of(a);
+      const Vec2i step = unit(d);
+      const Rect mid = droplet.shifted(step.x, step.y);
+      // p(dd) = s1·s2, p(d) = s1·(1−s2), p(ε) = 1−s1 (second step is
+      // conditioned on the first succeeding).
+      const double s1 = pull_probability(droplet, a, d, force);
+      const double s2 = pull_probability(mid, a, d, force);
+      push_outcome(out, apply(a, droplet), s1 * s2);
+      push_outcome(out, mid, s1 * (1.0 - s2));
+      push_outcome(out, droplet, 1.0 - s1);
+      break;
+    }
+    case ActionClass::kOrdinal: {
+      const Ordinal o = ordinal_of(a);
+      const Dir dv = vertical(o);
+      const Dir dh = horizontal(o);
+      const double sv = pull_probability(droplet, a, dv, force);
+      const double sh = pull_probability(droplet, a, dh, force);
+      const Vec2i uv = unit(dv);
+      const Vec2i uh = unit(dh);
+      push_outcome(out, apply(a, droplet), sv * sh);          // dd'
+      push_outcome(out, droplet.shifted(uv.x, uv.y), sv * (1.0 - sh));  // d
+      push_outcome(out, droplet.shifted(uh.x, uh.y), (1.0 - sv) * sh);  // d'
+      push_outcome(out, droplet, (1.0 - sv) * (1.0 - sh));    // ε
+      break;
+    }
+    case ActionClass::kWiden:
+    case ActionClass::kHeighten: {
+      const FrontierDirs dirs = pulling_directions(a);
+      MEDA_ASSERT(dirs.count == 1, "morph must have one pulling direction");
+      const double s = pull_probability(droplet, a, dirs.dirs[0], force);
+      push_outcome(out, apply(a, droplet), s);
+      push_outcome(out, droplet, 1.0 - s);
+      break;
+    }
+  }
+  MEDA_ASSERT(!out.empty(), "action produced no outcomes");
+  return out;
+}
+
+DoubleMatrix force_from_degradation(const DoubleMatrix& degradation) {
+  DoubleMatrix f(degradation.width(), degradation.height());
+  for (int y = 0; y < f.height(); ++y) {
+    for (int x = 0; x < f.width(); ++x) {
+      const double d = std::clamp(degradation(x, y), 0.0, 1.0);
+      f(x, y) = d * d;  // F̄ = (V/V_a)² = D²
+    }
+  }
+  return f;
+}
+
+DoubleMatrix force_from_health(const IntMatrix& health, int bits,
+                               HealthEstimator estimator) {
+  DoubleMatrix f(health.width(), health.height());
+  for (int y = 0; y < f.height(); ++y) {
+    for (int x = 0; x < f.width(); ++x) {
+      const double d = estimate_degradation(health(x, y), bits, estimator);
+      f(x, y) = d * d;
+    }
+  }
+  return f;
+}
+
+DoubleMatrix full_health_force(int width, int height) {
+  return DoubleMatrix(width, height, 1.0);
+}
+
+}  // namespace meda

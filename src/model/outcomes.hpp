@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chip/degradation.hpp"
+#include "geometry/rect.hpp"
+#include "model/action.hpp"
+#include "util/matrix.hpp"
+
+/// @file outcomes.hpp
+/// The probabilistic actuation model of Section V-B: given the per-MC
+/// relative EWOD forces, each action induces a distribution over resulting
+/// droplet rectangles. Success of a pull in direction d has probability
+///
+///   p = F̄(δ; a, d) / |Fr(δ; a, d)|,   F̄(δ; a, d) = Σ_{(i,j)∈Fr} F̄_ij,
+///
+/// i.e. the mean relative force over the frontier (every frontier MC
+/// contributes equally). Event spaces:
+///
+///   cardinal a_d : {d, ε}
+///   double a_dd  : {dd, d, ε}    (second step conditioned on the first)
+///   ordinal a_dd': {dd', d, d', ε}
+///   morph a_↓/a_↑: {morphed, ε}
+
+namespace meda {
+
+/// One possible result of executing an action.
+struct Outcome {
+  Rect droplet;        ///< resulting droplet δ^(k+1)
+  double probability;  ///< event probability (outcomes sum to 1)
+};
+
+/// Per-MC relative-force source F̄_ij; must be defined for every cell an
+/// enabled action's frontier can touch. Values are clamped to [0, 1].
+using ForceFn = std::function<double(int x, int y)>;
+
+/// Mean relative force over a frontier rectangle.
+double mean_frontier_force(const ForceFn& force, const Rect& fr);
+
+/// Mean relative force over a frontier rectangle. Requires the frontier to
+/// lie within the force matrix. Values are clamped to [0, 1].
+double mean_frontier_force(const DoubleMatrix& force, const Rect& fr);
+
+/// Full outcome distribution of action @p a on @p droplet under the per-MC
+/// relative-force field @p force.
+///
+/// The caller must have established that the action is enabled
+/// (action_enabled), so all frontiers index valid cells. Zero-probability
+/// outcomes are omitted; the remaining probabilities sum to 1.
+std::vector<Outcome> action_outcomes(const Rect& droplet, Action a,
+                                     const ForceFn& force);
+
+/// Overload reading forces from a chip-sized matrix.
+std::vector<Outcome> action_outcomes(const Rect& droplet, Action a,
+                                     const DoubleMatrix& force);
+
+/// Builds the relative-force matrix F̄ = D² from a true degradation matrix
+/// (simulator view; full information).
+DoubleMatrix force_from_degradation(const DoubleMatrix& degradation);
+
+/// Builds the relative-force matrix from a sensed b-bit health matrix
+/// (controller view): F̄ = D̂² with D̂ = estimate_degradation(H).
+DoubleMatrix force_from_health(const IntMatrix& health, int bits,
+                               HealthEstimator estimator);
+
+/// A force field with every MC at full health (used by the
+/// degradation-unaware baseline router).
+DoubleMatrix full_health_force(int width, int height);
+
+}  // namespace meda

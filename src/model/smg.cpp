@@ -1,0 +1,61 @@
+#include "model/smg.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace meda::smg {
+
+Game::Game(Rect chip_bounds, ActionRules rules, int health_bits,
+           HealthEstimator estimator)
+    : chip_bounds_(chip_bounds),
+      rules_(rules),
+      health_bits_(health_bits),
+      estimator_(estimator) {
+  MEDA_REQUIRE(chip_bounds.valid(), "invalid chip bounds");
+  MEDA_REQUIRE(health_bits >= 1 && health_bits <= 16,
+               "health bits out of range");
+}
+
+std::vector<Action> Game::enabled_actions(const State& s) const {
+  MEDA_REQUIRE(s.turn == Player::kController, "not the controller's turn");
+  std::vector<Action> actions;
+  for (Action a : kAllActions)
+    if (action_enabled(a, s.droplet, rules_, chip_bounds_))
+      actions.push_back(a);
+  return actions;
+}
+
+std::vector<Branch> Game::controller_transition(const State& s,
+                                                Action a) const {
+  MEDA_REQUIRE(s.turn == Player::kController, "not the controller's turn");
+  MEDA_REQUIRE(action_enabled(a, s.droplet, rules_, chip_bounds_),
+               "action not enabled in this state");
+  const DoubleMatrix force =
+      force_from_health(s.health, health_bits_, estimator_);
+  std::vector<Branch> branches;
+  for (const Outcome& o : action_outcomes(s.droplet, a, force)) {
+    Branch b;
+    b.state = State{o.droplet, s.health, Player::kDegradation};
+    b.probability = o.probability;
+    branches.push_back(std::move(b));
+  }
+  return branches;
+}
+
+State Game::degradation_transition(const State& s,
+                                   const DegradationMove& m) const {
+  MEDA_REQUIRE(s.turn == Player::kDegradation,
+               "not the degradation player's turn");
+  State next = s;
+  for (const Vec2i& cell : m.cells) {
+    MEDA_REQUIRE(next.health.in_bounds(cell.x, cell.y),
+                 "degradation move outside the chip");
+    int& h = next.health.at(cell.x, cell.y);
+    h = std::max(0, h - 1);
+  }
+  next.turn = Player::kController;
+  return next;
+}
+
+}  // namespace meda::smg

@@ -1,0 +1,102 @@
+#include "pcb/pcb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda::pcb {
+
+ElectrodeSpec electrode_2mm() {
+  return ElectrodeSpec{2.0, 8.0, 0.0030, 2.0, 4.0};
+}
+
+ElectrodeSpec electrode_3mm() {
+  return ElectrodeSpec{3.0, 18.0, 0.0070, 2.0, 4.0};
+}
+
+ElectrodeSpec electrode_4mm() {
+  return ElectrodeSpec{4.0, 32.0, 0.0130, 2.0, 4.0};
+}
+
+void Electrode::actuate(double seconds) {
+  MEDA_REQUIRE(seconds > 0.0, "actuation duration must be positive");
+  double rate = spec_.trap_rate_pf_per_s;
+  // Long actuations leave residual charge in the dielectric; beyond the
+  // threshold the trapping rate accelerates (Fig. 5(b) grows much faster
+  // than Fig. 5(a)).
+  if (seconds > spec_.residual_threshold_s) rate *= spec_.residual_boost;
+  trapped_pf_ += rate * seconds;
+  ++actuations_;
+}
+
+double Electrode::capacitance_pf() const { return spec_.c0_pf + trapped_pf_; }
+
+double Electrode::charging_time_s(double r_ohm, double fraction) const {
+  MEDA_REQUIRE(r_ohm > 0.0, "series resistance must be positive");
+  MEDA_REQUIRE(fraction > 0.0 && fraction < 1.0,
+               "charging fraction must lie in (0, 1)");
+  const double c_farad = capacitance_pf() * 1e-12;
+  return -r_ohm * c_farad * std::log(1.0 - fraction);
+}
+
+double MeasurementRig::measure_capacitance_pf(const Electrode& electrode,
+                                              Rng& rng) const {
+  // The scope measures the charging time t*; inverting the RC equation gives
+  // C = −t*/(R·ln(1 − fraction)). Timing jitter enters multiplicatively.
+  const double t_true = electrode.charging_time_s(r_ohm, fraction);
+  const double t_measured = t_true * (1.0 + rng.normal(0.0, noise_rel));
+  const double c_farad = -t_measured / (r_ohm * std::log(1.0 - fraction));
+  return c_farad * 1e12;
+}
+
+DegradationSeries run_degradation_experiment(const ElectrodeSpec& spec,
+                                             const MeasurementRig& rig,
+                                             double actuation_seconds,
+                                             int total_actuations,
+                                             int measure_every, Rng& rng) {
+  MEDA_REQUIRE(total_actuations > 0, "need at least one actuation");
+  MEDA_REQUIRE(measure_every > 0, "measurement interval must be positive");
+  Electrode electrode(spec);
+  DegradationSeries series;
+  series.actuations.push_back(0.0);
+  series.capacitance_pf.push_back(rig.measure_capacitance_pf(electrode, rng));
+  for (int n = 1; n <= total_actuations; ++n) {
+    electrode.actuate(actuation_seconds);
+    if (n % measure_every == 0) {
+      series.actuations.push_back(static_cast<double>(n));
+      series.capacitance_pf.push_back(
+          rig.measure_capacitance_pf(electrode, rng));
+    }
+  }
+  return series;
+}
+
+ForceSeries measure_relative_force(const DegradationParams& truth,
+                                   int total_actuations, int measure_every,
+                                   double noise_rel, Rng& rng) {
+  MEDA_REQUIRE(total_actuations > 0, "need at least one actuation");
+  MEDA_REQUIRE(measure_every > 0, "measurement interval must be positive");
+  ForceSeries series;
+  for (int n = 0; n <= total_actuations; n += measure_every) {
+    const double f = truth.relative_force(static_cast<std::uint64_t>(n));
+    const double noisy = f * (1.0 + rng.normal(0.0, noise_rel));
+    series.actuations.push_back(static_cast<double>(n));
+    series.relative_force.push_back(std::clamp(noisy, 1e-9, 1.0));
+  }
+  return series;
+}
+
+ForceFit fit_force_model(const ForceSeries& series, double c_reference) {
+  MEDA_REQUIRE(c_reference > 0.0, "reference c must be positive");
+  const stats::FitResult raw =
+      stats::exponential_fit(series.actuations, series.relative_force);
+  ForceFit fit;
+  fit.k = raw.slope;
+  fit.c = c_reference;
+  fit.tau = std::exp(fit.k * c_reference / 2.0);
+  fit.r2_adjusted = raw.r2_adjusted;
+  return fit;
+}
+
+}  // namespace meda::pcb

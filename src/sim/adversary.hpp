@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chip/biochip.hpp"
+#include "core/biochip_io.hpp"
+#include "geometry/rect.hpp"
+#include "util/rng.hpp"
+
+/// @file adversary.hpp
+/// Degradation-player strategies for the MEDA SMG (Section V-C).
+///
+/// The paper abstracts biochip degradation as a non-deterministic second
+/// player precisely so that "a wide range of assumptions regarding the
+/// degradation behavior and fault-injection modes" can be modeled. The
+/// natural wear process (actuation-driven τ^(n/c) decay plus sudden faults)
+/// is one resolution of that non-determinism; this header provides explicit
+/// adversarial resolutions that actively damage microelectrodes during
+/// execution, for robustness evaluation:
+///
+///  - RandomAdversary      — damages uniformly random MCs (environmental
+///                           stress not correlated with the workload);
+///  - FrontierAdversary    — damages MCs adjacent to on-chip droplets (the
+///                           worst case for a router: the degradation player
+///                           attacks exactly the cells about to pull).
+
+namespace meda::sim {
+
+/// The SMG's player ② — invoked once per operational cycle after actuation.
+class DegradationAdversary {
+ public:
+  virtual ~DegradationAdversary() = default;
+
+  /// Applies this cycle's degradation move. @p droplets are the post-step
+  /// droplet positions; damage is dealt by adding wear to selected MCs.
+  virtual void act(
+      Biochip& chip,
+      const std::vector<std::pair<core::DropletId, Rect>>& droplets,
+      Rng& rng) = 0;
+};
+
+/// Common damage parameters.
+struct AdversaryBudget {
+  int cells_per_cycle = 1;          ///< MCs damaged each cycle
+  std::uint64_t wear_per_hit = 50;  ///< actuations' worth of added wear
+};
+
+/// Damages uniformly random MCs.
+class RandomAdversary : public DegradationAdversary {
+ public:
+  explicit RandomAdversary(AdversaryBudget budget) : budget_(budget) {}
+  void act(Biochip& chip,
+           const std::vector<std::pair<core::DropletId, Rect>>& droplets,
+           Rng& rng) override;
+
+ private:
+  AdversaryBudget budget_;
+};
+
+/// Damages MCs in the ring around on-chip droplets — the cells that will
+/// form the frontiers of their next moves.
+class FrontierAdversary : public DegradationAdversary {
+ public:
+  explicit FrontierAdversary(AdversaryBudget budget) : budget_(budget) {}
+  void act(Biochip& chip,
+           const std::vector<std::pair<core::DropletId, Rect>>& droplets,
+           Rng& rng) override;
+
+ private:
+  AdversaryBudget budget_;
+};
+
+}  // namespace meda::sim

@@ -1,0 +1,123 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace meda::sim {
+
+CorrelationByDistance actuation_correlation(
+    const std::vector<BoolMatrix>& trace, std::span<const int> distances,
+    int max_pairs_per_distance, Rng& rng) {
+  MEDA_REQUIRE(!trace.empty(), "empty actuation trace");
+  MEDA_REQUIRE(max_pairs_per_distance > 0, "need a positive pair budget");
+  const int width = trace.front().width();
+  const int height = trace.front().height();
+  const auto cycles = trace.size();
+
+  // Transpose the trace into per-cell actuation vectors, keeping only cells
+  // whose vector is non-constant (0 < count < cycles).
+  std::vector<std::vector<unsigned char>> vectors(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  std::vector<std::size_t> counts(vectors.size(), 0);
+  for (const BoolMatrix& pattern : trace) {
+    MEDA_REQUIRE(pattern.width() == width && pattern.height() == height,
+                 "inconsistent trace dimensions");
+  }
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const BoolMatrix& pattern = trace[c];
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(width) +
+                                static_cast<std::size_t>(x);
+        if (vectors[idx].empty()) vectors[idx].resize(cycles, 0);
+        vectors[idx][c] = pattern(x, y);
+        counts[idx] += pattern(x, y);
+      }
+    }
+  }
+  std::vector<int> active;  // flat indices of non-constant cells
+  for (std::size_t i = 0; i < vectors.size(); ++i)
+    if (counts[i] > 0 && counts[i] < cycles)
+      active.push_back(static_cast<int>(i));
+
+  CorrelationByDistance result;
+  for (const int d : distances) {
+    MEDA_REQUIRE(d >= 1, "distance must be positive");
+    // Enumerate active pairs at exactly Manhattan distance d (looking only
+    // at dy >= 0, dx > 0 when dy == 0 to count each pair once).
+    std::vector<std::pair<int, int>> candidates;
+    std::vector<bool> is_active(vectors.size(), false);
+    for (int idx : active) is_active[static_cast<std::size_t>(idx)] = true;
+    for (const int idx : active) {
+      const int x = idx % width;
+      const int y = idx / width;
+      for (int dy = 0; dy <= d; ++dy) {
+        const int dx = d - dy;
+        const int y2 = y + dy;
+        if (y2 >= height) continue;
+        for (const int sx : {dx, -dx}) {
+          if (dy == 0 && sx <= 0) continue;  // avoid double-counting
+          if (dx == 0 && sx < 0) continue;   // dx == 0 has one variant
+          const int x2 = x + sx;
+          if (x2 < 0 || x2 >= width) continue;
+          const int idx2 = y2 * width + x2;
+          if (is_active[static_cast<std::size_t>(idx2)])
+            candidates.emplace_back(idx, idx2);
+          if (dx == 0) break;
+        }
+      }
+    }
+
+    if (static_cast<int>(candidates.size()) > max_pairs_per_distance) {
+      // Sample a deterministic subset.
+      std::vector<int> pick = sample_without_replacement(
+          rng, static_cast<int>(candidates.size()), max_pairs_per_distance);
+      std::vector<std::pair<int, int>> subset;
+      subset.reserve(pick.size());
+      for (int i : pick) subset.push_back(candidates[static_cast<std::size_t>(i)]);
+      candidates = std::move(subset);
+    }
+
+    double total = 0.0;
+    for (const auto& [a, b] : candidates) {
+      total += stats::pearson_bool(vectors[static_cast<std::size_t>(a)],
+                                   vectors[static_cast<std::size_t>(b)]);
+    }
+    result.distance.push_back(d);
+    result.pairs.push_back(static_cast<int>(candidates.size()));
+    result.mean_rho.push_back(
+        candidates.empty() ? 0.0 : total / static_cast<double>(candidates.size()));
+  }
+  return result;
+}
+
+WearDistribution wear_distribution(const Matrix<std::uint64_t>& counts) {
+  MEDA_REQUIRE(!counts.empty(), "empty actuation matrix");
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (const std::uint64_t n : counts.data())
+    values.push_back(static_cast<double>(n));
+  std::sort(values.begin(), values.end());
+
+  WearDistribution dist;
+  const auto n = static_cast<double>(values.size());
+  double total = 0.0;
+  double weighted = 0.0;  // Σ (i+1)·x_(i) over the sorted values
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  dist.mean = total / n;
+  dist.max = values.back();
+  dist.p95 = values[static_cast<std::size_t>(0.95 * (n - 1))];
+  // Gini = (2·Σ i·x_(i))/(n·Σ x) − (n+1)/n for sorted x, 1-based i.
+  dist.gini =
+      total > 0.0 ? 2.0 * weighted / (n * total) - (n + 1.0) / n : 0.0;
+  return dist;
+}
+
+}  // namespace meda::sim

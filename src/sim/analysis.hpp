@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+/// @file analysis.hpp
+/// The degradation-pattern analysis of Section III-C (Fig. 3): correlation
+/// between the Boolean actuation vectors A_ij ∈ {0,1}^N of microelectrode
+/// pairs as a function of their Manhattan distance.
+
+namespace meda::sim {
+
+/// Mean pairwise actuation correlation per Manhattan distance.
+struct CorrelationByDistance {
+  std::vector<int> distance;      ///< the d values
+  std::vector<double> mean_rho;   ///< mean ρ over sampled pairs at each d
+  std::vector<int> pairs;         ///< number of pairs averaged at each d
+};
+
+/// Computes ρ(A_ij, A_kl) statistics from a recorded actuation trace
+/// (one BoolMatrix per operational cycle).
+///
+/// Only MCs with non-constant actuation vectors participate (a constant
+/// vector has σ = 0; the paper's convention maps those to ρ = 0 and we
+/// exclude them from the average to avoid diluting the signal with MCs the
+/// bioassay never touched). At most @p max_pairs_per_distance pairs are
+/// sampled per distance.
+CorrelationByDistance actuation_correlation(
+    const std::vector<BoolMatrix>& trace, std::span<const int> distances,
+    int max_pairs_per_distance, Rng& rng);
+
+/// How evenly the wear is spread over the chip — evidence for (or against)
+/// wear-leveling routing policies.
+struct WearDistribution {
+  double mean = 0.0;      ///< mean actuation count per MC
+  double max = 0.0;       ///< hottest MC (lifetime is bounded by it)
+  double p95 = 0.0;       ///< 95th-percentile actuation count
+  /// Gini coefficient of the per-MC actuation counts: 0 = perfectly even
+  /// wear, → 1 = all wear concentrated on a few cells.
+  double gini = 0.0;
+};
+
+/// Summarizes the per-MC actuation counts of @p counts (a chip's
+/// actuation_matrix()).
+WearDistribution wear_distribution(const Matrix<std::uint64_t>& counts);
+
+}  // namespace meda::sim

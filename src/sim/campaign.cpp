@@ -1,0 +1,71 @@
+#include "sim/campaign.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "sim/experiments.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace meda::sim {
+
+std::vector<CampaignCell> run_campaign(
+    const std::vector<assay::MoList>& assays,
+    const std::vector<RouterConfig>& routers, const CampaignConfig& config) {
+  MEDA_REQUIRE(!assays.empty() && !routers.empty(),
+               "campaign needs at least one assay and one router");
+  MEDA_REQUIRE(config.chips >= 1 && config.runs_per_chip >= 1,
+               "campaign needs positive chip/run counts");
+  std::vector<CampaignCell> cells;
+  for (const assay::MoList& assay_list : assays) {
+    for (const RouterConfig& router : routers) {
+      CampaignCell cell;
+      cell.assay = assay_list.name;
+      cell.router = router.name;
+      for (int chip_idx = 0; chip_idx < config.chips; ++chip_idx) {
+        RepeatedRunsConfig runs_config;
+        runs_config.chip = config.chip;
+        runs_config.scheduler = router.scheduler;
+        runs_config.runs = config.runs_per_chip;
+        runs_config.seed =
+            config.seed0 + static_cast<std::uint64_t>(chip_idx);
+        for (const RunRecord& record :
+             run_repeated(assay_list, runs_config)) {
+          ++cell.runs;
+          cell.resyntheses.add(record.stats.resyntheses);
+          if (record.success) {
+            ++cell.successes;
+            cell.cycles.add(static_cast<double>(record.cycles));
+          }
+        }
+      }
+      cell.success_rate =
+          static_cast<double>(cell.successes) / cell.runs;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+void print_campaign(std::ostream& os,
+                    const std::vector<CampaignCell>& cells) {
+  Table table({"bioassay", "router", "success rate (± SE)",
+               "cycles (± 95% CI)", "mean re-syntheses/run"});
+  for (const CampaignCell& cell : cells) {
+    const double p = cell.success_rate;
+    const double se =
+        cell.runs > 0 ? std::sqrt(p * (1.0 - p) / cell.runs) : 0.0;
+    table.add_row(
+        {cell.assay, cell.router,
+         fmt_prob(p) + " ± " + fmt_prob(se),
+         cell.cycles.count() > 0
+             ? fmt_double(cell.cycles.mean(), 1) + " ± " +
+                   fmt_double(cell.cycles.ci95_halfwidth(), 1)
+             : "-",
+         fmt_double(cell.resyntheses.count() ? cell.resyntheses.mean() : 0.0,
+                    1)});
+  }
+  table.print(os);
+}
+
+}  // namespace meda::sim

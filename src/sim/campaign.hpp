@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "assay/mo.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/stats.hpp"
+
+/// @file campaign.hpp
+/// Structured experiment campaigns: a grid of (bioassay × router
+/// configuration) evaluated over a population of chips with repeated
+/// executions each, aggregated with confidence intervals. This is the
+/// driver behind `bench/evaluation_summary` and the recommended way to
+/// benchmark a custom router configuration against the built-in ones.
+
+namespace meda::sim {
+
+/// One named router (scheduler) configuration to evaluate.
+struct RouterConfig {
+  std::string name;
+  core::SchedulerConfig scheduler;
+};
+
+/// Campaign-wide controls.
+struct CampaignConfig {
+  SimulatedChipConfig chip{};
+  int chips = 5;           ///< chip instances per (assay, router) cell
+  int runs_per_chip = 10;  ///< repeated executions per chip (reuse)
+  std::uint64_t seed0 = 1; ///< chip i uses seed0 + i (identical across routers)
+};
+
+/// Aggregated results of one (assay, router) cell.
+struct CampaignCell {
+  std::string assay;
+  std::string router;
+  int runs = 0;
+  int successes = 0;
+  double success_rate = 0.0;
+  stats::RunningStats cycles;       ///< over successful runs
+  stats::RunningStats resyntheses;  ///< over all runs
+};
+
+/// Runs the full grid. Chips are seeded identically across routers, so the
+/// comparison is paired.
+std::vector<CampaignCell> run_campaign(
+    const std::vector<assay::MoList>& assays,
+    const std::vector<RouterConfig>& routers, const CampaignConfig& config);
+
+/// Prints the campaign as an aligned table (success rate ± CI over chips is
+/// approximated by the binomial SE; cycles carry a t-based 95% CI).
+void print_campaign(std::ostream& os,
+                    const std::vector<CampaignCell>& cells);
+
+}  // namespace meda::sim

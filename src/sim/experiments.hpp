@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assay/mo.hpp"
+#include "core/library.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+
+/// @file experiments.hpp
+/// Experiment harnesses for the paper's evaluation (Section VII):
+///  - repeated executions of a bioassay on one (reused, degrading) chip and
+///    the PoS(k_max) metric of Fig. 15;
+///  - fault-injection trials (five successes or abort) of Fig. 16.
+
+namespace meda::sim {
+
+/// One bioassay execution on a chip.
+struct RunRecord {
+  bool success = false;
+  std::uint64_t cycles = 0;
+  core::ExecutionStats stats;
+};
+
+/// Configuration for repeated executions on a single chip instance.
+struct RepeatedRunsConfig {
+  SimulatedChipConfig chip{};
+  core::SchedulerConfig scheduler{};
+  int runs = 10;            ///< executions on the same chip
+  std::uint64_t seed = 1;   ///< chip + outcome randomness
+};
+
+/// Executes @p assay `runs` times on one chip (degradation persists across
+/// executions; droplets are cleared in between). A shared strategy library
+/// implements the hybrid scheduling scheme across executions.
+std::vector<RunRecord> run_repeated(const assay::MoList& assay,
+                                    const RepeatedRunsConfig& config);
+
+/// PoS(k_max): the fraction of runs that completed successfully within
+/// @p kmax cycles (Fig. 15's y-axis).
+double probability_of_success(const std::vector<RunRecord>& records,
+                              std::uint64_t kmax);
+
+/// Fig. 16 trial configuration: repeat the bioassay on one chip until
+/// `successes_target` successful executions, aborting when the cumulative
+/// cycle count exceeds `kmax_total`.
+struct TrialConfig {
+  SimulatedChipConfig chip{};
+  core::SchedulerConfig scheduler{};
+  int successes_target = 5;
+  std::uint64_t kmax_total = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// Fig. 16 trial outcome.
+struct TrialResult {
+  std::uint64_t total_cycles = 0;     ///< cumulative cycles over the trial
+  int successes = 0;
+  int executions = 0;
+  int first_failure_execution = 0;    ///< 1-based; 0 = never failed
+  bool aborted = false;               ///< ran out of the cycle budget
+};
+
+/// Runs one Fig. 16 trial.
+TrialResult run_trial(const assay::MoList& assay, const TrialConfig& config);
+
+/// The offline phase of the hybrid scheduling scheme (Section VI-D):
+/// executes @p assay once on a pristine simulated twin of the chip, filling
+/// @p library with pre-synthesized full-health strategies for every routing
+/// job the scheduler will encounter. On an undegraded chip all moves are
+/// deterministic, so a subsequent real execution is served entirely from
+/// the library (zero runtime synthesis calls until health changes).
+///
+/// Returns the number of strategies in the library afterwards.
+std::size_t precompute_offline_library(core::StrategyLibrary& library,
+                                       const assay::MoList& assay,
+                                       const BiochipConfig& chip_config,
+                                       const core::SchedulerConfig& scheduler);
+
+}  // namespace meda::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "assay/mo.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+
+/// @file report.hpp
+/// Self-contained HTML execution reports: one file with the execution
+/// summary, a per-MO Gantt chart (SVG), the chip's final health heatmap
+/// (SVG), and — when the simulator recorded a droplet trace — a scrubbable
+/// droplet animation (inline JavaScript, no external assets).
+///
+/// Intended for debugging bioassay schedules and for sharing experiment
+/// evidence; see `run_assay --report out.html`.
+
+namespace meda::sim {
+
+/// Renders the report as an HTML string.
+///
+/// @param assay the executed MO list
+/// @param stats the scheduler's execution statistics (incl. MO timings)
+/// @param chip  the chip after the run (health heatmap + optional trace)
+std::string render_html_report(const assay::MoList& assay,
+                               const core::ExecutionStats& stats,
+                               const SimulatedChip& chip);
+
+/// Writes render_html_report() to @p path. Throws on I/O failure.
+void write_html_report(const std::string& path, const assay::MoList& assay,
+                       const core::ExecutionStats& stats,
+                       const SimulatedChip& chip);
+
+}  // namespace meda::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// @file check.hpp
+/// Precondition / invariant checking macros used across the library.
+///
+/// Contract violations throw exceptions (rather than aborting) so that both
+/// tests and long-running experiment harnesses can observe and report them.
+
+namespace meda {
+
+/// Thrown when a function argument violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken (indicates a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace meda
+
+/// Validates a caller-supplied argument; throws meda::PreconditionError.
+#define MEDA_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::meda::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                         (msg));                        \
+  } while (false)
+
+/// Validates an internal invariant; throws meda::InvariantError.
+#define MEDA_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::meda::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace meda {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  MEDA_REQUIRE(!header.empty(), "csv needs at least one column");
+  if (out_.is_open()) emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  MEDA_REQUIRE(fields.size() == columns_, "csv row width mismatch");
+  if (out_.is_open()) emit(fields);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out_ << escape(fields[i]);
+    if (i + 1 < fields.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+}  // namespace meda

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// @file csv.hpp
+/// Minimal CSV writer so every bench can optionally dump machine-readable
+/// series next to the ASCII tables (for external plotting).
+
+namespace meda {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens @p path for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row. Requires the field count to match the header.
+  void write_row(const std::vector<std::string>& fields);
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace meda

@@ -1,0 +1,192 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace meda::stats {
+
+double mean(std::span<const double> xs) {
+  MEDA_REQUIRE(!xs.empty(), "mean of empty series");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  MEDA_REQUIRE(xs.size() >= 2, "sample variance needs >= 2 samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double population_variance(std::span<const double> xs) {
+  MEDA_REQUIRE(!xs.empty(), "population variance of empty series");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double population_stddev(std::span<const double> xs) {
+  return std::sqrt(population_variance(xs));
+}
+
+double covariance(std::span<const double> xs, std::span<const double> ys) {
+  MEDA_REQUIRE(xs.size() == ys.size(), "covariance of unequal-length series");
+  MEDA_REQUIRE(!xs.empty(), "covariance of empty series");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    acc += (xs[i] - mx) * (ys[i] - my);
+  return acc / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const double sx = population_stddev(xs);
+  const double sy = population_stddev(ys);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(xs, ys) / (sx * sy);
+}
+
+double pearson_bool(std::span<const unsigned char> xs,
+                    std::span<const unsigned char> ys) {
+  MEDA_REQUIRE(xs.size() == ys.size(), "pearson of unequal-length series");
+  MEDA_REQUIRE(!xs.empty(), "pearson of empty series");
+  // Single pass over the Boolean vectors; avoids materializing doubles.
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxy += static_cast<double>(xs[i]) * static_cast<double>(ys[i]);
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  // For Boolean data x² = x, so E[x²] = E[x].
+  const double vx = mx - mx * mx;
+  const double vy = my - my * my;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  const double cov = sxy / n - mx * my;
+  return cov / std::sqrt(vx * vy);
+}
+
+namespace {
+
+/// R² of predictions against observations; adjusted for @p params parameters.
+void fill_r2(std::span<const double> ys, std::span<const double> preds,
+             std::size_t params, FitResult& fit) {
+  const double my = mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_res += (ys[i] - preds[i]) * (ys[i] - preds[i]);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  const auto n = static_cast<double>(ys.size());
+  const auto p = static_cast<double>(params);
+  if (n - p - 1.0 > 0.0) {
+    fit.r2_adjusted = 1.0 - (1.0 - fit.r2) * (n - 1.0) / (n - p - 1.0);
+  } else {
+    fit.r2_adjusted = fit.r2;
+  }
+}
+
+}  // namespace
+
+FitResult linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  MEDA_REQUIRE(xs.size() == ys.size(), "fit of unequal-length series");
+  MEDA_REQUIRE(xs.size() >= 3, "fit needs >= 3 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  MEDA_REQUIRE(sxx > 0.0, "fit requires non-constant x");
+  FitResult fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> preds(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    preds[i] = fit.intercept + fit.slope * xs[i];
+  fill_r2(ys, preds, 1, fit);
+  return fit;
+}
+
+FitResult exponential_fit(std::span<const double> xs,
+                          std::span<const double> ys) {
+  MEDA_REQUIRE(xs.size() == ys.size(), "fit of unequal-length series");
+  MEDA_REQUIRE(xs.size() >= 3, "fit needs >= 3 points");
+  std::vector<double> logy(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    MEDA_REQUIRE(ys[i] > 0.0, "exponential fit requires positive y");
+    logy[i] = std::log(ys[i]);
+  }
+  FitResult fit = linear_fit(xs, logy);
+  // Re-evaluate goodness of fit in the original space.
+  std::vector<double> preds(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    preds[i] = std::exp(fit.intercept + fit.slope * xs[i]);
+  fill_r2(ys, preds, 2, fit);
+  return fit;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  MEDA_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  // Two-sided 95% t critical values for small degrees of freedom; 1.96 in
+  // the asymptotic regime.
+  static constexpr double kT[] = {12.706, 4.303, 3.182, 2.776, 2.571,
+                                  2.447,  2.365, 2.306, 2.262, 2.228,
+                                  2.201,  2.179, 2.160, 2.145, 2.131};
+  const std::size_t dof = n_ - 1;
+  const double t = dof <= 15 ? kT[dof - 1]
+                   : dof <= 30 ? 2.05
+                               : 1.96;
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::min() const {
+  MEDA_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  MEDA_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+}  // namespace meda::stats

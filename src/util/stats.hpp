@@ -1,0 +1,81 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file stats.hpp
+/// Statistics helpers used by the degradation studies (Fig. 3, Fig. 6) and the
+/// experiment harnesses (Fig. 15/16): descriptive statistics, Pearson
+/// correlation, and least-squares fits with adjusted R².
+
+namespace meda::stats {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires at least 2 samples.
+double sample_variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation. Requires at least 2 samples.
+double sample_stddev(std::span<const double> xs);
+
+/// Population variance (n denominator). Requires a non-empty input.
+double population_variance(std::span<const double> xs);
+
+/// Population standard deviation. Requires a non-empty input.
+double population_stddev(std::span<const double> xs);
+
+/// Population covariance of two equal-length series.
+double covariance(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient ρ = cov(x,y)/(σx·σy).
+/// Returns 0 when either series is constant (σ = 0), which is the convention
+/// used for never-actuated microelectrode pairs in the Fig. 3 study.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation for Boolean actuation vectors (Section III-C).
+double pearson_bool(std::span<const unsigned char> xs,
+                    std::span<const unsigned char> ys);
+
+/// Result of a least-squares fit.
+struct FitResult {
+  double intercept = 0.0;   ///< a in y = a + b·x
+  double slope = 0.0;       ///< b in y = a + b·x
+  double r2 = 0.0;          ///< coefficient of determination
+  double r2_adjusted = 0.0; ///< R² adjusted for 2 fitted parameters
+};
+
+/// Ordinary least squares of y = a + b·x. Requires at least 3 points and a
+/// non-constant x.
+FitResult linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = A·exp(k·x) by linear regression on ln(y). All y must be > 0.
+/// Returned FitResult has intercept = ln(A) and slope = k; r2/r2_adjusted are
+/// computed in the original (non-log) space against the fitted exponential.
+FitResult exponential_fit(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Incremental mean/SD accumulator (Welford) for streaming experiment results.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample SD; 0 when fewer than 2 samples.
+  double stddev() const;
+  /// Half-width of a ~95% confidence interval for the mean
+  /// (t-distribution critical value for small samples, 1.96 asymptotically;
+  /// 0 when fewer than 2 samples).
+  double ci95_halfwidth() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace meda::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// @file table.hpp
+/// Fixed-width ASCII table printer used by the benchmark harnesses to emit the
+/// same rows/series the paper's tables and figures report.
+
+namespace meda {
+
+/// Column-aligned text table. Cells are preformatted strings; use the fmt_*
+/// helpers for numbers so all benches render consistently.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Requires the cell count to match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-padded columns.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with @p decimals fractional digits.
+std::string fmt_double(double v, int decimals = 3);
+
+/// Formats an integer with thousands separators ("26,720" style).
+std::string fmt_int(long long v);
+
+/// Formats a probability or ratio as e.g. "0.532".
+std::string fmt_prob(double p);
+
+/// Formats a value in scientific notation with @p decimals digits.
+std::string fmt_sci(double v, int decimals = 3);
+
+}  // namespace meda

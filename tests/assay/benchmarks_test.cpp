@@ -1,0 +1,157 @@
+#include "assay/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assay/helper.hpp"
+
+namespace meda::assay {
+namespace {
+
+const Rect kChip{0, 0, kChipWidth - 1, kChipHeight - 1};
+
+std::vector<MoList> all_benchmarks(int area = 16) {
+  std::vector<MoList> all = evaluation_suite(area);
+  const std::vector<MoList> corr = correlation_suite(area);
+  all.insert(all.end(), corr.begin(), corr.end());
+  return all;
+}
+
+TEST(Benchmarks, EvaluationSuiteMatchesPaperOrder) {
+  const auto suite = evaluation_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "Master-Mix");
+  EXPECT_EQ(suite[1].name, "CEP");
+  EXPECT_EQ(suite[2].name, "Serial Dilution");
+  EXPECT_EQ(suite[3].name, "NuIP");
+  EXPECT_EQ(suite[4].name, "COVID-RAT");
+  EXPECT_EQ(suite[5].name, "COVID-PCR");
+}
+
+TEST(Benchmarks, CorrelationSuiteMatchesPaperSection3C) {
+  const auto suite = correlation_suite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "ChIP");
+  EXPECT_EQ(suite[1].name, "Multiplex in-vitro");
+  EXPECT_EQ(suite[2].name, "Gene Expression");
+}
+
+TEST(Benchmarks, AllValidateOnTheReferenceChip) {
+  for (const MoList& list : all_benchmarks())
+    EXPECT_NO_THROW(validate(list, kChip)) << list.name;
+}
+
+TEST(Benchmarks, CepSubAssaysValidateAndCompose) {
+  // The paper: "The CEP bioprotocol comprises three bioassays, namely, cell
+  // lysis, mRNA extraction, and mRNA purification."
+  const MoList stages[] = {cep_cell_lysis(), cep_mrna_extraction(),
+                           cep_mrna_purification()};
+  for (const MoList& stage : stages) {
+    EXPECT_NO_THROW(validate(stage, kChip)) << stage.name;
+    EXPECT_FALSE(make_all_routing_jobs(stage, kChip).empty());
+  }
+  // Relative sizes: the composed CEP protocol is longer than any stage.
+  const MoList full = cep();
+  for (const MoList& stage : stages)
+    EXPECT_GT(full.ops.size(), stage.ops.size()) << stage.name;
+}
+
+TEST(Benchmarks, CorrelationSuiteValidatesAcrossTheFig3DropletSizes) {
+  for (int area : {9, 16, 25, 36})
+    for (const MoList& list : correlation_suite(area))
+      EXPECT_NO_THROW(validate(list, kChip)) << list.name << "@" << area;
+}
+
+TEST(Benchmarks, RelativeLengthsMatchThePaper) {
+  // NuIP and Serial Dilution are the long bioassays; Master-Mix and
+  // COVID-RAT the short ones (Section VII).
+  const auto suite = evaluation_suite();
+  auto ops = [&](int i) { return suite[static_cast<std::size_t>(i)].ops.size(); };
+  EXPECT_GT(ops(3), ops(0));  // NuIP > Master-Mix
+  EXPECT_GT(ops(3), ops(4));  // NuIP > COVID-RAT
+  EXPECT_GT(ops(2), ops(4));  // Serial Dilution > COVID-RAT
+  EXPECT_GT(ops(5), ops(0));  // COVID-PCR > Master-Mix
+}
+
+TEST(Benchmarks, EveryAssayEndsWithOutputsOrDiscards) {
+  for (const MoList& list : all_benchmarks()) {
+    int sinks = 0;
+    for (const Mo& mo : list.ops)
+      if (mo.type == MoType::kOutput || mo.type == MoType::kDiscard) ++sinks;
+    EXPECT_GE(sinks, 1) << list.name;
+  }
+}
+
+TEST(Benchmarks, SerialDilutionIsAFourStageLadder) {
+  const MoList list = serial_dilution();
+  int dilutions = 0;
+  for (const Mo& mo : list.ops)
+    if (mo.type == MoType::kDilute) ++dilutions;
+  EXPECT_EQ(dilutions, 4);
+  EXPECT_EQ(list.ops.size(), 14u);
+}
+
+TEST(Benchmarks, MultiplexHasTwoIndependentChains) {
+  const MoList list = multiplex_invitro();
+  // Exactly two ops have no predecessors reachable from each other: count
+  // connected components by union of pre edges.
+  std::vector<int> component(list.ops.size());
+  for (std::size_t i = 0; i < component.size(); ++i)
+    component[i] = static_cast<int>(i);
+  const auto find = [&](int x) {
+    while (component[static_cast<std::size_t>(x)] != x)
+      x = component[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (const Mo& mo : list.ops)
+    for (const PreRef& ref : mo.pre)
+      component[static_cast<std::size_t>(find(mo.id))] = find(ref.mo);
+  std::set<int> roots;
+  for (std::size_t i = 0; i < component.size(); ++i)
+    roots.insert(find(static_cast<int>(i)));
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(Benchmarks, RoutingJobsAreWellFormedForAllAssays) {
+  for (const MoList& list : all_benchmarks()) {
+    const auto rjs = make_all_routing_jobs(list, kChip);
+    EXPECT_FALSE(rjs.empty()) << list.name;
+    for (const RoutingJob& rj : rjs) {
+      EXPECT_TRUE(kChip.contains(rj.goal)) << list.name;
+      EXPECT_TRUE(rj.hazard.contains(rj.goal)) << list.name;
+    }
+  }
+}
+
+TEST(Benchmarks, DispenseGoalsAreNearAChipEdge) {
+  // Dispensed droplets must be reachable from an edge without crossing the
+  // whole chip (the entry port is the goal's projection onto the nearest
+  // edge).
+  for (const MoList& list : all_benchmarks()) {
+    const auto outputs = compute_outputs(list);
+    for (const Mo& mo : list.ops) {
+      if (mo.type != MoType::kDispense) continue;
+      const Rect goal = outputs[static_cast<std::size_t>(mo.id)][0];
+      const int to_edge =
+          std::min({goal.xa, goal.ya, kChip.xb - goal.xb,
+                    kChip.yb - goal.yb});
+      EXPECT_LE(to_edge, 6) << list.name << " M" << mo.id;
+    }
+  }
+}
+
+TEST(Benchmarks, HoldCyclesAreReasonable) {
+  for (const MoList& list : all_benchmarks()) {
+    for (const Mo& mo : list.ops) {
+      EXPECT_GE(mo.hold_cycles, 0) << list.name;
+      EXPECT_LE(mo.hold_cycles, 40) << list.name;
+      if (mo.type == MoType::kMagSense) {
+        EXPECT_GT(mo.hold_cycles, 0) << list.name << " M" << mo.id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meda::assay

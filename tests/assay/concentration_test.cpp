@@ -1,0 +1,77 @@
+#include "assay/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+TEST(Concentration, SerialDilutionHalvesEveryStage) {
+  // The benchmark's chemical intent: sample at concentration 1 diluted 1:1
+  // with buffer four times → the output droplet is at 1/16.
+  const MoList list = serial_dilution();
+  // MO 0 is the sample dispense; all buffers default to 0.
+  const std::map<int, double> inputs = {{0, 1.0}};
+  const auto conc = compute_concentrations(list, inputs);
+  // Dilution stages are MOs 2, 5, 8, 11 (see benchmarks.cpp).
+  EXPECT_DOUBLE_EQ(conc[2][0], 0.5);
+  EXPECT_DOUBLE_EQ(conc[2][1], 0.5);
+  EXPECT_DOUBLE_EQ(conc[5][0], 0.25);
+  EXPECT_DOUBLE_EQ(conc[8][0], 0.125);
+  EXPECT_DOUBLE_EQ(conc[11][0], 0.0625);
+  // The final output MO (13) receives the 1/16 droplet.
+  EXPECT_DOUBLE_EQ(exit_concentration(list, 13, inputs), 0.0625);
+}
+
+TEST(Concentration, MixIsVolumeWeighted) {
+  AssayBuilder b("weighted");
+  const int strong = b.dispense(10, 8, 32);   // volume 32 at c = 0.9
+  const int weak = b.dispense(10, 22, 16);    // volume 16 at c = 0.3
+  const int mixed = b.mix({strong}, {weak}, 30, 15);
+  b.output({mixed}, 54, 15);
+  const MoList list = std::move(b).build();
+  const auto conc =
+      compute_concentrations(list, {{strong, 0.9}, {weak, 0.3}});
+  EXPECT_NEAR(conc[2][0], (0.9 * 32 + 0.3 * 16) / 48.0, 1e-12);
+}
+
+TEST(Concentration, SplitPreservesConcentration) {
+  AssayBuilder b("split");
+  const int d = b.dispense(30.5, 15.5, 32);
+  const int s = b.split({d}, 15.5, 15.5, 45.5, 15.5);
+  b.output({s, 0}, 5.5, 15.5);
+  b.output({s, 1}, 55.5, 15.5);
+  const MoList list = std::move(b).build();
+  const auto conc = compute_concentrations(list, {{d, 0.7}});
+  EXPECT_DOUBLE_EQ(conc[1][0], 0.7);
+  EXPECT_DOUBLE_EQ(conc[1][1], 0.7);
+}
+
+TEST(Concentration, MagSensePassesThrough) {
+  const MoList list = covid_rat();
+  const auto conc = compute_concentrations(list, {{0, 0.8}});
+  // sample (0.8, area 16) + reagent (0, 16) → 0.4 through the sensing step.
+  EXPECT_DOUBLE_EQ(conc[3][0], 0.4);
+}
+
+TEST(Concentration, UnlistedDispensesDefaultToBuffer) {
+  const MoList list = covid_rat();
+  const auto conc = compute_concentrations(list, {});
+  EXPECT_DOUBLE_EQ(conc[2][0], 0.0);
+}
+
+TEST(Concentration, RejectsNegativeConcentration) {
+  const MoList list = covid_rat();
+  EXPECT_THROW(compute_concentrations(list, {{0, -0.5}}),
+               PreconditionError);
+}
+
+TEST(Concentration, ExitConcentrationRequiresASink) {
+  const MoList list = covid_rat();
+  EXPECT_THROW(exit_concentration(list, 0, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::assay

@@ -1,0 +1,206 @@
+#include "assay/helper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+// Table IV uses the paper's 1-based coordinates on a 60×30 chip; zone() is
+// coordinate-agnostic, so passing the 1-based chip box reproduces the rows.
+const Rect kPaperChip{1, 1, 60, 30};
+
+TEST(Zone, PaperTable4DispenseRow) {
+  // M1: δ_g = (16, 01, 19, 04) → δ_h = (13, 01, 22, 07).
+  const Rect goal{16, 1, 19, 4};
+  EXPECT_EQ(zone(Rect::none(), goal, kPaperChip), (Rect{13, 1, 22, 7}));
+  // M2: δ_g = (16, 27, 19, 30) → δ_h = (13, 24, 22, 30).
+  EXPECT_EQ(zone(Rect::none(), Rect{16, 27, 19, 30}, kPaperChip),
+            (Rect{13, 24, 22, 30}));
+}
+
+TEST(Zone, PaperTable4MixRows) {
+  // RJ3.0: δ_s = (16, 01, 19, 04), δ_g = (09, 14, 12, 17)
+  //        → δ_h = (06, 01, 22, 20).
+  EXPECT_EQ(zone(Rect{16, 1, 19, 4}, Rect{9, 14, 12, 17}, kPaperChip),
+            (Rect{6, 1, 22, 20}));
+  // RJ3.1: δ_s = (16, 27, 19, 30), δ_g = (09, 14, 12, 17)
+  //        → δ_h = (06, 11, 22, 30).
+  EXPECT_EQ(zone(Rect{16, 27, 19, 30}, Rect{9, 14, 12, 17}, kPaperChip),
+            (Rect{6, 11, 22, 30}));
+}
+
+TEST(Zone, PaperTable4MagRow) {
+  // M4: δ_s = (08, 14, 13, 18), δ_g = (38, 14, 43, 18)
+  //     → δ_h = (05, 11, 46, 21).
+  EXPECT_EQ(zone(Rect{8, 14, 13, 18}, Rect{38, 14, 43, 18}, kPaperChip),
+            (Rect{5, 11, 46, 21}));
+}
+
+TEST(Zone, ClampsToChipOnAllSides) {
+  const Rect chip{0, 0, 9, 9};
+  EXPECT_EQ(zone(Rect{0, 0, 1, 1}, Rect{8, 8, 9, 9}, chip), chip);
+}
+
+TEST(Zone, CustomMargin) {
+  const Rect chip{0, 0, 59, 29};
+  EXPECT_EQ(zone(Rect{10, 10, 13, 13}, Rect{20, 10, 23, 13}, chip, 1),
+            (Rect{9, 9, 24, 14}));
+  EXPECT_EQ(zone(Rect{10, 10, 13, 13}, Rect{20, 10, 23, 13}, chip, 0),
+            (Rect{10, 10, 23, 13}));
+}
+
+TEST(Zone, AlwaysContainsStartAndGoal) {
+  const Rect chip{0, 0, 59, 29};
+  const Rect start{2, 3, 5, 6};
+  const Rect goal{50, 20, 53, 23};
+  const Rect h = zone(start, goal, chip);
+  EXPECT_TRUE(h.contains(start));
+  EXPECT_TRUE(h.contains(goal));
+  EXPECT_TRUE(chip.contains(h));
+}
+
+/// Rebuilds the paper's Fig. 12 / Table IV example bioassay.
+MoList paper_example_assay() {
+  AssayBuilder b("paper-example");
+  const int m1 = b.dispense(17.5, 2.5, 16);
+  const int m2 = b.dispense(17.5, 28.5, 16);
+  const int m3 = b.mix({m1}, {m2}, 10.5, 15.5);
+  const int m4 = b.mag({m3}, 40.5, 15.5);
+  b.output({m4}, 55.5, 15.5);
+  return std::move(b).build();
+}
+
+TEST(ComputeOutputs, PaperExampleDropletPlacements) {
+  const MoList list = paper_example_assay();
+  const auto outputs = compute_outputs(list);
+  ASSERT_EQ(outputs.size(), 5u);
+  const std::vector<Rect> m1 = {Rect{16, 1, 19, 4}};
+  const std::vector<Rect> m2 = {Rect{16, 27, 19, 30}};
+  // Mix output: 32 cells → 6×5 centered at (10.5, 15.5) = (8, 14, 13, 18).
+  const std::vector<Rect> m3 = {Rect{8, 14, 13, 18}};
+  // Mag keeps the droplet size at the sensing site.
+  const std::vector<Rect> m4 = {Rect{38, 14, 43, 18}};
+  EXPECT_EQ(outputs[0], m1);
+  EXPECT_EQ(outputs[1], m2);
+  EXPECT_EQ(outputs[2], m3);
+  EXPECT_EQ(outputs[3], m4);
+  EXPECT_TRUE(outputs[4].empty());
+}
+
+TEST(MakeRoutingJobs, PaperTable4MagRow) {
+  const MoList list = paper_example_assay();
+  const auto outputs = compute_outputs(list);
+  const auto rjs =
+      make_routing_jobs(list, 3, outputs, Rect{1, 1, 60, 30});
+  ASSERT_EQ(rjs.size(), 1u);
+  EXPECT_EQ(rjs[0].start, (Rect{8, 14, 13, 18}));
+  EXPECT_EQ(rjs[0].goal, (Rect{38, 14, 43, 18}));
+  EXPECT_EQ(rjs[0].hazard, (Rect{5, 11, 46, 21}));
+  EXPECT_EQ(rjs[0].mo, 3);
+}
+
+TEST(MakeRoutingJobs, DispenseStartsOffChip) {
+  const MoList list = paper_example_assay();
+  const auto outputs = compute_outputs(list);
+  const auto rjs =
+      make_routing_jobs(list, 0, outputs, Rect{1, 1, 60, 30});
+  ASSERT_EQ(rjs.size(), 1u);
+  EXPECT_FALSE(rjs[0].start.valid());  // δ_s = "none": entering the chip
+  EXPECT_EQ(rjs[0].goal, (Rect{16, 1, 19, 4}));
+  EXPECT_EQ(rjs[0].hazard, (Rect{13, 1, 22, 7}));
+}
+
+TEST(MakeRoutingJobs, MixDecomposesIntoTwoConvergingJobs) {
+  const MoList list = paper_example_assay();
+  const auto outputs = compute_outputs(list);
+  const auto rjs =
+      make_routing_jobs(list, 2, outputs, Rect{1, 1, 60, 30});
+  ASSERT_EQ(rjs.size(), 2u);
+  EXPECT_EQ(rjs[0].start, (Rect{16, 1, 19, 4}));
+  EXPECT_EQ(rjs[1].start, (Rect{16, 27, 19, 30}));
+  // Goals are input-sized patterns at the mixer location.
+  EXPECT_EQ(rjs[0].goal, (Rect{9, 14, 12, 17}));
+  EXPECT_EQ(rjs[1].goal, (Rect{9, 14, 12, 17}));
+  EXPECT_EQ(rjs[0].hazard, (Rect{6, 1, 22, 20}));
+  EXPECT_EQ(rjs[1].hazard, (Rect{6, 11, 22, 30}));
+  EXPECT_EQ(rjs[0].index, 0);
+  EXPECT_EQ(rjs[1].index, 1);
+}
+
+TEST(MakeRoutingJobs, SplitProducesTwoJobsFromTheSplitPoint) {
+  AssayBuilder b("split");
+  const int d = b.dispense(30.5, 15.5, 32);  // 6×5
+  const int s = b.split({d}, 15.5, 15.5, 45.5, 15.5);
+  b.output({s, 0}, 5.5, 15.5);
+  b.output({s, 1}, 55.5, 15.5);
+  const MoList list = std::move(b).build();
+  const Rect chip{0, 0, 59, 29};
+  validate(list, chip);
+  const auto outputs = compute_outputs(list);
+  const auto rjs = make_routing_jobs(list, 1, outputs, chip);
+  ASSERT_EQ(rjs.size(), 2u);
+  // Both jobs start at the parent droplet's location (Algorithm 1; the
+  // scheduler re-anchors at the physical split halves at runtime).
+  EXPECT_EQ(rjs[0].start, outputs[0][0]);
+  EXPECT_EQ(rjs[1].start, outputs[0][0]);
+  // 32 splits into 16 + 16 → two 4×4 goals.
+  EXPECT_EQ(rjs[0].goal.area(), 16);
+  EXPECT_EQ(rjs[1].goal.area(), 16);
+}
+
+TEST(MakeRoutingJobs, DiluteProducesFourJobs) {
+  AssayBuilder b("dilute");
+  const int sample = b.dispense(10.5, 10.5, 16);
+  const int buffer = b.dispense(10.5, 20.5, 16);
+  const int dlt = b.dilute({sample}, {buffer}, 30.5, 15.5, 50.5, 15.5);
+  b.output({dlt, 0}, 30.5, 25.5);
+  b.output({dlt, 1}, 55.5, 15.5);
+  const MoList list = std::move(b).build();
+  const Rect chip{0, 0, 59, 29};
+  validate(list, chip);
+  const auto outputs = compute_outputs(list);
+  const auto rjs = make_routing_jobs(list, 2, outputs, chip);
+  ASSERT_EQ(rjs.size(), 4u);
+  // Jobs 0/1: the mix phase converging on loc[0].
+  EXPECT_EQ(rjs[0].start, outputs[0][0]);
+  EXPECT_EQ(rjs[1].start, outputs[1][0]);
+  EXPECT_DOUBLE_EQ(rjs[0].goal.center_x(), 30.5);
+  // Jobs 2/3: the split phase; job 2 stays at loc[0], job 3 leaves for
+  // loc[1].
+  EXPECT_EQ(rjs[2].start, rjs[2].goal);
+  EXPECT_DOUBLE_EQ(rjs[3].goal.center_x(), 50.5);
+  // Split halves of 32 are two 16-cell droplets.
+  EXPECT_EQ(rjs[2].goal.area(), 16);
+  EXPECT_EQ(rjs[3].goal.area(), 16);
+}
+
+TEST(MakeAllRoutingJobs, CoversEveryMo) {
+  const Rect chip{0, 0, kChipWidth - 1, kChipHeight - 1};
+  const MoList list = serial_dilution();
+  const auto rjs = make_all_routing_jobs(list, chip);
+  // 1 dis + 4×(dis + dlt + dsc) + 1 out → 1 + 4·(1 + 4 + 1) + 1 jobs.
+  EXPECT_EQ(rjs.size(), 1u + 4u * 6u + 1u);
+  for (const RoutingJob& rj : rjs) {
+    EXPECT_TRUE(rj.goal.valid());
+    EXPECT_TRUE(rj.hazard.valid());
+    EXPECT_TRUE(chip.contains(rj.hazard));
+    EXPECT_TRUE(rj.hazard.contains(rj.goal));
+    if (rj.start.valid()) {
+      EXPECT_TRUE(rj.hazard.contains(rj.start));
+    }
+  }
+}
+
+TEST(Zone, RejectsInvalidInput) {
+  EXPECT_THROW(zone(Rect::none(), Rect::none(), Rect{0, 0, 9, 9}),
+               PreconditionError);
+  EXPECT_THROW(
+      zone(Rect::none(), Rect{0, 0, 1, 1}, Rect{0, 0, 9, 9}, -1),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::assay

@@ -1,0 +1,225 @@
+#include "assay/mo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+TEST(MoType, InputOutputCountsMatchTableIII) {
+  EXPECT_EQ(input_count(MoType::kDispense), 0);
+  EXPECT_EQ(output_count(MoType::kDispense), 1);
+  EXPECT_EQ(input_count(MoType::kOutput), 1);
+  EXPECT_EQ(output_count(MoType::kOutput), 0);
+  EXPECT_EQ(input_count(MoType::kDiscard), 1);
+  EXPECT_EQ(output_count(MoType::kDiscard), 0);
+  EXPECT_EQ(input_count(MoType::kMix), 2);
+  EXPECT_EQ(output_count(MoType::kMix), 1);
+  EXPECT_EQ(input_count(MoType::kSplit), 1);
+  EXPECT_EQ(output_count(MoType::kSplit), 2);
+  EXPECT_EQ(input_count(MoType::kDilute), 2);
+  EXPECT_EQ(output_count(MoType::kDilute), 2);
+  EXPECT_EQ(input_count(MoType::kMagSense), 1);
+  EXPECT_EQ(output_count(MoType::kMagSense), 1);
+}
+
+TEST(MoType, Names) {
+  EXPECT_EQ(to_string(MoType::kDispense), "dis");
+  EXPECT_EQ(to_string(MoType::kOutput), "out");
+  EXPECT_EQ(to_string(MoType::kDiscard), "dsc");
+  EXPECT_EQ(to_string(MoType::kMix), "mix");
+  EXPECT_EQ(to_string(MoType::kSplit), "spt");
+  EXPECT_EQ(to_string(MoType::kDilute), "dlt");
+  EXPECT_EQ(to_string(MoType::kMagSense), "mag");
+}
+
+TEST(SizeForArea, ExactSquares) {
+  for (int side : {1, 2, 3, 4, 5, 6}) {
+    const DropletSize s = size_for_area(side * side);
+    EXPECT_EQ(s.w, side);
+    EXPECT_EQ(s.h, side);
+    EXPECT_DOUBLE_EQ(s.error, 0.0);
+  }
+}
+
+// Table IV: the 32-cell mix product is approximated by a 6×5 pattern with
+// 6.3% area error.
+TEST(SizeForArea, PaperTable4MixProduct) {
+  const DropletSize s = size_for_area(32);
+  EXPECT_EQ(s.w, 6);
+  EXPECT_EQ(s.h, 5);
+  EXPECT_NEAR(s.error, 2.0 / 32.0, 1e-12);  // 6.25%, printed as 6.3%
+}
+
+TEST(SizeForArea, RectangularExact) {
+  const DropletSize s20 = size_for_area(20);
+  EXPECT_EQ(s20.w, 5);
+  EXPECT_EQ(s20.h, 4);
+  EXPECT_DOUBLE_EQ(s20.error, 0.0);
+  const DropletSize s12 = size_for_area(12);
+  EXPECT_EQ(s12.w, 4);
+  EXPECT_EQ(s12.h, 3);
+}
+
+TEST(SizeForArea, ConstraintsHoldAcrossSweep) {
+  for (int area = 1; area <= 200; ++area) {
+    const DropletSize s = size_for_area(area);
+    EXPECT_GE(s.w, s.h) << area;
+    EXPECT_LE(s.w - s.h, 1) << area;
+    EXPECT_NEAR(s.error,
+                std::abs(s.w * s.h - area) / static_cast<double>(area),
+                1e-12);
+    // No other legal pattern has strictly smaller error.
+    for (int h = 1; h * h <= area + h; ++h) {
+      for (int w : {h, h + 1}) {
+        const double err =
+            std::abs(w * h - area) / static_cast<double>(area);
+        EXPECT_GE(err, s.error - 1e-12)
+            << "area " << area << ": " << w << "x" << h << " beats "
+            << s.w << "x" << s.h;
+      }
+    }
+  }
+}
+
+TEST(SizeForArea, TiesPreferTheLargerPattern) {
+  // Area 18: 4×4 (16) and 5×4 (20) both err by 2; volume conservation
+  // prefers 5×4.
+  const DropletSize s = size_for_area(18);
+  EXPECT_EQ(s.w, 5);
+  EXPECT_EQ(s.h, 4);
+}
+
+TEST(SizeForArea, RejectsNonPositive) {
+  EXPECT_THROW(size_for_area(0), PreconditionError);
+}
+
+TEST(Validate, AcceptsAllBenchmarks) {
+  const Rect chip{0, 0, kChipWidth - 1, kChipHeight - 1};
+  // Evaluation suite at the paper's default 4×4 dispense size; the Fig. 3
+  // correlation suite across the full droplet-size sweep.
+  for (const MoList& list : evaluation_suite()) {
+    EXPECT_NO_THROW(validate(list, chip)) << list.name;
+  }
+  for (int area : {9, 16, 25, 36}) {
+    for (const MoList& list : correlation_suite(area)) {
+      EXPECT_NO_THROW(validate(list, chip)) << list.name << " area " << area;
+    }
+  }
+}
+
+TEST(Validate, RejectsForwardReference) {
+  AssayBuilder b("bad");
+  const int d = b.dispense(10, 10, 16);
+  MoList list = std::move(b).build();
+  list.ops[0].pre = {PreRef{0, 0}};  // dispense cannot consume anything
+  (void)d;
+  EXPECT_THROW(validate(list, Rect{0, 0, 59, 29}), PreconditionError);
+}
+
+TEST(Validate, RejectsDoubleConsumption) {
+  AssayBuilder b("bad");
+  const int d = b.dispense(10, 10, 16);
+  b.output({d}, 30, 15);
+  b.output({d}, 40, 15);  // the same droplet consumed twice
+  const MoList list = std::move(b).build();
+  EXPECT_THROW(validate(list, Rect{0, 0, 59, 29}), PreconditionError);
+}
+
+TEST(Validate, RejectsUnconsumedOutput) {
+  AssayBuilder b("bad");
+  b.dispense(10, 10, 16);  // droplet never consumed
+  const MoList list = std::move(b).build();
+  EXPECT_THROW(validate(list, Rect{0, 0, 59, 29}), PreconditionError);
+}
+
+TEST(Validate, RejectsOffChipPlacement) {
+  AssayBuilder b("bad");
+  const int d = b.dispense(1.0, 10.0, 16);  // 4×4 at cx=1 → xa=-1
+  b.output({d}, 30, 15);
+  const MoList list = std::move(b).build();
+  EXPECT_THROW(validate(list, Rect{0, 0, 59, 29}), PreconditionError);
+}
+
+TEST(Validate, RejectsOutOfRangeOutputIndex) {
+  AssayBuilder b("bad");
+  const int d = b.dispense(10, 10, 16);
+  b.output({d, 1}, 30, 15);  // dispense has a single output (index 0)
+  const MoList list = std::move(b).build();
+  EXPECT_THROW(validate(list, Rect{0, 0, 59, 29}), PreconditionError);
+}
+
+TEST(Validate, AreaPropagationThroughMixAndSplit) {
+  AssayBuilder b("areas");
+  const int d0 = b.dispense(10, 8, 16);
+  const int d1 = b.dispense(10, 22, 16);
+  const int m = b.mix({d0}, {d1}, 25, 15);          // 32
+  const int s = b.split({m}, 25, 8, 25, 22);        // 16 + 16
+  b.output({s, 0}, 50, 8);
+  b.output({s, 1}, 50, 22);
+  const MoList list = std::move(b).build();
+  EXPECT_NO_THROW(validate(list, Rect{0, 0, 59, 29}));
+}
+
+TEST(MergeAssays, OffsetsIdsAndReferences) {
+  const MoList a = covid_rat();
+  const MoList b = master_mix();
+  const MoList merged = merge_assays(a, b);
+  EXPECT_EQ(merged.name, "COVID-RAT + Master-Mix");
+  ASSERT_EQ(merged.ops.size(), a.ops.size() + b.ops.size());
+  const int offset = static_cast<int>(a.ops.size());
+  for (std::size_t i = 0; i < merged.ops.size(); ++i)
+    EXPECT_EQ(merged.ops[i].id, static_cast<int>(i));
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Mo& original = b.ops[i];
+    const Mo& moved = merged.ops[i + a.ops.size()];
+    EXPECT_EQ(moved.type, original.type);
+    ASSERT_EQ(moved.pre.size(), original.pre.size());
+    for (std::size_t k = 0; k < original.pre.size(); ++k) {
+      EXPECT_EQ(moved.pre[k].mo, original.pre[k].mo + offset);
+      EXPECT_EQ(moved.pre[k].out, original.pre[k].out);
+    }
+  }
+}
+
+TEST(TranslateAssay, ShiftsEveryLocation) {
+  const MoList original = covid_rat();
+  const MoList shifted = translate_assay(original, 2.0, -3.0);
+  for (std::size_t i = 0; i < original.ops.size(); ++i) {
+    for (std::size_t k = 0; k < original.ops[i].locs.size(); ++k) {
+      EXPECT_DOUBLE_EQ(shifted.ops[i].locs[k].x,
+                       original.ops[i].locs[k].x + 2.0);
+      EXPECT_DOUBLE_EQ(shifted.ops[i].locs[k].y,
+                       original.ops[i].locs[k].y - 3.0);
+    }
+  }
+}
+
+TEST(MergeAssays, PanelOfTwoValidatesInDisjointRegions) {
+  // Two compact single-chain assays placed in the south and north halves.
+  const auto make_chain = [](double band_y) {
+    AssayBuilder b("chain");
+    const int sample = b.dispense(4.5, band_y, 16);
+    const int reagent = b.dispense(16.5, band_y, 16);
+    const int mixed = b.mix({sample}, {reagent}, 28.0, band_y, 6);
+    const int read = b.mag({mixed}, 40.0, band_y, 8);
+    b.output({read}, 54.0, band_y);
+    return std::move(b).build();
+  };
+  const MoList merged = merge_assays(make_chain(6.5), make_chain(23.5));
+  EXPECT_NO_THROW(
+      validate(merged, Rect{0, 0, kChipWidth - 1, kChipHeight - 1}));
+}
+
+TEST(MoList, OpAccessorBoundsChecked) {
+  const MoList list = master_mix();
+  EXPECT_EQ(list.op(0).id, 0);
+  EXPECT_THROW(list.op(-1), PreconditionError);
+  EXPECT_THROW(list.op(static_cast<int>(list.ops.size())),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::assay

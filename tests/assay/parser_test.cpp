@@ -1,0 +1,137 @@
+#include "assay/parser.hpp"
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "assay/helper.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+constexpr const char* kExample = R"(
+# PCR master-mix preparation
+name My Master Mix
+
+M0 = dis 17.5 3.5 16
+M1 = dis 17.5 25.5 16
+M2 = mix M0 M1 11 15 hold=8
+M3 = spt M2 11 8 11 22
+M4 = dsc M3.1 11 26
+M5 = mag M3.0 30 15 hold=15   # detection
+M6 = out M5 54 15
+)";
+
+TEST(AssayParser, ParsesTheExampleDocument) {
+  const MoList list = parse_assay_string(kExample);
+  EXPECT_EQ(list.name, "My Master Mix");
+  ASSERT_EQ(list.ops.size(), 7u);
+  EXPECT_EQ(list.ops[0].type, MoType::kDispense);
+  EXPECT_EQ(list.ops[0].area, 16);
+  EXPECT_DOUBLE_EQ(list.ops[0].locs[0].x, 17.5);
+  EXPECT_EQ(list.ops[2].type, MoType::kMix);
+  EXPECT_EQ(list.ops[2].hold_cycles, 8);
+  EXPECT_EQ(list.ops[2].pre, (std::vector<PreRef>{{0, 0}, {1, 0}}));
+  EXPECT_EQ(list.ops[3].type, MoType::kSplit);
+  ASSERT_EQ(list.ops[3].locs.size(), 2u);
+  EXPECT_EQ(list.ops[4].type, MoType::kDiscard);
+  EXPECT_EQ(list.ops[4].pre, (std::vector<PreRef>{{3, 1}}));
+  EXPECT_EQ(list.ops[5].pre, (std::vector<PreRef>{{3, 0}}));
+  EXPECT_EQ(list.ops[5].hold_cycles, 15);
+  EXPECT_EQ(list.ops[6].type, MoType::kOutput);
+}
+
+TEST(AssayParser, ParsedAssayValidatesAndDecomposes) {
+  const MoList list = parse_assay_string(kExample);
+  const Rect chip{0, 0, kChipWidth - 1, kChipHeight - 1};
+  EXPECT_NO_THROW(validate(list, chip));
+  EXPECT_FALSE(make_all_routing_jobs(list, chip).empty());
+}
+
+TEST(AssayParser, DiluteSyntax) {
+  const MoList list = parse_assay_string(
+      "M0 = dis 5 15 16\nM1 = dis 15 3 16\n"
+      "M2 = dlt M0 M1 15 15 15 22 hold=6\n"
+      "M3 = dsc M2.1 15 26\nM4 = out M2.0 54 15\n");
+  ASSERT_EQ(list.ops.size(), 5u);
+  EXPECT_EQ(list.ops[2].type, MoType::kDilute);
+  EXPECT_EQ(list.ops[2].hold_cycles, 6);
+  ASSERT_EQ(list.ops[2].locs.size(), 2u);
+  EXPECT_DOUBLE_EQ(list.ops[2].locs[1].y, 22.0);
+}
+
+TEST(AssayParser, RoundTripsThroughSerialization) {
+  for (const MoList& original :
+       {master_mix(), serial_dilution(), gene_expression()}) {
+    const MoList reparsed = parse_assay_string(to_assay_text(original));
+    EXPECT_EQ(reparsed.name, original.name);
+    ASSERT_EQ(reparsed.ops.size(), original.ops.size());
+    for (std::size_t i = 0; i < original.ops.size(); ++i) {
+      EXPECT_EQ(reparsed.ops[i].type, original.ops[i].type) << i;
+      EXPECT_EQ(reparsed.ops[i].pre, original.ops[i].pre) << i;
+      EXPECT_EQ(reparsed.ops[i].hold_cycles, original.ops[i].hold_cycles)
+          << i;
+      ASSERT_EQ(reparsed.ops[i].locs.size(), original.ops[i].locs.size());
+      for (std::size_t k = 0; k < original.ops[i].locs.size(); ++k) {
+        EXPECT_DOUBLE_EQ(reparsed.ops[i].locs[k].x,
+                         original.ops[i].locs[k].x);
+        EXPECT_DOUBLE_EQ(reparsed.ops[i].locs[k].y,
+                         original.ops[i].locs[k].y);
+      }
+    }
+  }
+}
+
+TEST(AssayParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_assay_string("M0 = dis 5 15 16\nM1 = bogus 1 2 3\n");
+    FAIL() << "expected a parse error";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AssayParser, RejectsForwardAndSelfReferences) {
+  EXPECT_THROW(parse_assay_string("M0 = mag M0 5 5\n"), PreconditionError);
+  EXPECT_THROW(parse_assay_string("M0 = mag M1 5 5\n"), PreconditionError);
+}
+
+TEST(AssayParser, RejectsBadNamesAndArity) {
+  EXPECT_THROW(parse_assay_string("M1 = dis 5 5 16\n"), PreconditionError);
+  EXPECT_THROW(parse_assay_string("M0 = dis 5 5\n"), PreconditionError);
+  EXPECT_THROW(parse_assay_string("M0 = dis 5 5 16 7\n"), PreconditionError);
+  EXPECT_THROW(parse_assay_string("M0 dis 5 5 16\n"), PreconditionError);
+}
+
+TEST(AssayParser, RejectsHoldOnHoldlessTypes) {
+  EXPECT_THROW(parse_assay_string("M0 = dis 5 5 16 hold=3\n"),
+               PreconditionError);
+}
+
+TEST(AssayParser, RejectsEmptyDocument) {
+  EXPECT_THROW(parse_assay_string("  \n# nothing\n"), PreconditionError);
+}
+
+TEST(AssayParser, RejectsBadNumbers) {
+  EXPECT_THROW(parse_assay_string("M0 = dis five 5 16\n"),
+               PreconditionError);
+  EXPECT_THROW(parse_assay_string("M0 = dis 5 5 16x\n"), PreconditionError);
+}
+
+TEST(AssayParser, LoadsFromFile) {
+  const std::string path = "/tmp/meda_parser_test.assay";
+  {
+    std::ofstream out(path);
+    out << kExample;
+  }
+  const MoList list = load_assay_file(path);
+  EXPECT_EQ(list.ops.size(), 7u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_assay_file("/nonexistent/assay"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::assay

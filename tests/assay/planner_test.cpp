@@ -1,0 +1,148 @@
+#include "assay/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+const Rect kChip{0, 0, kChipWidth - 1, kChipHeight - 1};
+
+/// An unplaced master-mix-style sequencing graph.
+std::vector<SgNode> mix_graph() {
+  return {
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kMix, {{0}, {1}}, 16, 8},
+      SgNode{MoType::kMagSense, {{2}}, 16, 12},
+      SgNode{MoType::kOutput, {{3}}, 16, 0},
+  };
+}
+
+TEST(Planner, PlacesAValidMixGraph) {
+  const MoList list = plan_placement("planned-mix", mix_graph(), kChip);
+  EXPECT_EQ(list.name, "planned-mix");
+  ASSERT_EQ(list.ops.size(), 5u);
+  EXPECT_NO_THROW(validate(list, kChip));  // plan_placement validates too
+  // Dispense ports touch the south band; the exit port hugs the east edge.
+  EXPECT_LT(list.ops[0].locs[0].y, 6.0);
+  EXPECT_GT(list.ops[4].locs[0].x, kChip.xb - 8.0);
+}
+
+TEST(Planner, PlannedGraphRunsEndToEnd) {
+  const MoList list = plan_placement("planned-mix", mix_graph(), kChip);
+  sim::SimulatedChipConfig config;
+  config.chip.width = kChipWidth;
+  config.chip.height = kChipHeight;
+  sim::SimulatedChip chip(config, Rng(55));
+  core::Scheduler scheduler(core::SchedulerConfig{});
+  const core::ExecutionStats stats = scheduler.run(chip, list);
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+}
+
+TEST(Planner, SplitAndDiluteGetSecondarySites) {
+  const std::vector<SgNode> graph = {
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kDilute, {{0}, {1}}, 16, 6},
+      SgNode{MoType::kSplit, {{2, 0}}, 16, 0},
+      SgNode{MoType::kDiscard, {{2, 1}}, 16, 0},
+      SgNode{MoType::kOutput, {{3, 0}}, 16, 0},
+      SgNode{MoType::kOutput, {{3, 1}}, 16, 0},
+  };
+  const MoList list = plan_placement("planned-dilute", graph, kChip);
+  ASSERT_EQ(list.ops[2].locs.size(), 2u);
+  ASSERT_EQ(list.ops[3].locs.size(), 2u);
+  // Secondary sites are vertically displaced from the primary.
+  EXPECT_NE(list.ops[2].locs[0].y, list.ops[2].locs[1].y);
+  EXPECT_DOUBLE_EQ(list.ops[2].locs[0].x, list.ops[2].locs[1].x);
+}
+
+TEST(Planner, PlannedDiluteRunsEndToEnd) {
+  const std::vector<SgNode> graph = {
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kDispense, {}, 16, 0},
+      SgNode{MoType::kDilute, {{0}, {1}}, 16, 6},
+      SgNode{MoType::kDiscard, {{2, 1}}, 16, 0},
+      SgNode{MoType::kOutput, {{2, 0}}, 16, 0},
+  };
+  const MoList list = plan_placement("planned-dilute", graph, kChip);
+  sim::SimulatedChipConfig config;
+  config.chip.width = kChipWidth;
+  config.chip.height = kChipHeight;
+  sim::SimulatedChip chip(config, Rng(56));
+  core::Scheduler scheduler(core::SchedulerConfig{});
+  const core::ExecutionStats stats = scheduler.run(chip, list);
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+}
+
+TEST(Planner, RoundTripsTheBenchmarkGraphs) {
+  // Strip the hand placements from each benchmark and re-plan: the result
+  // must validate and execute.
+  for (const MoList& original :
+       {master_mix(), covid_rat(), serial_dilution()}) {
+    const std::vector<SgNode> graph = to_sequence_graph(original);
+    const MoList planned =
+        plan_placement(original.name + " (re-planned)", graph, kChip);
+    ASSERT_EQ(planned.ops.size(), original.ops.size());
+    sim::SimulatedChipConfig config;
+    config.chip.width = kChipWidth;
+    config.chip.height = kChipHeight;
+    sim::SimulatedChip chip(config, Rng(57));
+    core::SchedulerConfig sched;
+    sched.max_cycles = 4000;
+    core::Scheduler scheduler(sched);
+    const core::ExecutionStats stats = scheduler.run(chip, planned);
+    EXPECT_TRUE(stats.success) << planned.name << ": "
+                               << stats.failure_reason;
+  }
+}
+
+TEST(Planner, DeterministicPlacement) {
+  const MoList a = plan_placement("x", mix_graph(), kChip);
+  const MoList b = plan_placement("x", mix_graph(), kChip);
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ops[i].locs[0].x, b.ops[i].locs[0].x);
+    EXPECT_DOUBLE_EQ(a.ops[i].locs[0].y, b.ops[i].locs[0].y);
+  }
+}
+
+TEST(Planner, RejectsMalformedGraphs) {
+  // Forward reference.
+  EXPECT_THROW(plan_placement(
+                   "bad", {SgNode{MoType::kMagSense, {{0}}, 16, 0}}, kChip),
+               PreconditionError);
+  // Unconsumed output (caught by the final validation).
+  EXPECT_THROW(
+      plan_placement("bad", {SgNode{MoType::kDispense, {}, 16, 0}}, kChip),
+      PreconditionError);
+}
+
+TEST(Planner, RejectsChipsThatAreTooSmall) {
+  std::vector<SgNode> graph;
+  // 20 dispense ports cannot fit along the edges of a 16-wide chip.
+  for (int i = 0; i < 20; ++i)
+    graph.push_back(SgNode{MoType::kDispense, {}, 16, 0});
+  for (int i = 0; i < 20; ++i)
+    graph.push_back(SgNode{MoType::kOutput, {{i}}, 16, 0});
+  EXPECT_THROW(plan_placement("bad", graph, Rect{0, 0, 15, 15}),
+               PreconditionError);
+}
+
+TEST(Planner, ToSequenceGraphPreservesStructure) {
+  const MoList original = serial_dilution();
+  const std::vector<SgNode> graph = to_sequence_graph(original);
+  ASSERT_EQ(graph.size(), original.ops.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_EQ(graph[i].type, original.ops[i].type);
+    EXPECT_EQ(graph[i].pre, original.ops[i].pre);
+    EXPECT_EQ(graph[i].hold_cycles, original.ops[i].hold_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace meda::assay

@@ -1,0 +1,59 @@
+#include "assay/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+TEST(Registry, ListsTwelveBenchmarksWithUniqueKeys) {
+  const auto infos = list_benchmarks();
+  EXPECT_EQ(infos.size(), 12u);
+  std::set<std::string> keys;
+  for (const BenchmarkInfo& info : infos) {
+    EXPECT_FALSE(info.key.empty());
+    EXPECT_FALSE(info.description.empty());
+    keys.insert(info.key);
+  }
+  EXPECT_EQ(keys.size(), infos.size());
+}
+
+TEST(Registry, EveryListedBenchmarkInstantiatesAndValidates) {
+  const Rect chip{0, 0, kChipWidth - 1, kChipHeight - 1};
+  for (const BenchmarkInfo& info : list_benchmarks()) {
+    const MoList list = make_benchmark(info.key);
+    EXPECT_FALSE(list.ops.empty()) << info.key;
+    EXPECT_NO_THROW(validate(list, chip)) << info.key;
+  }
+}
+
+TEST(Registry, KeysMatchTheFactories) {
+  EXPECT_EQ(make_benchmark("serial-dilution").name, "Serial Dilution");
+  EXPECT_EQ(make_benchmark("cep-lysis").name, "CEP: cell lysis");
+  EXPECT_EQ(make_benchmark("multiplex").name, "Multiplex in-vitro");
+}
+
+TEST(Registry, PassesTheDropletAreaThrough) {
+  const MoList small = make_benchmark("chip-ip", 9);
+  const MoList large = make_benchmark("chip-ip", 36);
+  EXPECT_EQ(small.ops[0].area, 9);
+  EXPECT_EQ(large.ops[0].area, 36);
+}
+
+TEST(Registry, UnknownKeyListsTheAlternatives) {
+  try {
+    make_benchmark("bogus");
+    FAIL() << "expected an exception";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("serial-dilution"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace meda::assay

@@ -1,0 +1,78 @@
+#include "assay/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "assay/registry.hpp"
+#include "util/check.hpp"
+
+namespace meda::assay {
+namespace {
+
+const Rect kChip{0, 0, kChipWidth - 1, kChipHeight - 1};
+
+TEST(Summary, SerialDilutionStructure) {
+  const AssaySummary s = summarize(serial_dilution(), kChip);
+  EXPECT_EQ(s.operations, 14);
+  EXPECT_EQ(s.count(MoType::kDispense), 5);
+  EXPECT_EQ(s.count(MoType::kDilute), 4);
+  EXPECT_EQ(s.count(MoType::kDiscard), 4);
+  EXPECT_EQ(s.count(MoType::kOutput), 1);
+  EXPECT_EQ(s.count(MoType::kMix), 0);
+  // 5 dispensed + 4 dilution splits.
+  EXPECT_EQ(s.droplets_created, 9);
+  // 4 dilutions with hold = 8 each.
+  EXPECT_EQ(s.total_hold_cycles, 32);
+  // Chain: dis → dlt → dlt → dlt → dlt → out.
+  EXPECT_EQ(s.critical_path, 6);
+  EXPECT_GT(s.transport_distance, 50.0);
+}
+
+TEST(Summary, CovidRatIsShortAndLinear) {
+  const AssaySummary s = summarize(covid_rat(), kChip);
+  EXPECT_EQ(s.operations, 5);
+  EXPECT_EQ(s.critical_path, 4);  // dis → mix → mag → out
+  EXPECT_EQ(s.droplets_created, 2);
+}
+
+TEST(Summary, MultiplexCriticalPathIsOneChain) {
+  // Two parallel chains: depth stays at one chain's length.
+  const AssaySummary s = summarize(multiplex_invitro(), kChip);
+  EXPECT_EQ(s.operations, 10);
+  EXPECT_EQ(s.critical_path, 4);
+}
+
+TEST(Summary, PaperLengthOrderingHoldsOnTransportPlusHolds) {
+  // The paper calls NuIP and Serial Dilution the long bioassays; combined
+  // transport + processing demand reflects that ordering.
+  const auto load = [](const MoList& list) {
+    const AssaySummary s = summarize(list, kChip);
+    return s.transport_distance + s.total_hold_cycles;
+  };
+  EXPECT_GT(load(nuip()), load(master_mix()));
+  EXPECT_GT(load(nuip()), load(covid_rat()));
+  EXPECT_GT(load(serial_dilution()), load(covid_rat()));
+}
+
+TEST(Summary, EveryRegisteredBenchmarkSummarizes) {
+  for (const BenchmarkInfo& info : list_benchmarks()) {
+    const AssaySummary s = summarize(make_benchmark(info.key), kChip);
+    EXPECT_GT(s.operations, 0) << info.key;
+    EXPECT_GE(s.critical_path, 2) << info.key;
+    EXPECT_GT(s.droplets_created, 0) << info.key;
+    EXPECT_GT(s.transport_distance, 0.0) << info.key;
+    int total = 0;
+    for (const int c : s.counts) total += c;
+    EXPECT_EQ(total, s.operations) << info.key;
+  }
+}
+
+TEST(Summary, RejectsInvalidLists) {
+  AssayBuilder b("bad");
+  b.dispense(10, 10, 16);  // never consumed
+  const MoList list = std::move(b).build();
+  EXPECT_THROW(summarize(list, kChip), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::assay

@@ -1,0 +1,182 @@
+#include "chip/biochip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/microelectrode.hpp"
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+BiochipConfig small_config() {
+  BiochipConfig config;
+  config.width = 8;
+  config.height = 6;
+  config.health_bits = 2;
+  return config;
+}
+
+TEST(Microelectrode, ActuationCountingAndDegradation) {
+  Microelectrode mc(DegradationParams{0.5, 100.0});
+  EXPECT_EQ(mc.actuations(), 0u);
+  EXPECT_DOUBLE_EQ(mc.degradation(), 1.0);
+  mc.actuate();
+  mc.actuate_n(99);
+  EXPECT_EQ(mc.actuations(), 100u);
+  EXPECT_NEAR(mc.degradation(), 0.5, 1e-12);
+  EXPECT_NEAR(mc.relative_force(), 0.25, 1e-12);
+  EXPECT_EQ(mc.health(2), 2);
+}
+
+TEST(Microelectrode, DegradationCacheInvalidatesOnActuation) {
+  Microelectrode mc(DegradationParams{0.5, 10.0});
+  const double d0 = mc.degradation();
+  mc.actuate_n(10);
+  EXPECT_LT(mc.degradation(), d0);
+  const double d1 = mc.degradation();
+  EXPECT_DOUBLE_EQ(mc.degradation(), d1);  // cached value is stable
+}
+
+TEST(Microelectrode, InjectedFaultTripsAtThreshold) {
+  Microelectrode mc(DegradationParams{0.9, 500.0});
+  mc.inject_fault(5);
+  EXPECT_TRUE(mc.fault_injected());
+  EXPECT_FALSE(mc.failed());
+  mc.actuate_n(4);
+  EXPECT_FALSE(mc.failed());
+  EXPECT_GT(mc.degradation(), 0.9);
+  mc.actuate();
+  EXPECT_TRUE(mc.failed());
+  EXPECT_DOUBLE_EQ(mc.degradation(), 0.0);
+  EXPECT_EQ(mc.health(2), 0);
+}
+
+TEST(Microelectrode, HealthyMcNeverFails) {
+  Microelectrode mc(DegradationParams{0.9, 500.0});
+  EXPECT_FALSE(mc.fault_injected());
+  mc.actuate_n(1000000);
+  EXPECT_FALSE(mc.failed());
+}
+
+TEST(DegradationRangeTest, SamplesWithinBounds) {
+  Rng rng(3);
+  const DegradationRange range{0.5, 0.9, 200.0, 500.0};
+  for (int i = 0; i < 200; ++i) {
+    const DegradationParams p = range.sample(rng);
+    EXPECT_GE(p.tau, 0.5);
+    EXPECT_LT(p.tau, 0.9);
+    EXPECT_GE(p.c, 200.0);
+    EXPECT_LT(p.c, 500.0);
+  }
+}
+
+TEST(DegradationRangeTest, RejectsInvalidRanges) {
+  Rng rng(3);
+  EXPECT_THROW((DegradationRange{0.9, 0.5, 1, 2}.sample(rng)),
+               PreconditionError);
+  EXPECT_THROW((DegradationRange{0.5, 0.9, 0.0, 2}.sample(rng)),
+               PreconditionError);
+}
+
+TEST(Biochip, GeometryAndBounds) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  EXPECT_EQ(chip.width(), 8);
+  EXPECT_EQ(chip.height(), 6);
+  EXPECT_EQ(chip.bounds(), (Rect{0, 0, 7, 5}));
+  EXPECT_TRUE(chip.in_bounds(7, 5));
+  EXPECT_FALSE(chip.in_bounds(8, 0));
+  EXPECT_TRUE(chip.in_bounds(Rect{0, 0, 7, 5}));
+  EXPECT_FALSE(chip.in_bounds(Rect{0, 0, 8, 5}));
+  EXPECT_THROW(chip.mc(8, 0), PreconditionError);
+}
+
+TEST(Biochip, FreshChipSensesTopHealthEverywhere) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  const IntMatrix h = chip.health_matrix();
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(h(x, y), 3);
+  const DoubleMatrix d = chip.degradation_matrix();
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_DOUBLE_EQ(d(x, y), 1.0);
+}
+
+TEST(Biochip, PatternActuationIncrementsOnlySetCells) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  BoolMatrix pattern(8, 6);
+  pattern(2, 3) = 1;
+  pattern(5, 1) = 1;
+  chip.actuate(pattern);
+  chip.actuate(pattern);
+  EXPECT_EQ(chip.mc(2, 3).actuations(), 2u);
+  EXPECT_EQ(chip.mc(5, 1).actuations(), 2u);
+  EXPECT_EQ(chip.mc(0, 0).actuations(), 0u);
+  EXPECT_EQ(chip.total_actuations(), 4u);
+  EXPECT_EQ(chip.cycles(), 2u);
+}
+
+TEST(Biochip, RectActuationClipsToChip) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  chip.actuate(Rect{6, 4, 10, 9});  // extends past the chip
+  EXPECT_EQ(chip.mc(6, 4).actuations(), 1u);
+  EXPECT_EQ(chip.mc(7, 5).actuations(), 1u);
+  EXPECT_EQ(chip.total_actuations(), 4u);  // 2×2 clipped area
+}
+
+TEST(Biochip, PatternDimensionMismatchThrows) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  EXPECT_THROW(chip.actuate(BoolMatrix(4, 4)), PreconditionError);
+}
+
+TEST(Biochip, AreaHealthMatrixIsClippedView) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  chip.mc(3, 2).actuate_n(1000000);  // wear one cell to the floor
+  const IntMatrix h = chip.health_matrix(Rect{2, 1, 4, 3});
+  EXPECT_EQ(h.width(), 3);
+  EXPECT_EQ(h.height(), 3);
+  EXPECT_EQ(h(1, 1), chip.mc(3, 2).health(2));  // relative coordinates
+  EXPECT_EQ(h(0, 0), 3);
+}
+
+TEST(Biochip, ActuationMatrixMatchesPerCellCounts) {
+  Rng rng(1);
+  Biochip chip(small_config(), rng);
+  chip.actuate(Rect{0, 0, 1, 1});
+  chip.actuate(Rect{0, 0, 0, 0});
+  const Matrix<std::uint64_t> n = chip.actuation_matrix();
+  EXPECT_EQ(n(0, 0), 2u);
+  EXPECT_EQ(n(1, 0), 1u);
+  EXPECT_EQ(n(1, 1), 1u);
+  EXPECT_EQ(n(2, 2), 0u);
+}
+
+TEST(Biochip, HealthDropsWithWear) {
+  Rng rng(7);
+  BiochipConfig config = small_config();
+  config.degradation = DegradationRange{0.5, 0.5, 100.0, 100.0};
+  Biochip chip(config, rng);
+  chip.mc(1, 1).actuate_n(100);  // D = 0.5 → H = 2
+  chip.mc(2, 2).actuate_n(300);  // D = 0.125 → H = 0
+  const IntMatrix h = chip.health_matrix();
+  EXPECT_EQ(h(1, 1), 2);
+  EXPECT_EQ(h(2, 2), 0);
+  EXPECT_EQ(h(0, 0), 3);
+}
+
+TEST(Biochip, RejectsInvalidConfig) {
+  Rng rng(1);
+  BiochipConfig config;
+  config.width = 0;
+  EXPECT_THROW(Biochip(config, rng), PreconditionError);
+  config = small_config();
+  config.health_bits = 0;
+  EXPECT_THROW(Biochip(config, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

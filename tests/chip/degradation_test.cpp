@@ -1,0 +1,135 @@
+#include "chip/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+TEST(DegradationParams, FreshElectrodeIsFullHealth) {
+  const DegradationParams p{0.556, 822.7};
+  EXPECT_DOUBLE_EQ(p.degradation(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.relative_force(0), 1.0);
+}
+
+TEST(DegradationParams, MatchesClosedForm) {
+  const DegradationParams p{0.7, 350.0};
+  for (const std::uint64_t n : {1ull, 10ull, 350ull, 1000ull}) {
+    const double expected = std::pow(0.7, static_cast<double>(n) / 350.0);
+    EXPECT_NEAR(p.degradation(n), expected, 1e-12);
+    EXPECT_NEAR(p.relative_force(n), expected * expected, 1e-12);
+  }
+}
+
+TEST(DegradationParams, AtNEqualsCDegradationEqualsTau) {
+  const DegradationParams p{0.556, 822.0};
+  EXPECT_NEAR(p.degradation(822), 0.556, 1e-12);
+  // F̄(c) = τ² per eq. (2).
+  EXPECT_NEAR(p.relative_force(822), 0.556 * 0.556, 1e-12);
+}
+
+TEST(DegradationParams, MonotoneDecreasing) {
+  const DegradationParams p{0.5, 200.0};
+  double prev = 1.1;
+  for (std::uint64_t n = 0; n <= 2000; n += 100) {
+    const double d = p.degradation(n);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DegradationParams, TauZeroDiesImmediately) {
+  const DegradationParams p{0.0, 100.0};
+  EXPECT_DOUBLE_EQ(p.degradation(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.degradation(1), 0.0);
+}
+
+TEST(DegradationParams, TauOneNeverDegrades) {
+  const DegradationParams p{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(p.degradation(1000000), 1.0);
+}
+
+TEST(DegradationParams, InvalidParametersThrow) {
+  EXPECT_THROW((DegradationParams{1.5, 100.0}.degradation(1)),
+               PreconditionError);
+  EXPECT_THROW((DegradationParams{-0.1, 100.0}.degradation(1)),
+               PreconditionError);
+  EXPECT_THROW((DegradationParams{0.5, 0.0}.degradation(1)),
+               PreconditionError);
+}
+
+TEST(QuantizeHealth, TwoBitBuckets) {
+  // H = min(2^b − 1, ⌊2^b·D⌋) with b = 2.
+  EXPECT_EQ(quantize_health(1.0, 2), 3);  // clamped top code
+  EXPECT_EQ(quantize_health(0.99, 2), 3);
+  EXPECT_EQ(quantize_health(0.75, 2), 3);
+  EXPECT_EQ(quantize_health(0.7499, 2), 2);
+  EXPECT_EQ(quantize_health(0.5, 2), 2);
+  EXPECT_EQ(quantize_health(0.4999, 2), 1);
+  EXPECT_EQ(quantize_health(0.25, 2), 1);
+  EXPECT_EQ(quantize_health(0.2499, 2), 0);
+  EXPECT_EQ(quantize_health(0.0, 2), 0);
+}
+
+TEST(QuantizeHealth, GeneralBitWidths) {
+  EXPECT_EQ(quantize_health(1.0, 1), 1);
+  EXPECT_EQ(quantize_health(0.49, 1), 0);
+  EXPECT_EQ(quantize_health(1.0, 4), 15);
+  EXPECT_EQ(quantize_health(0.5, 4), 8);
+}
+
+TEST(QuantizeHealth, MonotoneInDegradation) {
+  for (int b : {1, 2, 3, 4}) {
+    int prev = -1;
+    for (double d = 0.0; d <= 1.0; d += 0.01) {
+      const int h = quantize_health(d, b);
+      EXPECT_GE(h, prev);
+      prev = h;
+    }
+  }
+}
+
+TEST(QuantizeHealth, RejectsBadInput) {
+  EXPECT_THROW(quantize_health(1.1, 2), PreconditionError);
+  EXPECT_THROW(quantize_health(-0.1, 2), PreconditionError);
+  EXPECT_THROW(quantize_health(0.5, 0), PreconditionError);
+}
+
+TEST(EstimateDegradation, ScaledMapsEndpointsExactly) {
+  // The paper's "substitute H for D" convention.
+  EXPECT_DOUBLE_EQ(estimate_degradation(3, 2, HealthEstimator::kScaled), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_degradation(0, 2, HealthEstimator::kScaled), 0.0);
+  EXPECT_NEAR(estimate_degradation(2, 2, HealthEstimator::kScaled), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(estimate_degradation(1, 2, HealthEstimator::kScaled), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(EstimateDegradation, MidpointLowerUpper) {
+  EXPECT_DOUBLE_EQ(estimate_degradation(2, 2, HealthEstimator::kMidpoint),
+                   0.625);
+  EXPECT_DOUBLE_EQ(estimate_degradation(2, 2, HealthEstimator::kLower), 0.5);
+  EXPECT_DOUBLE_EQ(estimate_degradation(2, 2, HealthEstimator::kUpper), 0.75);
+  // Upper estimate of the top bucket is clamped to 1.
+  EXPECT_DOUBLE_EQ(estimate_degradation(3, 2, HealthEstimator::kUpper), 1.0);
+}
+
+TEST(EstimateDegradation, MidpointRoundTripsThroughQuantization) {
+  for (int h = 0; h <= 3; ++h) {
+    const double d = estimate_degradation(h, 2, HealthEstimator::kMidpoint);
+    EXPECT_EQ(quantize_health(d, 2), h);
+  }
+}
+
+TEST(EstimateDegradation, RejectsBadCodes) {
+  EXPECT_THROW(estimate_degradation(4, 2, HealthEstimator::kScaled),
+               PreconditionError);
+  EXPECT_THROW(estimate_degradation(-1, 2, HealthEstimator::kScaled),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,135 @@
+#include "chip/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+Biochip make_chip(Rng& rng, int w = 20, int h = 10) {
+  BiochipConfig config;
+  config.width = w;
+  config.height = h;
+  return Biochip(config, rng);
+}
+
+TEST(FaultInjection, NoneModeInjectsNothing) {
+  Rng rng(1);
+  Biochip chip = make_chip(rng);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kNone;
+  EXPECT_TRUE(inject_faults(chip, config, rng).empty());
+}
+
+TEST(FaultInjection, UniformHitsTargetCount) {
+  Rng rng(2);
+  Biochip chip = make_chip(rng);  // 200 cells
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kUniform;
+  config.faulty_fraction = 0.10;
+  const auto injected = inject_faults(chip, config, rng);
+  EXPECT_EQ(injected.size(), 20u);
+  std::set<Vec2i> unique(injected.begin(), injected.end());
+  EXPECT_EQ(unique.size(), injected.size());  // no duplicates
+  for (const Vec2i& p : injected) {
+    EXPECT_TRUE(chip.in_bounds(p.x, p.y));
+    EXPECT_TRUE(chip.mc(p.x, p.y).fault_injected());
+  }
+}
+
+TEST(FaultInjection, OnlyInjectedCellsAreFaulty) {
+  Rng rng(3);
+  Biochip chip = make_chip(rng);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kUniform;
+  config.faulty_fraction = 0.05;
+  const auto injected = inject_faults(chip, config, rng);
+  const std::set<Vec2i> marked(injected.begin(), injected.end());
+  int faulty = 0;
+  for (int y = 0; y < chip.height(); ++y) {
+    for (int x = 0; x < chip.width(); ++x) {
+      if (chip.mc(x, y).fault_injected()) {
+        ++faulty;
+        EXPECT_TRUE(marked.contains(Vec2i{x, y}));
+      }
+    }
+  }
+  EXPECT_EQ(faulty, static_cast<int>(injected.size()));
+}
+
+TEST(FaultInjection, ClusteredFormsSquareClusters) {
+  Rng rng(4);
+  Biochip chip = make_chip(rng, 40, 30);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kClustered;
+  config.faulty_fraction = 0.05;
+  config.cluster_size = 2;
+  const auto injected = inject_faults(chip, config, rng);
+  EXPECT_GE(injected.size(), 60u);  // ≈ 5% of 1200 cells
+  // Every injected cell has at least one injected neighbour within its 2×2
+  // cluster (clusters may merge but never leave isolated cells).
+  const std::set<Vec2i> marked(injected.begin(), injected.end());
+  for (const Vec2i& p : injected) {
+    bool has_neighbor = false;
+    for (int dy = -1; dy <= 1 && !has_neighbor; ++dy)
+      for (int dx = -1; dx <= 1 && !has_neighbor; ++dx)
+        if ((dx != 0 || dy != 0) && marked.contains(Vec2i{p.x + dx, p.y + dy}))
+          has_neighbor = true;
+    EXPECT_TRUE(has_neighbor) << "isolated faulty cell at (" << p.x << ", "
+                              << p.y << ")";
+  }
+}
+
+TEST(FaultInjection, ThresholdsWithinConfiguredRange) {
+  Rng rng(5);
+  Biochip chip = make_chip(rng);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kUniform;
+  config.faulty_fraction = 0.2;
+  config.fail_at_lo = 10;
+  config.fail_at_hi = 20;
+  const auto injected = inject_faults(chip, config, rng);
+  for (const Vec2i& p : injected) {
+    Microelectrode& mc = chip.mc(p.x, p.y);
+    mc.actuate_n(9);
+    EXPECT_FALSE(mc.failed());
+    mc.actuate_n(11);  // now at 20 >= any threshold in [10, 20]
+    EXPECT_TRUE(mc.failed());
+  }
+}
+
+TEST(FaultInjection, InjectionIsDeterministicPerSeed) {
+  Rng rng_a(77), rng_b(77);
+  Biochip chip_a = make_chip(rng_a);
+  Biochip chip_b = make_chip(rng_b);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kClustered;
+  config.faulty_fraction = 0.08;
+  EXPECT_EQ(inject_faults(chip_a, config, rng_a),
+            inject_faults(chip_b, config, rng_b));
+}
+
+TEST(FaultInjection, ZeroFractionInjectsNothing) {
+  Rng rng(6);
+  Biochip chip = make_chip(rng);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kUniform;
+  config.faulty_fraction = 0.0;
+  EXPECT_TRUE(inject_faults(chip, config, rng).empty());
+}
+
+TEST(FaultInjection, RejectsBadFraction) {
+  Rng rng(6);
+  Biochip chip = make_chip(rng);
+  FaultInjectionConfig config;
+  config.faulty_fraction = 1.5;
+  config.mode = FaultMode::kUniform;
+  EXPECT_THROW(inject_faults(chip, config, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

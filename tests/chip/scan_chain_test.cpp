@@ -1,0 +1,70 @@
+#include "chip/scan_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace meda {
+namespace {
+
+TEST(ScanChain, HealthRoundTrip) {
+  Rng rng(1);
+  IntMatrix health(7, 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x) health(x, y) = rng.uniform_int(0, 3);
+  const std::vector<bool> stream = scan_out_health(health, 2);
+  EXPECT_EQ(stream.size(), 7u * 5u * 2u);
+  EXPECT_EQ(scan_in_health(stream, 7, 5, 2), health);
+}
+
+TEST(ScanChain, HealthRoundTripGeneralBitWidths) {
+  Rng rng(2);
+  for (const int bits : {1, 3, 4, 8}) {
+    IntMatrix health(4, 3);
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 4; ++x)
+        health(x, y) = rng.uniform_int(0, (1 << bits) - 1);
+    EXPECT_EQ(scan_in_health(scan_out_health(health, bits), 4, 3, bits),
+              health)
+        << bits << " bits";
+  }
+}
+
+TEST(ScanChain, BitOrderIsRowMajorLsbFirst) {
+  IntMatrix health(2, 1);
+  health(0, 0) = 0b01;  // original DFF (MSB) = 0, added DFF (LSB) = 1
+  health(1, 0) = 0b10;
+  const std::vector<bool> stream = scan_out_health(health, 2);
+  ASSERT_EQ(stream.size(), 4u);
+  EXPECT_TRUE(stream[0]);   // MC(0,0) bit 0
+  EXPECT_FALSE(stream[1]);  // MC(0,0) bit 1
+  EXPECT_FALSE(stream[2]);  // MC(1,0) bit 0
+  EXPECT_TRUE(stream[3]);   // MC(1,0) bit 1
+}
+
+TEST(ScanChain, ActuationRoundTrip) {
+  Rng rng(3);
+  BoolMatrix pattern(9, 6);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 9; ++x) pattern(x, y) = rng.bernoulli(0.4);
+  const std::vector<bool> stream = scan_out_actuation(pattern);
+  EXPECT_EQ(stream.size(), 54u);
+  EXPECT_EQ(scan_in_actuation(stream, 9, 6), pattern);
+}
+
+TEST(ScanChain, RejectsCodesThatDoNotFit) {
+  IntMatrix health(2, 2, 5);
+  EXPECT_THROW(scan_out_health(health, 2), PreconditionError);
+  EXPECT_NO_THROW(scan_out_health(health, 3));
+}
+
+TEST(ScanChain, RejectsLengthMismatch) {
+  EXPECT_THROW(scan_in_health(std::vector<bool>(7), 2, 2, 2),
+               PreconditionError);
+  EXPECT_THROW(scan_in_actuation(std::vector<bool>(5), 2, 2),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

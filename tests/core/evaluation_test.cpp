@@ -1,0 +1,165 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "model/outcomes.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+const Rect kChip{0, 0, 19, 19};
+
+SynthesisConfig no_morph_config() {
+  SynthesisConfig config;
+  config.rules.enable_morphing = false;
+  return config;
+}
+
+assay::RoutingJob east_job(int cells) {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 8, 4, 4);
+  rj.goal = Rect::from_size(cells, 8, 4, 4);
+  rj.hazard = kChip;
+  return rj;
+}
+
+TEST(Evaluation, DeterministicStrategySucceedsEveryEpisode) {
+  const assay::RoutingJob rj = east_job(8);
+  const Synthesizer synth(kChip, no_morph_config());
+  const SynthesisResult r =
+      synth.synthesize_with_force(rj, full_health_force(20, 20));
+  ASSERT_TRUE(r.feasible);
+  Rng rng(1);
+  EvaluationConfig config;
+  config.episodes = 200;
+  config.rules = no_morph_config().rules;
+  const EvaluationResult eval =
+      evaluate_strategy(r.strategy, rj, full_health_force(20, 20), kChip,
+                        config, rng);
+  EXPECT_EQ(eval.successes, 200);
+  EXPECT_DOUBLE_EQ(eval.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval.mean_cycles_on_success, r.expected_cycles);
+  EXPECT_EQ(eval.hazard_violations, 0);
+  EXPECT_EQ(eval.strategy_gaps, 0);
+  EXPECT_EQ(eval.timeouts, 0);
+}
+
+TEST(Evaluation, MonteCarloMeanMatchesRminOnStochasticField) {
+  // Cross-validation of value iteration: synthesize and evaluate on the
+  // SAME degraded force field; the empirical mean cycle count must match
+  // the Rmin value within Monte-Carlo error.
+  const assay::RoutingJob rj = east_job(10);
+  DoubleMatrix force(20, 20, 0.7);
+  const Synthesizer synth(kChip, no_morph_config());
+  const SynthesisResult r = synth.synthesize_with_force(rj, force);
+  ASSERT_TRUE(r.feasible);
+  Rng rng(2);
+  EvaluationConfig config;
+  config.episodes = 4000;
+  config.rules = no_morph_config().rules;
+  const EvaluationResult eval =
+      evaluate_strategy(r.strategy, rj, force, kChip, config, rng);
+  EXPECT_DOUBLE_EQ(eval.success_rate, 1.0);  // retry loops are a.s. winning
+  EXPECT_NEAR(eval.mean_cycles_on_success, r.expected_cycles,
+              r.expected_cycles * 0.05);
+}
+
+TEST(Evaluation, ModelRealityGapShowsUpAsSlowdown) {
+  // Strategy synthesized from quantized health but executed against a much
+  // weaker true field: success still a.s. (no hazard risk) but slower than
+  // the model predicted.
+  const assay::RoutingJob rj = east_job(10);
+  IntMatrix health(20, 20, 3);
+  for (int y = 0; y < 20; ++y) health(5, y) = 3;  // controller sees health
+  const Synthesizer synth(kChip, no_morph_config());
+  const SynthesisResult r = synth.synthesize(rj, health, 2);
+  ASSERT_TRUE(r.feasible);
+  DoubleMatrix true_force = full_health_force(20, 20);
+  for (int y = 0; y < 20; ++y)
+    for (int x = 4; x <= 6; ++x) true_force(x, y) = 0.3;  // hidden wear
+  Rng rng(3);
+  EvaluationConfig config;
+  config.episodes = 500;
+  config.rules = no_morph_config().rules;
+  const EvaluationResult eval =
+      evaluate_strategy(r.strategy, rj, true_force, kChip, config, rng);
+  EXPECT_DOUBLE_EQ(eval.success_rate, 1.0);
+  EXPECT_GT(eval.mean_cycles_on_success, r.expected_cycles);
+}
+
+TEST(Evaluation, UncoveredStateCountsAsGap) {
+  Strategy partial;  // covers only the start state
+  const assay::RoutingJob rj = east_job(8);
+  partial.set(rj.start, Action::kEE);
+  Rng rng(4);
+  EvaluationConfig config;
+  config.episodes = 50;
+  config.rules = no_morph_config().rules;
+  const EvaluationResult eval = evaluate_strategy(
+      partial, rj, full_health_force(20, 20), kChip, config, rng);
+  EXPECT_EQ(eval.successes, 0);
+  EXPECT_EQ(eval.strategy_gaps, 50);
+}
+
+TEST(Evaluation, ZeroForceTimesOut) {
+  Strategy strategy;
+  const assay::RoutingJob rj = east_job(8);
+  // A legal action that can never succeed on a dead chip.
+  strategy.set(rj.start, Action::kE);
+  Rng rng(5);
+  EvaluationConfig config;
+  config.episodes = 10;
+  config.max_cycles = 50;
+  config.rules = no_morph_config().rules;
+  const EvaluationResult eval = evaluate_strategy(
+      strategy, rj, DoubleMatrix(20, 20, 0.0), kChip, config, rng);
+  EXPECT_EQ(eval.timeouts, 10);
+  EXPECT_EQ(eval.successes, 0);
+}
+
+TEST(Evaluation, HazardViolationsAreDetected) {
+  // A strategy that deliberately walks out of the hazard bounds.
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(5, 5, 3, 3);
+  rj.goal = Rect::from_size(12, 5, 3, 3);
+  rj.hazard = Rect{4, 4, 15, 9};
+  Strategy bad;
+  bad.set(rj.start, Action::kN);                       // (5,6,7,8)
+  bad.set(Rect::from_size(5, 6, 3, 3), Action::kN);    // leaves y<=9...
+  bad.set(Rect::from_size(5, 7, 3, 3), Action::kN);    // (5,8,7,10): yb=10>9
+  Rng rng(6);
+  EvaluationConfig config;
+  config.episodes = 20;
+  const EvaluationResult eval = evaluate_strategy(
+      bad, rj, full_health_force(20, 20), kChip, config, rng);
+  EXPECT_EQ(eval.hazard_violations, 20);
+}
+
+TEST(Evaluation, StartInsideGoalSucceedsInZeroCycles) {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(5, 5, 3, 3);
+  rj.goal = Rect{4, 4, 9, 9};
+  rj.hazard = kChip;
+  Rng rng(7);
+  EvaluationConfig config;
+  config.episodes = 5;
+  const EvaluationResult eval = evaluate_strategy(
+      Strategy{}, rj, full_health_force(20, 20), kChip, config, rng);
+  EXPECT_EQ(eval.successes, 5);
+  EXPECT_DOUBLE_EQ(eval.mean_cycles_on_success, 0.0);
+}
+
+TEST(Evaluation, RejectsBadConfig) {
+  const assay::RoutingJob rj = east_job(8);
+  Rng rng(8);
+  EvaluationConfig config;
+  config.episodes = 0;
+  EXPECT_THROW(evaluate_strategy(Strategy{}, rj, full_health_force(20, 20),
+                                 kChip, config, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::core

@@ -1,0 +1,205 @@
+#include "core/fleet_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulated_chip.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+FleetPlannerConfig no_morph_config() {
+  FleetPlannerConfig config;
+  config.rules.enable_morphing = false;
+  return config;
+}
+
+assay::RoutingJob job(const Rect& start, const Rect& goal,
+                      const Rect& hazard) {
+  assay::RoutingJob rj;
+  rj.start = start;
+  rj.goal = goal;
+  rj.hazard = hazard;
+  return rj;
+}
+
+/// Replays a fleet plan kinematically, asserting pairwise separation at the
+/// beginning of every cycle, and returns the final positions.
+std::vector<Rect> replay(const FleetPlan& plan,
+                         std::vector<Rect> positions, int min_gap) {
+  for (std::size_t t = 0; t < plan.makespan; ++t) {
+    for (std::size_t i = 0; i < positions.size(); ++i)
+      if (plan.steps[i][t]) positions[i] = apply(*plan.steps[i][t],
+                                                 positions[i]);
+    for (std::size_t i = 0; i < positions.size(); ++i)
+      for (std::size_t j = i + 1; j < positions.size(); ++j)
+        EXPECT_GE(positions[i].manhattan_gap(positions[j]), min_gap)
+            << "cycle " << t;
+  }
+  return positions;
+}
+
+TEST(FleetPlanner, SingleDropletMatchesShortestPath) {
+  const Rect chip{0, 0, 19, 9};
+  const auto j0 = job(Rect::from_size(0, 3, 4, 4),
+                      Rect::from_size(10, 3, 4, 4), chip);
+  const std::vector<assay::RoutingJob> jobs = {j0};
+  const FleetPlan plan = plan_fleet(jobs, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.makespan, 5u);  // 10 cells with double steps
+  const auto finals = replay(plan, {j0.start}, 2);
+  EXPECT_TRUE(j0.goal.contains(finals[0]));
+}
+
+TEST(FleetPlanner, ThreeDropletRotation) {
+  // Three droplets cyclically exchange three stations — every pairwise
+  // assignment conflicts with another droplet's start.
+  const Rect chip{0, 0, 19, 19};
+  const Rect a = Rect::from_size(2, 2, 3, 3);
+  const Rect b = Rect::from_size(14, 2, 3, 3);
+  const Rect c = Rect::from_size(8, 14, 3, 3);
+  const std::vector<assay::RoutingJob> jobs = {job(a, b, chip),
+                                               job(b, c, chip),
+                                               job(c, a, chip)};
+  const FleetPlan plan = plan_fleet(jobs, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  const auto finals = replay(plan, {a, b, c}, 2);
+  EXPECT_TRUE(jobs[0].goal.contains(finals[0]));
+  EXPECT_TRUE(jobs[1].goal.contains(finals[1]));
+  EXPECT_TRUE(jobs[2].goal.contains(finals[2]));
+}
+
+TEST(FleetPlanner, TrajectoriesMatchStepsAndStartAtTheStarts) {
+  const Rect chip{0, 0, 19, 9};
+  const std::vector<assay::RoutingJob> jobs = {
+      job(Rect::from_size(0, 0, 3, 3), Rect::from_size(12, 0, 3, 3), chip),
+      job(Rect::from_size(0, 6, 3, 3), Rect::from_size(12, 6, 3, 3), chip)};
+  const FleetPlan plan = plan_fleet(jobs, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.trajectories.size(), 2u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(plan.trajectories[i][0], jobs[i].start);
+    Rect pos = jobs[i].start;
+    for (std::size_t t = 0; t < plan.makespan; ++t) {
+      if (plan.steps[i][t]) pos = apply(*plan.steps[i][t], pos);
+      EXPECT_EQ(plan.trajectories[i][t + 1], pos) << i << " t=" << t;
+    }
+    EXPECT_TRUE(jobs[i].goal.contains(pos));
+  }
+}
+
+TEST(FleetPlanner, LaterDropletWaitsForACrossingHigherPriorityOne) {
+  // Droplet 0 crosses droplet 1's corridor; droplet 1 must wait or detour,
+  // so its arrival is later than its solo optimum.
+  const Rect chip{0, 0, 15, 15};
+  const auto j0 = job(Rect::from_size(6, 0, 3, 3),
+                      Rect::from_size(6, 12, 3, 3), chip);  // south → north
+  const auto j1 = job(Rect::from_size(0, 6, 3, 3),
+                      Rect::from_size(12, 6, 3, 3), chip);  // west → east
+  const std::vector<assay::RoutingJob> both = {j0, j1};
+  const FleetPlan plan = plan_fleet(both, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  replay(plan, {j0.start, j1.start}, 2);
+  const std::vector<assay::RoutingJob> solo = {j1};
+  const FleetPlan solo_plan = plan_fleet(solo, chip, no_morph_config());
+  // Droplet 1's share of the fleet plan is at least the solo makespan.
+  EXPECT_GE(plan.makespan, solo_plan.makespan);
+}
+
+TEST(FleetPlanner, SwapSolvableWithEnoughClearance) {
+  // A swap in a 10-row corridor: droplet 0 plans its solo optimum along
+  // the middle; droplet 1 still has room to pass two rows away.
+  const Rect chip{0, 0, 23, 9};
+  const auto j0 = job(Rect::from_size(0, 2, 3, 3),
+                      Rect::from_size(21, 2, 3, 3), chip);
+  const auto j1 = job(Rect::from_size(21, 2, 3, 3),
+                      Rect::from_size(0, 2, 3, 3), chip);
+  const std::vector<assay::RoutingJob> jobs = {j0, j1};
+  const FleetPlan plan = plan_fleet(jobs, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  const auto finals = replay(plan, {j0.start, j1.start}, 2);
+  EXPECT_TRUE(j0.goal.contains(finals[0]));
+  EXPECT_TRUE(j1.goal.contains(finals[1]));
+}
+
+TEST(FleetPlanner, PrioritizedPlanningIsIncompleteWhereJointSearchWins) {
+  // The 8-row corridor swap: the jointly-searched pair plan passes (see
+  // pair_planner_test), but prioritized planning fails — droplet 0's solo
+  // optimum hogs the middle rows and leaves no 2-gap lane for droplet 1.
+  // This documents the classic prioritized-MAPF trade-off.
+  const Rect chip{0, 0, 23, 7};
+  const auto j0 = job(Rect::from_size(0, 2, 3, 3),
+                      Rect::from_size(21, 2, 3, 3), chip);
+  const auto j1 = job(Rect::from_size(21, 2, 3, 3),
+                      Rect::from_size(0, 2, 3, 3), chip);
+  const std::vector<assay::RoutingJob> jobs = {j0, j1};
+  FleetPlannerConfig config = no_morph_config();
+  config.horizon = 96;
+  const FleetPlan plan = plan_fleet(jobs, chip, config);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(FleetPlanner, ExecutesOnTheSimulator) {
+  const Rect chip_bounds{0, 0, 19, 19};
+  sim::SimulatedChipConfig config;
+  config.chip.width = 20;
+  config.chip.height = 20;
+  sim::SimulatedChip chip(config, Rng(17));
+  const Rect a = Rect::from_size(2, 2, 3, 3);
+  const Rect b = Rect::from_size(14, 2, 3, 3);
+  const Rect c = Rect::from_size(8, 14, 3, 3);
+  const std::vector<assay::RoutingJob> jobs = {job(a, b, chip_bounds),
+                                               job(b, c, chip_bounds),
+                                               job(c, a, chip_bounds)};
+  const FleetPlan plan = plan_fleet(jobs, chip_bounds, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  const DropletId da = chip.dispense(Rect::from_size(2, 0, 3, 3));
+  chip.step({Command{da, Action::kN, -1}});
+  chip.step({Command{da, Action::kN, -1}});
+  // da now at a; dispense the others at edges and walk them in.
+  ASSERT_EQ(chip.droplet_position(da), a);
+  const DropletId db = chip.dispense(Rect::from_size(14, 0, 3, 3));
+  chip.step({Command{db, Action::kN, -1}});
+  chip.step({Command{db, Action::kN, -1}});
+  ASSERT_EQ(chip.droplet_position(db), b);
+  const DropletId dc = chip.dispense(Rect::from_size(8, 17, 3, 3));
+  chip.step({Command{dc, Action::kS, -1}});
+  chip.step({Command{dc, Action::kS, -1}});
+  chip.step({Command{dc, Action::kS, -1}});
+  ASSERT_EQ(chip.droplet_position(dc), c);
+
+  const DropletId ids[] = {da, db, dc};
+  for (std::size_t t = 0; t < plan.makespan; ++t) {
+    std::vector<Command> commands;
+    for (std::size_t i = 0; i < 3; ++i)
+      if (plan.steps[i][t])
+        commands.push_back(Command{ids[i], *plan.steps[i][t], -1});
+    chip.step(commands);
+  }
+  EXPECT_TRUE(jobs[0].goal.contains(chip.droplet_position(da)));
+  EXPECT_TRUE(jobs[1].goal.contains(chip.droplet_position(db)));
+  EXPECT_TRUE(jobs[2].goal.contains(chip.droplet_position(dc)));
+  EXPECT_EQ(chip.blocked_moves(), 0u);
+}
+
+TEST(FleetPlanner, RejectsTouchingStarts) {
+  const Rect chip{0, 0, 19, 9};
+  const std::vector<assay::RoutingJob> jobs = {
+      job(Rect::from_size(0, 0, 3, 3), Rect::from_size(10, 0, 3, 3), chip),
+      job(Rect::from_size(3, 0, 3, 3), Rect::from_size(14, 0, 3, 3), chip)};
+  EXPECT_THROW(plan_fleet(jobs, chip, no_morph_config()),
+               PreconditionError);
+}
+
+TEST(FleetPlanner, HorizonBoundFailsGracefully) {
+  const Rect chip{0, 0, 23, 7};
+  FleetPlannerConfig config = no_morph_config();
+  config.horizon = 4;  // far too short for a 21-column transport
+  const std::vector<assay::RoutingJob> jobs = {
+      job(Rect::from_size(0, 2, 3, 3), Rect::from_size(21, 2, 3, 3), chip)};
+  const FleetPlan plan = plan_fleet(jobs, chip, config);
+  EXPECT_FALSE(plan.feasible);
+}
+
+}  // namespace
+}  // namespace meda::core

@@ -1,0 +1,131 @@
+#include "core/library_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/experiments.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+/// Builds a library by running the offline phase for COVID-RAT.
+StrategyLibrary precomputed_library() {
+  StrategyLibrary library;
+  BiochipConfig chip;
+  chip.width = assay::kChipWidth;
+  chip.height = assay::kChipHeight;
+  sim::precompute_offline_library(library, assay::covid_rat(), chip,
+                                  SchedulerConfig{});
+  return library;
+}
+
+TEST(LibraryIo, RoundTripsThroughAStream) {
+  const StrategyLibrary original = precomputed_library();
+  ASSERT_GT(original.size(), 0u);
+  std::stringstream buffer;
+  save_library(original, buffer);
+  StrategyLibrary loaded;
+  load_library(loaded, buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  const auto original_entries = original.entries();
+  const auto loaded_entries = loaded.entries();
+  for (std::size_t i = 0; i < original_entries.size(); ++i) {
+    EXPECT_EQ(loaded_entries[i].start, original_entries[i].start);
+    EXPECT_EQ(loaded_entries[i].goal, original_entries[i].goal);
+    EXPECT_EQ(loaded_entries[i].hazard, original_entries[i].hazard);
+    EXPECT_EQ(loaded_entries[i].digest, original_entries[i].digest);
+    const SynthesisResult& a = *original_entries[i].result;
+    const SynthesisResult& b = *loaded_entries[i].result;
+    EXPECT_EQ(b.feasible, a.feasible);
+    EXPECT_DOUBLE_EQ(b.expected_cycles, a.expected_cycles);
+    EXPECT_DOUBLE_EQ(b.reach_probability, a.reach_probability);
+    EXPECT_EQ(b.strategy.size(), a.strategy.size());
+    for (const auto& [droplet, action] : a.strategy)
+      EXPECT_EQ(b.strategy.action(droplet), action) << droplet.to_string();
+  }
+}
+
+TEST(LibraryIo, LoadedLibraryServesASchedulerRun) {
+  // The deployment flow: precompute offline, save, restart, load, run with
+  // zero runtime synthesis.
+  const std::string path = "/tmp/meda_library_io_test.medalib";
+  {
+    const StrategyLibrary library = precomputed_library();
+    save_library_file(library, path);
+  }
+  StrategyLibrary loaded;
+  load_library_file(loaded, path);
+  std::remove(path.c_str());
+
+  sim::SimulatedChipConfig config;
+  config.chip.width = assay::kChipWidth;
+  config.chip.height = assay::kChipHeight;
+  sim::SimulatedChip chip(config, Rng(77));
+  Scheduler scheduler(SchedulerConfig{}, &loaded);
+  const ExecutionStats stats = scheduler.run(chip, assay::covid_rat());
+  ASSERT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_EQ(stats.synthesis_calls, 0);
+  EXPECT_GT(stats.library_hits, 0);
+}
+
+TEST(LibraryIo, SerializesInfiniteExpectations) {
+  StrategyLibrary library;
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 3, 3);
+  rj.goal = Rect::from_size(8, 0, 3, 3);
+  rj.hazard = Rect{0, 0, 11, 5};
+  SynthesisResult infeasible;  // default: feasible=false, E=inf, p=0
+  library.store(rj, 7, infeasible);
+  std::stringstream buffer;
+  save_library(library, buffer);
+  EXPECT_NE(buffer.str().find(" inf "), std::string::npos);
+  StrategyLibrary loaded;
+  load_library(loaded, buffer);
+  const SynthesisResult* entry = loaded.lookup(rj, 7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->feasible);
+  EXPECT_TRUE(std::isinf(entry->expected_cycles));
+}
+
+TEST(LibraryIo, RejectsMalformedFiles) {
+  StrategyLibrary library;
+  std::stringstream bad_magic("notalib 1\n");
+  EXPECT_THROW(load_library(library, bad_magic), PreconditionError);
+  std::stringstream bad_version("medalib 9\n");
+  EXPECT_THROW(load_library(library, bad_version), PreconditionError);
+  std::stringstream truncated(
+      "medalib 1\nentry 0 0 2 2 8 0 10 2 0 0 11 5 7 1 4");
+  EXPECT_THROW(load_library(library, truncated), PreconditionError);
+  EXPECT_THROW(load_library_file(library, "/nonexistent/lib"),
+               PreconditionError);
+}
+
+TEST(LibraryIo, LoadMergesWithExistingEntries) {
+  StrategyLibrary library;
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 3, 3);
+  rj.goal = Rect::from_size(4, 0, 3, 3);
+  rj.hazard = Rect{0, 0, 9, 5};
+  SynthesisResult r;
+  r.feasible = true;
+  r.expected_cycles = 4.0;
+  library.store(rj, 1, r);
+
+  StrategyLibrary other;
+  rj.goal = Rect::from_size(6, 0, 3, 3);
+  r.expected_cycles = 6.0;
+  other.store(rj, 2, r);
+  std::stringstream buffer;
+  save_library(other, buffer);
+  load_library(library, buffer);
+  EXPECT_EQ(library.size(), 2u);
+}
+
+}  // namespace
+}  // namespace meda::core

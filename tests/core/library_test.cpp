@@ -1,0 +1,114 @@
+#include "core/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meda::core {
+namespace {
+
+assay::RoutingJob sample_job() {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 4, 4);
+  rj.goal = Rect::from_size(10, 0, 4, 4);
+  rj.hazard = Rect{0, 0, 16, 9};
+  return rj;
+}
+
+SynthesisResult sample_result(double cycles) {
+  SynthesisResult r;
+  r.feasible = true;
+  r.expected_cycles = cycles;
+  r.strategy.set(Rect::from_size(0, 0, 4, 4), Action::kEE);
+  return r;
+}
+
+TEST(HealthDigest, SensitiveToChangesInsideTheArea) {
+  IntMatrix h(20, 10, 3);
+  const Rect area{2, 2, 8, 6};
+  const std::uint64_t before = health_digest(h, area);
+  h(5, 4) = 2;
+  EXPECT_NE(health_digest(h, area), before);
+}
+
+TEST(HealthDigest, InsensitiveToChangesOutsideTheArea) {
+  IntMatrix h(20, 10, 3);
+  const Rect area{2, 2, 8, 6};
+  const std::uint64_t before = health_digest(h, area);
+  h(15, 8) = 0;
+  h(0, 0) = 1;
+  EXPECT_EQ(health_digest(h, area), before);
+}
+
+TEST(HealthDigest, AreaClippedToTheMatrix) {
+  IntMatrix h(20, 10, 3);
+  const std::uint64_t full = health_digest(h, Rect{0, 0, 19, 9});
+  const std::uint64_t overhang = health_digest(h, Rect{-5, -5, 25, 15});
+  EXPECT_EQ(full, overhang);
+}
+
+TEST(HealthDigest, DistinguishesPositionOfChange) {
+  IntMatrix a(10, 10, 3), b(10, 10, 3);
+  a(2, 2) = 1;
+  b(3, 2) = 1;
+  const Rect area{0, 0, 9, 9};
+  EXPECT_NE(health_digest(a, area), health_digest(b, area));
+}
+
+TEST(StrategyLibrary, StoreAndLookup) {
+  StrategyLibrary lib;
+  const assay::RoutingJob rj = sample_job();
+  EXPECT_EQ(lib.lookup(rj, 42), nullptr);
+  EXPECT_EQ(lib.misses(), 1u);
+  lib.store(rj, 42, sample_result(5.0));
+  const SynthesisResult* hit = lib.lookup(rj, 42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->expected_cycles, 5.0);
+  EXPECT_EQ(lib.hits(), 1u);
+  EXPECT_EQ(lib.size(), 1u);
+}
+
+TEST(StrategyLibrary, DigestDistinguishesEntries) {
+  StrategyLibrary lib;
+  const assay::RoutingJob rj = sample_job();
+  lib.store(rj, 1, sample_result(5.0));
+  EXPECT_EQ(lib.lookup(rj, 2), nullptr);
+  lib.store(rj, 2, sample_result(7.0));
+  EXPECT_EQ(lib.size(), 2u);
+  EXPECT_DOUBLE_EQ(lib.lookup(rj, 1)->expected_cycles, 5.0);
+  EXPECT_DOUBLE_EQ(lib.lookup(rj, 2)->expected_cycles, 7.0);
+}
+
+TEST(StrategyLibrary, JobGeometryDistinguishesEntries) {
+  StrategyLibrary lib;
+  assay::RoutingJob rj = sample_job();
+  lib.store(rj, 1, sample_result(5.0));
+  rj.start = rj.start.shifted(1, 0);  // re-anchored mid-route job
+  EXPECT_EQ(lib.lookup(rj, 1), nullptr);
+  rj = sample_job();
+  rj.goal = rj.goal.shifted(0, 1);
+  EXPECT_EQ(lib.lookup(rj, 1), nullptr);
+  rj = sample_job();
+  rj.hazard = rj.hazard.inflated(1);
+  EXPECT_EQ(lib.lookup(rj, 1), nullptr);
+}
+
+TEST(StrategyLibrary, StoreOverwritesNewerResult) {
+  StrategyLibrary lib;
+  const assay::RoutingJob rj = sample_job();
+  lib.store(rj, 9, sample_result(5.0));
+  lib.store(rj, 9, sample_result(3.0));
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_DOUBLE_EQ(lib.lookup(rj, 9)->expected_cycles, 3.0);
+}
+
+TEST(StrategyLibrary, ClearResetsEverything) {
+  StrategyLibrary lib;
+  lib.store(sample_job(), 1, sample_result(5.0));
+  (void)lib.lookup(sample_job(), 1);
+  lib.clear();
+  EXPECT_EQ(lib.size(), 0u);
+  EXPECT_EQ(lib.hits(), 0u);
+  EXPECT_EQ(lib.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace meda::core

@@ -1,0 +1,194 @@
+#include "core/pair_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/outcomes.hpp"
+#include "sim/simulated_chip.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+PairPlannerConfig no_morph_config() {
+  PairPlannerConfig config;
+  config.rules.enable_morphing = false;
+  return config;
+}
+
+assay::RoutingJob job(const Rect& start, const Rect& goal,
+                      const Rect& hazard) {
+  assay::RoutingJob rj;
+  rj.start = start;
+  rj.goal = goal;
+  rj.hazard = hazard;
+  return rj;
+}
+
+/// Applies a plan's intended outcomes (full-health semantics) and checks
+/// the separation invariant along the way.
+std::pair<Rect, Rect> replay(const PairPlan& plan, Rect a, Rect b,
+                             int min_gap) {
+  for (const PairPlanStep& step : plan.steps) {
+    if (step.a) a = apply(*step.a, a);
+    if (step.b) b = apply(*step.b, b);
+    EXPECT_GE(a.manhattan_gap(b), min_gap);
+  }
+  return {a, b};
+}
+
+TEST(PairPlanner, DisjointCorridorsMakespanIsTheSlowerRoute) {
+  const Rect chip{0, 0, 29, 19};
+  const DoubleMatrix force = full_health_force(30, 20);
+  // Droplet a: 8 cells east (4 double steps); droplet b: 4 cells east.
+  const auto ja = job(Rect::from_size(0, 2, 4, 4),
+                      Rect::from_size(8, 2, 4, 4), Rect{0, 0, 29, 7});
+  const auto jb = job(Rect::from_size(0, 13, 4, 4),
+                      Rect::from_size(4, 13, 4, 4), Rect{0, 12, 29, 19});
+  const PairPlan plan = plan_pair(ja, jb, force, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.steps.size(), 4u);  // makespan = slower droplet
+  EXPECT_DOUBLE_EQ(plan.expected_cycles, 4.0);
+  const auto [fa, fb] = replay(plan, ja.start, jb.start, 2);
+  EXPECT_TRUE(ja.goal.contains(fa));
+  EXPECT_TRUE(jb.goal.contains(fb));
+}
+
+TEST(PairPlanner, SwapInACorridorWithAPassingBay) {
+  // A 6-row corridor with droplets that must exchange ends: independent
+  // shortest paths collide head-on; the joint plan uses the vertical space
+  // to pass. (3×3 droplets, corridor 24×8.)
+  const Rect chip{0, 0, 23, 7};
+  const DoubleMatrix force = full_health_force(24, 8);
+  const Rect hazard = chip;
+  const auto ja = job(Rect::from_size(0, 2, 3, 3),
+                      Rect::from_size(21, 2, 3, 3), hazard);
+  const auto jb = job(Rect::from_size(21, 2, 3, 3),
+                      Rect::from_size(0, 2, 3, 3), hazard);
+  const PairPlan plan = plan_pair(ja, jb, force, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  const auto [fa, fb] = replay(plan, ja.start, jb.start, 2);
+  EXPECT_TRUE(ja.goal.contains(fa));
+  EXPECT_TRUE(jb.goal.contains(fb));
+  // 21 columns of travel each; passing costs a bounded detour.
+  EXPECT_GE(plan.steps.size(), 11u);
+  EXPECT_LE(plan.steps.size(), 24u);
+}
+
+TEST(PairPlanner, SwapIsInfeasibleWithoutAPassingBay) {
+  // A corridor exactly as tall as the droplets plus the separation gap on
+  // one side only: there is no room to pass.
+  const Rect chip{0, 0, 23, 3};  // 4 rows; 3×3 droplets can't pass
+  const DoubleMatrix force = full_health_force(24, 4);
+  const auto ja = job(Rect::from_size(0, 0, 3, 3),
+                      Rect::from_size(21, 0, 3, 3), chip);
+  const auto jb = job(Rect::from_size(21, 0, 3, 3),
+                      Rect::from_size(0, 0, 3, 3), chip);
+  const PairPlan plan = plan_pair(ja, jb, force, chip, no_morph_config());
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PairPlanner, SeparationRuleHoldsInEveryIntermediateState) {
+  const Rect chip{0, 0, 19, 9};
+  const DoubleMatrix force = full_health_force(20, 10);
+  // Crossing routes: a goes east along the middle, b goes west.
+  const auto ja = job(Rect::from_size(0, 3, 3, 3),
+                      Rect::from_size(16, 3, 3, 3), chip);
+  const auto jb = job(Rect::from_size(16, 3, 3, 3),
+                      Rect::from_size(0, 3, 3, 3), chip);
+  const PairPlan plan = plan_pair(ja, jb, force, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  replay(plan, ja.start, jb.start, 2);  // asserts the gap at every step
+}
+
+TEST(PairPlanner, WeightsSteerAroundWornCells) {
+  const Rect chip{0, 0, 19, 11};
+  DoubleMatrix force = full_health_force(20, 12);
+  for (int x = 8; x <= 10; ++x)
+    for (int y = 0; y <= 5; ++y) force(x, y) = 0.05;  // worn southern band
+  const auto ja = job(Rect::from_size(0, 1, 3, 3),
+                      Rect::from_size(16, 1, 3, 3), chip);
+  // b parks far north, out of the way.
+  const auto jb = job(Rect::from_size(0, 9, 3, 3),
+                      Rect::from_size(2, 9, 3, 3), chip);
+  const PairPlan plan = plan_pair(ja, jb, force, chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  // Droplet a detours north of the worn band: no step may cost > 3
+  // expected cycles (crossing the band would cost ~20 per step).
+  EXPECT_LT(plan.expected_cycles, 3.0 * plan.steps.size());
+  Rect a = ja.start;
+  for (const PairPlanStep& step : plan.steps) {
+    if (step.a) a = apply(*step.a, a);
+    for (int x = 8; x <= 10; ++x)
+      for (int y = 0; y <= 5; ++y)
+        EXPECT_FALSE(a.contains(x, y)) << a.to_string();
+  }
+}
+
+TEST(PairPlanner, ExecutesOnTheSimulator) {
+  // Drive the swap plan open-loop on a healthy simulated chip: moves are
+  // deterministic, so the plan executes exactly.
+  const Rect chip_bounds{0, 0, 23, 7};
+  sim::SimulatedChipConfig config;
+  config.chip.width = 24;
+  config.chip.height = 8;
+  sim::SimulatedChip chip(config, Rng(3));
+  const auto ja = job(Rect::from_size(0, 2, 3, 3),
+                      Rect::from_size(21, 2, 3, 3), chip_bounds);
+  const auto jb = job(Rect::from_size(21, 2, 3, 3),
+                      Rect::from_size(0, 2, 3, 3), chip_bounds);
+  const PairPlan plan = plan_pair(ja, jb, full_health_force(24, 8),
+                                  chip_bounds, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  const DropletId da = chip.dispense(ja.start);
+  const DropletId db = chip.dispense(jb.start);
+  for (const PairPlanStep& step : plan.steps) {
+    std::vector<Command> commands;
+    if (step.a) commands.push_back(Command{da, *step.a, -1});
+    if (step.b) commands.push_back(Command{db, *step.b, -1});
+    chip.step(commands);
+  }
+  EXPECT_TRUE(ja.goal.contains(chip.droplet_position(da)));
+  EXPECT_TRUE(jb.goal.contains(chip.droplet_position(db)));
+  EXPECT_EQ(chip.blocked_moves(), 0u);
+}
+
+TEST(PairPlanner, StartAtGoalsIsTrivial) {
+  const Rect chip{0, 0, 19, 9};
+  const auto ja = job(Rect::from_size(0, 0, 3, 3),
+                      Rect::from_size(0, 0, 3, 3), chip);
+  const auto jb = job(Rect::from_size(10, 0, 3, 3),
+                      Rect::from_size(10, 0, 3, 3), chip);
+  const PairPlan plan =
+      plan_pair(ja, jb, full_health_force(20, 10), chip, no_morph_config());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_DOUBLE_EQ(plan.expected_cycles, 0.0);
+}
+
+TEST(PairPlanner, RejectsTouchingStartPair) {
+  const Rect chip{0, 0, 19, 9};
+  const auto ja = job(Rect::from_size(0, 0, 3, 3),
+                      Rect::from_size(10, 0, 3, 3), chip);
+  const auto jb = job(Rect::from_size(3, 0, 3, 3),  // overlapping a
+                      Rect::from_size(15, 0, 3, 3), chip);
+  EXPECT_THROW(plan_pair(ja, jb, full_health_force(20, 10), chip,
+                         no_morph_config()),
+               PreconditionError);
+}
+
+TEST(PairPlanner, EffortBoundFailsGracefully) {
+  const Rect chip{0, 0, 23, 7};
+  PairPlannerConfig config = no_morph_config();
+  config.max_expansions = 10;
+  const auto ja = job(Rect::from_size(0, 2, 3, 3),
+                      Rect::from_size(21, 2, 3, 3), chip);
+  const auto jb = job(Rect::from_size(21, 2, 3, 3),
+                      Rect::from_size(0, 2, 3, 3), chip);
+  const PairPlan plan =
+      plan_pair(ja, jb, full_health_force(24, 8), chip, config);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_LE(plan.states_expanded, 11u);
+}
+
+}  // namespace
+}  // namespace meda::core

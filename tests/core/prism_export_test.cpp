@@ -1,0 +1,148 @@
+#include "core/prism_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "model/outcomes.hpp"
+
+namespace meda::core {
+namespace {
+
+RoutingMdp small_mdp() {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 3, 3);
+  rj.goal = Rect::from_size(4, 0, 3, 3);
+  rj.hazard = Rect{0, 0, 6, 4};
+  ActionRules rules;
+  rules.enable_morphing = false;
+  return build_routing_mdp(rj, DoubleMatrix(8, 6, 0.5), Rect{0, 0, 7, 5},
+                           rules);
+}
+
+TEST(PrismExport, StatesFileListsEveryStateOnce) {
+  const RoutingMdp mdp = small_mdp();
+  std::ostringstream os;
+  write_prism_states(mdp, os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "(xa,ya,xb,yb)");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.find(std::to_string(rows) + ":("), 0u) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, mdp.state_count());
+  // The sink carries the out-of-band tuple.
+  EXPECT_NE(os.str().find(std::to_string(mdp.hazard_sink()) +
+                          ":(-1,-1,-1,-1)"),
+            std::string::npos);
+}
+
+TEST(PrismExport, TransitionsHeaderMatchesBody) {
+  const RoutingMdp mdp = small_mdp();
+  std::ostringstream os;
+  write_prism_transitions(mdp, os);
+  std::istringstream is(os.str());
+  std::size_t states = 0, choices = 0, transitions = 0;
+  is >> states >> choices >> transitions;
+  EXPECT_EQ(states, mdp.state_count());
+  std::size_t rows = 0;
+  std::string line;
+  std::getline(is, line);  // rest of header line
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, transitions);
+}
+
+TEST(PrismExport, TransitionRowsAreStochasticPerChoice) {
+  const RoutingMdp mdp = small_mdp();
+  std::ostringstream os;
+  write_prism_transitions(mdp, os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  // Accumulate probability per (state, choice).
+  std::map<std::pair<long, long>, double> mass;
+  long s, c, t;
+  double p;
+  std::string action;
+  while (is >> s >> c >> t >> p >> action) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    mass[{s, c}] += p;
+  }
+  EXPECT_FALSE(mass.empty());
+  for (const auto& [key, total] : mass)
+    EXPECT_NEAR(total, 1.0, 1e-9)
+        << "state " << key.first << " choice " << key.second;
+}
+
+TEST(PrismExport, EveryStateHasAtLeastOneChoice) {
+  // PRISM's explicit importer rejects deadlocked states; absorbing states
+  // must carry self-loops.
+  const RoutingMdp mdp = small_mdp();
+  std::ostringstream os;
+  write_prism_transitions(mdp, os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  std::vector<bool> has_choice(mdp.state_count(), false);
+  long s, c, t;
+  double p;
+  std::string action;
+  while (is >> s >> c >> t >> p >> action)
+    has_choice[static_cast<std::size_t>(s)] = true;
+  for (std::size_t i = 0; i < has_choice.size(); ++i)
+    EXPECT_TRUE(has_choice[i]) << "state " << i;
+}
+
+TEST(PrismExport, LabelsMarkInitGoalHazard) {
+  const RoutingMdp mdp = small_mdp();
+  std::ostringstream os;
+  write_prism_labels(mdp, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0=\"init\""), std::string::npos);
+  EXPECT_NE(text.find("2=\"goal\""), std::string::npos);
+  EXPECT_NE(text.find("3=\"hazard\""), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(mdp.start) + ": 0"),
+            std::string::npos);
+  EXPECT_NE(text.find(std::to_string(mdp.hazard_sink()) + ": 3"),
+            std::string::npos);
+  // Exactly one goal state in this model.
+  std::size_t goal_rows = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.size() > 2 && line.substr(line.size() - 2) == " 2") ++goal_rows;
+  EXPECT_EQ(goal_rows, 1u);
+}
+
+TEST(PrismExport, PropertiesEncodeThePapersQueries) {
+  std::ostringstream os;
+  write_prism_properties(os);
+  const std::string props = os.str();
+  EXPECT_NE(props.find("Pmax=? [ !\"hazard\" U \"goal\" ];"),
+            std::string::npos);
+  EXPECT_NE(props.find("Rmin=? [ F \"goal\" ];"), std::string::npos);
+}
+
+TEST(PrismExport, WritesAllFourFiles) {
+  const RoutingMdp mdp = small_mdp();
+  const std::string base = "/tmp/meda_prism_export_test";
+  export_prism_model(mdp, base);
+  for (const char* ext : {".sta", ".tra", ".lab", ".props"}) {
+    std::ifstream in(base + ext);
+    EXPECT_TRUE(in.is_open()) << ext;
+    std::string first;
+    std::getline(in, first);
+    EXPECT_FALSE(first.empty()) << ext;
+    std::remove((base + ext).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace meda::core

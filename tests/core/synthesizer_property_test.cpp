@@ -1,0 +1,135 @@
+// Property sweeps over the synthesizer: monotonicity and consistency
+// relations that must hold for any routing job.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/synthesizer.hpp"
+#include "model/outcomes.hpp"
+#include "util/rng.hpp"
+
+namespace meda::core {
+namespace {
+
+SynthesisConfig no_morph_config() {
+  SynthesisConfig config;
+  config.rules.enable_morphing = false;
+  return config;
+}
+
+/// (droplet side, travel distance) sweep fixture.
+class SynthesizerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SynthesizerSweep, FullHealthExpectedCyclesMatchKinematics) {
+  const auto [side, distance] = GetParam();
+  const Rect chip{0, 0, 39, 19};
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 4, side, side);
+  rj.goal = Rect::from_size(distance, 4, side, side);
+  rj.hazard = chip;
+  const Synthesizer synth(chip, no_morph_config());
+  const SynthesisResult r =
+      synth.synthesize_with_force(rj, full_health_force(40, 20));
+  ASSERT_TRUE(r.feasible);
+  // Double steps need side >= 4: cycles = ceil(d/2); else d single steps.
+  const double expected =
+      side >= 4 ? std::ceil(distance / 2.0) : distance;
+  EXPECT_DOUBLE_EQ(r.expected_cycles, expected)
+      << "side " << side << " distance " << distance;
+  EXPECT_DOUBLE_EQ(r.reach_probability, 1.0);
+}
+
+TEST_P(SynthesizerSweep, UniformWearScalesExpectedCyclesInversely) {
+  const auto [side, distance] = GetParam();
+  const Rect chip{0, 0, 39, 19};
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 4, side, side);
+  rj.goal = Rect::from_size(distance, 4, side, side);
+  rj.hazard = chip;
+  const Synthesizer synth(chip, no_morph_config());
+  double previous = 0.0;
+  for (const double f : {1.0, 0.8, 0.5, 0.3}) {
+    const SynthesisResult r =
+        synth.synthesize_with_force(rj, DoubleMatrix(40, 20, f));
+    ASSERT_TRUE(r.feasible) << f;
+    // Uniform force: single steps cost 1/f; double steps (side >= 4) have
+    // expected progress f(1+f) per cycle, so cost strictly decreases in f.
+    EXPECT_GT(r.expected_cycles, previous) << f;
+    previous = r.expected_cycles;
+    // And the model-exact lower bound: at least distance/(2f) cycles.
+    EXPECT_GE(r.expected_cycles, distance / (2.0 * f) - 1e-9) << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SidesAndDistances, SynthesizerSweep,
+    ::testing::Combine(::testing::Values(3, 4, 5),
+                       ::testing::Values(4, 8, 14)));
+
+TEST(SynthesizerProperties, ExpandingHazardNeverHurts) {
+  // A larger routing area can only improve (or preserve) the optimum.
+  const Rect chip{0, 0, 29, 29};
+  DoubleMatrix force = full_health_force(30, 30);
+  for (int y = 2; y < 30; ++y) force(12, y) = 0.02;  // weak wall, south gap
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(2, 10, 3, 3);
+  rj.goal = Rect::from_size(22, 10, 3, 3);
+  const Synthesizer synth(chip, no_morph_config());
+  double previous = std::numeric_limits<double>::infinity();
+  for (const int margin : {1, 3, 6, 10}) {
+    rj.hazard = assay::zone(rj.start, rj.goal, chip, margin);
+    const SynthesisResult r = synth.synthesize_with_force(rj, force);
+    ASSERT_TRUE(r.feasible) << margin;
+    EXPECT_LE(r.expected_cycles, previous + 1e-9) << margin;
+    previous = r.expected_cycles;
+  }
+}
+
+TEST(SynthesizerProperties, CellImprovementNeverHurts) {
+  // Raising any single cell's force cannot increase the optimal expected
+  // cycles (sampled over a few cells).
+  const Rect chip{0, 0, 19, 9};
+  DoubleMatrix force(20, 10, 0.5);
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 3, 3, 3);
+  rj.goal = Rect::from_size(14, 3, 3, 3);
+  rj.hazard = chip;
+  const Synthesizer synth(chip, no_morph_config());
+  const double base =
+      synth.synthesize_with_force(rj, force).expected_cycles;
+  for (const auto& [x, y] : {std::pair{5, 4}, {10, 3}, {13, 5}, {2, 2}}) {
+    DoubleMatrix improved = force;
+    improved(x, y) = 1.0;
+    const double better =
+        synth.synthesize_with_force(rj, improved).expected_cycles;
+    EXPECT_LE(better, base + 1e-9) << x << "," << y;
+  }
+}
+
+TEST(SynthesizerProperties, PmaxNeverBelowAnyFeasibleRminPolicy) {
+  // Whenever Rmin is finite, Pmax must be 1 (consistency between queries
+  // at the synthesizer level, across a sweep of degraded fields).
+  const Rect chip{0, 0, 19, 9};
+  const Synthesizer synth(chip, no_morph_config());
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    DoubleMatrix force(20, 10);
+    for (int y = 0; y < 10; ++y)
+      for (int x = 0; x < 20; ++x)
+        force(x, y) = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.2, 1.0);
+    assay::RoutingJob rj;
+    rj.start = Rect::from_size(0, 3, 3, 3);
+    rj.goal = Rect::from_size(15, 3, 3, 3);
+    rj.hazard = chip;
+    const SynthesisResult r = synth.synthesize_with_force(rj, force);
+    if (std::isfinite(r.expected_cycles)) {
+      EXPECT_NEAR(r.reach_probability, 1.0, 1e-6) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meda::core

@@ -1,0 +1,61 @@
+#include "geometry/direction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/point.hpp"
+
+namespace meda {
+namespace {
+
+TEST(Direction, UnitVectors) {
+  EXPECT_EQ(unit(Dir::N), (Vec2i{0, 1}));
+  EXPECT_EQ(unit(Dir::S), (Vec2i{0, -1}));
+  EXPECT_EQ(unit(Dir::E), (Vec2i{1, 0}));
+  EXPECT_EQ(unit(Dir::W), (Vec2i{-1, 0}));
+}
+
+TEST(Direction, OrdinalComponents) {
+  EXPECT_EQ(vertical(Ordinal::NE), Dir::N);
+  EXPECT_EQ(horizontal(Ordinal::NE), Dir::E);
+  EXPECT_EQ(vertical(Ordinal::SW), Dir::S);
+  EXPECT_EQ(horizontal(Ordinal::SW), Dir::W);
+  EXPECT_EQ(vertical(Ordinal::NW), Dir::N);
+  EXPECT_EQ(horizontal(Ordinal::NW), Dir::W);
+  EXPECT_EQ(vertical(Ordinal::SE), Dir::S);
+  EXPECT_EQ(horizontal(Ordinal::SE), Dir::E);
+}
+
+TEST(Direction, OrdinalUnitIsSumOfComponents) {
+  for (Ordinal o : kAllOrdinals)
+    EXPECT_EQ(unit(o), unit(vertical(o)) + unit(horizontal(o)));
+}
+
+TEST(Direction, Opposites) {
+  for (Dir d : kAllDirs) {
+    EXPECT_NE(opposite(d), d);
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_EQ(unit(opposite(d)) + unit(d), (Vec2i{0, 0}));
+  }
+}
+
+TEST(Direction, IsVertical) {
+  EXPECT_TRUE(is_vertical(Dir::N));
+  EXPECT_TRUE(is_vertical(Dir::S));
+  EXPECT_FALSE(is_vertical(Dir::E));
+  EXPECT_FALSE(is_vertical(Dir::W));
+}
+
+TEST(Direction, Names) {
+  EXPECT_EQ(to_string(Dir::N), "N");
+  EXPECT_EQ(to_string(Ordinal::SW), "SW");
+}
+
+TEST(Point, ManhattanAndChebyshev) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-1, 2}, {2, -2}), 7);
+  EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(chebyshev({5, 5}, {5, 5}), 0);
+}
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,108 @@
+#include "geometry/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meda {
+namespace {
+
+// Example 1 of the paper: δ = (3, 2, 7, 5).
+TEST(Rect, PaperExample1Geometry) {
+  const Rect d{3, 2, 7, 5};
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.width(), 5);
+  EXPECT_EQ(d.height(), 4);
+  EXPECT_EQ(d.area(), 20);
+  EXPECT_DOUBLE_EQ(d.aspect_ratio(), 5.0 / 4.0);
+}
+
+TEST(Rect, PaperExample1Membership) {
+  const Rect d{3, 2, 7, 5};
+  // U_ij = 1 exactly on [3,7]×[2,5].
+  for (int x = 0; x < 12; ++x)
+    for (int y = 0; y < 10; ++y)
+      EXPECT_EQ(d.contains(x, y), x >= 3 && x <= 7 && y >= 2 && y <= 5)
+          << "(" << x << ", " << y << ")";
+}
+
+TEST(Rect, NoneIsInvalid) {
+  EXPECT_FALSE(Rect::none().valid());
+}
+
+TEST(Rect, FromSize) {
+  const Rect r = Rect::from_size(2, 3, 4, 5);
+  EXPECT_EQ(r, (Rect{2, 3, 5, 7}));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 5);
+}
+
+// Example 4: a 4×4 droplet at center (17.5, 2.5) spans (16, 1, 19, 4).
+TEST(Rect, FromCenterMatchesPaperExample4) {
+  EXPECT_EQ(Rect::from_center(17.5, 2.5, 4, 4), (Rect{16, 1, 19, 4}));
+  EXPECT_EQ(Rect::from_center(17.5, 28.5, 4, 4), (Rect{16, 27, 19, 30}));
+}
+
+// Table IV M4: a 6×5 droplet at (40.5, 15.5) spans (38, 14, 43, 18).
+TEST(Rect, FromCenterMatchesPaperTable4MagRow) {
+  EXPECT_EQ(Rect::from_center(40.5, 15.5, 6, 5), (Rect{38, 14, 43, 18}));
+  EXPECT_EQ(Rect::from_center(10.5, 15.5, 6, 5), (Rect{8, 14, 13, 18}));
+}
+
+TEST(Rect, CenterRoundTrips) {
+  const Rect r = Rect::from_center(10.5, 20.5, 4, 4);
+  EXPECT_DOUBLE_EQ(r.center_x(), 10.5);
+  EXPECT_DOUBLE_EQ(r.center_y(), 20.5);
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 9, 9};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 9, 9}));
+  EXPECT_TRUE(outer.contains(Rect{3, 3, 5, 5}));
+  EXPECT_FALSE(outer.contains(Rect{3, 3, 10, 5}));
+  EXPECT_FALSE(outer.contains(Rect{-1, 0, 5, 5}));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.intersects(Rect{4, 4, 8, 8}));   // share the corner cell
+  EXPECT_FALSE(a.intersects(Rect{5, 0, 8, 4}));  // adjacent, disjoint
+  EXPECT_FALSE(a.intersects(Rect::none()));
+}
+
+TEST(Rect, ShiftedAndInflated) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.shifted(1, -2), (Rect{3, 1, 5, 3}));
+  EXPECT_EQ(r.inflated(3), (Rect{-1, 0, 7, 8}));
+}
+
+TEST(Rect, UnionWith) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{5, 1, 6, 7};
+  EXPECT_EQ(a.union_with(b), (Rect{0, 0, 6, 7}));
+  EXPECT_EQ(Rect::none().union_with(b), b);
+  EXPECT_EQ(a.union_with(Rect::none()), a);
+}
+
+TEST(Rect, IntersectionWith) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{3, 3, 8, 8};
+  EXPECT_EQ(a.intersection_with(b), (Rect{3, 3, 5, 5}));
+  EXPECT_FALSE(a.intersection_with(Rect{6, 6, 8, 8}).valid());
+}
+
+TEST(Rect, ManhattanGap) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.manhattan_gap(Rect{1, 1, 3, 3}), 0);  // overlapping
+  EXPECT_EQ(a.manhattan_gap(Rect{3, 0, 5, 2}), 1);  // edge-adjacent
+  EXPECT_EQ(a.manhattan_gap(Rect{4, 0, 6, 2}), 2);
+  EXPECT_EQ(a.manhattan_gap(Rect{3, 3, 5, 5}), 2);  // diagonal adjacency
+  EXPECT_EQ(a.manhattan_gap(Rect{0, 5, 2, 7}), 3);
+}
+
+TEST(Rect, HashDistinguishesRects) {
+  const std::hash<Rect> h;
+  EXPECT_NE(h(Rect{0, 0, 1, 1}), h(Rect{0, 0, 1, 2}));
+  EXPECT_EQ(h(Rect{3, 2, 7, 5}), h(Rect{3, 2, 7, 5}));
+}
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,158 @@
+// Golden tests tying the paper's worked examples together end to end.
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "assay/helper.hpp"
+#include "assay/mo.hpp"
+#include "core/synthesizer.hpp"
+#include "model/frontier.hpp"
+#include "model/guards.hpp"
+#include "model/outcomes.hpp"
+
+namespace meda {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Example 1 — droplet model: δ = (3, 2, 7, 5) with w=5, h=4, A=20, AR=5/4,
+// and the induced actuation matrix U.
+TEST(PaperExamples, Example1DropletModel) {
+  const Rect delta{3, 2, 7, 5};
+  EXPECT_EQ(delta.width(), 5);
+  EXPECT_EQ(delta.height(), 4);
+  EXPECT_EQ(delta.area(), 20);
+  EXPECT_DOUBLE_EQ(delta.aspect_ratio(), 1.25);
+  BoolMatrix u(12, 10);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 0; x < 12; ++x) u(x, y) = delta.contains(x, y);
+  int actuated = 0;
+  for (unsigned char v : u.data()) actuated += v;
+  EXPECT_EQ(actuated, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 — frontier sets of a_NE on δ = (3, 2, 7, 5).
+TEST(PaperExamples, Example2FrontierSets) {
+  const Rect delta{3, 2, 7, 5};
+  EXPECT_EQ(frontier(delta, Action::kNE, Dir::E), (Rect{8, 3, 8, 6}));
+  EXPECT_EQ(frontier(delta, Action::kNE, Dir::N), (Rect{4, 6, 8, 6}));
+  EXPECT_EQ(frontier_size(delta, Action::kNE, Dir::E), 4);
+  EXPECT_EQ(frontier_size(delta, Action::kNE, Dir::N), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Example 3 — transition probability p(NE | δ, a_NE) = 0.76 · 0.7 = 0.532.
+TEST(PaperExamples, Example3TransitionProbability) {
+  const Rect delta{3, 2, 7, 5};
+  DoubleMatrix force(12, 10, 1.0);
+  force(8, 3) = 0.6;
+  force(8, 4) = 0.5;
+  force(8, 5) = 0.8;
+  force(8, 6) = 0.9;
+  force(4, 6) = 0.9;
+  force(5, 6) = 0.4;
+  force(6, 6) = 0.9;
+  force(7, 6) = 0.7;
+  const double s_n =
+      mean_frontier_force(force, frontier(delta, Action::kNE, Dir::N));
+  const double s_e =
+      mean_frontier_force(force, frontier(delta, Action::kNE, Dir::E));
+  EXPECT_NEAR(s_n, 0.76, 1e-12);
+  EXPECT_NEAR(s_e, 0.70, 1e-12);
+  EXPECT_NEAR(s_n * s_e, 0.532, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Guard example of Section V-B: r = 3/2, δ = (3, 2, 7, 5) → g_↑ holds,
+// g_↓ does not.
+TEST(PaperExamples, SectionVBGuardExample) {
+  const Rect delta{3, 2, 7, 5};
+  ActionRules rules;
+  rules.max_aspect_ratio = 1.5;
+  EXPECT_TRUE(guard_satisfied(Action::kHeightenNE, delta, rules));
+  EXPECT_FALSE(guard_satisfied(Action::kWidenNE, delta, rules));
+}
+
+// ---------------------------------------------------------------------------
+// Examples 4 & 5 / Table IV — the full MO→RJ decomposition of the Fig. 12
+// sequence graph on a 60×30 chip (the paper's 1-based coordinates).
+TEST(PaperExamples, Table4FullDecomposition) {
+  assay::AssayBuilder b("fig12");
+  const int m1 = b.dispense(17.5, 2.5, 16);
+  const int m2 = b.dispense(17.5, 28.5, 16);
+  const int m3 = b.mix({m1}, {m2}, 10.5, 15.5);
+  const int m4 = b.mag({m3}, 40.5, 15.5);
+  b.output({m4}, 55.5, 15.5);
+  const assay::MoList list = std::move(b).build();
+  const Rect chip{1, 1, 60, 30};
+  const auto outputs = assay::compute_outputs(list);
+
+  // M1 / M2 — dispense rows.
+  {
+    const auto rjs = assay::make_routing_jobs(list, 0, outputs, chip);
+    ASSERT_EQ(rjs.size(), 1u);
+    EXPECT_EQ(rjs[0].goal, (Rect{16, 1, 19, 4}));
+    EXPECT_EQ(rjs[0].hazard, (Rect{13, 1, 22, 7}));
+  }
+  {
+    const auto rjs = assay::make_routing_jobs(list, 1, outputs, chip);
+    EXPECT_EQ(rjs[0].goal, (Rect{16, 27, 19, 30}));
+    EXPECT_EQ(rjs[0].hazard, (Rect{13, 24, 22, 30}));
+  }
+  // M3 — mix rows RJ3.0 / RJ3.1.
+  {
+    const auto rjs = assay::make_routing_jobs(list, 2, outputs, chip);
+    ASSERT_EQ(rjs.size(), 2u);
+    EXPECT_EQ(rjs[0].start, (Rect{16, 1, 19, 4}));
+    EXPECT_EQ(rjs[0].goal, (Rect{9, 14, 12, 17}));
+    EXPECT_EQ(rjs[0].hazard, (Rect{6, 1, 22, 20}));
+    EXPECT_EQ(rjs[1].start, (Rect{16, 27, 19, 30}));
+    EXPECT_EQ(rjs[1].goal, (Rect{9, 14, 12, 17}));
+    EXPECT_EQ(rjs[1].hazard, (Rect{6, 11, 22, 30}));
+  }
+  // M4 — mag row: the 32-cell mix product becomes a 6×5 pattern (6.3%
+  // error) routed from (8, 14, 13, 18) to (38, 14, 43, 18) within
+  // (5, 11, 46, 21).
+  {
+    const assay::DropletSize size = assay::size_for_area(32);
+    EXPECT_EQ(size.w, 6);
+    EXPECT_EQ(size.h, 5);
+    EXPECT_NEAR(size.error, 0.0625, 1e-12);
+    const auto rjs = assay::make_routing_jobs(list, 3, outputs, chip);
+    ASSERT_EQ(rjs.size(), 1u);
+    EXPECT_EQ(rjs[0].start, (Rect{8, 14, 13, 18}));
+    EXPECT_EQ(rjs[0].goal, (Rect{38, 14, 43, 18}));
+    EXPECT_EQ(rjs[0].hazard, (Rect{5, 11, 46, 21}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table V — the routing-job MDPs match the paper's state counts up to its
+// two extra absorbing bookkeeping states (see EXPERIMENTS.md).
+TEST(PaperExamples, TableVStateCountsMinusTwo) {
+  const struct {
+    int area, droplet, paper_states;
+  } rows[] = {{10, 3, 67}, {10, 4, 52}, {10, 5, 39}, {10, 6, 28},
+              {20, 3, 327}, {20, 4, 292}, {20, 5, 259}, {20, 6, 228},
+              {30, 3, 787}, {30, 4, 732}, {30, 5, 679}, {30, 6, 628}};
+  core::SynthesisConfig config;
+  config.rules.enable_morphing = false;
+  for (const auto& row : rows) {
+    const Rect chip{0, 0, row.area - 1, row.area - 1};
+    assay::RoutingJob rj;
+    rj.start = Rect::from_size(0, 0, row.droplet, row.droplet);
+    rj.goal = Rect::from_size(row.area - row.droplet,
+                              row.area - row.droplet, row.droplet,
+                              row.droplet);
+    rj.hazard = chip;
+    const core::Synthesizer synth(chip, config);
+    const core::SynthesisResult r = synth.synthesize(
+        rj, IntMatrix(row.area, row.area, 2), 2);
+    EXPECT_EQ(r.stats.states, static_cast<std::size_t>(row.paper_states - 2))
+        << row.area << "/" << row.droplet;
+    EXPECT_TRUE(r.feasible);
+  }
+}
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,208 @@
+#include "mcell/mcell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda::mcell {
+namespace {
+
+TEST(ParallelPlate, MatchesTableI) {
+  // 50×50 µm² electrode, silicone-oil permittivity 19 pF/m, 20 µm gap →
+  // the paper's healthy capacitance 2.375 fF.
+  const double c =
+      parallel_plate_capacitance(50e-6 * 50e-6, 19e-12, 20e-6);
+  EXPECT_NEAR(c, 2.375e-15, 1e-18);
+}
+
+TEST(ParallelPlate, RejectsNonPositiveInputs) {
+  EXPECT_THROW(parallel_plate_capacitance(0.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(parallel_plate_capacitance(1.0, -1.0, 1.0), PreconditionError);
+}
+
+TEST(Transient, DischargeTracksAnalyticExponential) {
+  const CircuitParams params;
+  const double r = params.r_healthy;
+  const double c = params.c_healthy;
+  const Transient trace = simulate_discharge(r, c, params);
+  const double tau_ns = r * c * 1e9;
+  for (double t : {5.0, 15.0, 30.0, 50.0}) {
+    const double analytic = params.vdd * std::exp(-t / tau_ns);
+    EXPECT_NEAR(trace.at(t), analytic, params.vdd * 0.005) << "t = " << t;
+  }
+}
+
+TEST(Transient, StartsAtVddAndDecaysMonotonically) {
+  const CircuitParams params;
+  const Transient trace =
+      simulate_discharge(params.r_complete, params.c_complete, params);
+  EXPECT_DOUBLE_EQ(trace.v.front(), params.vdd);
+  for (std::size_t i = 1; i < trace.v.size(); ++i)
+    EXPECT_LT(trace.v[i], trace.v[i - 1]);
+}
+
+TEST(Transient, InterpolationClampsToEnds) {
+  const CircuitParams params;
+  const Transient trace =
+      simulate_discharge(params.r_healthy, params.c_healthy, params);
+  EXPECT_DOUBLE_EQ(trace.at(-1.0), trace.v.front());
+  EXPECT_DOUBLE_EQ(trace.at(1e9), trace.v.back());
+}
+
+TEST(ThresholdCrossing, MatchesAnalyticSolution) {
+  const CircuitParams params;
+  const Transient trace =
+      simulate_discharge(params.r_healthy, params.c_healthy, params);
+  const double tau_ns = params.r_healthy * params.c_healthy * 1e9;
+  const double analytic = tau_ns * std::log(params.vdd / params.vth);
+  EXPECT_NEAR(threshold_crossing_ns(trace, params.vth), analytic,
+              analytic * 0.01);
+}
+
+TEST(ThresholdCrossing, OrderedByDegradationSeverity) {
+  const CircuitParams params;
+  const double t_h = threshold_crossing_ns(
+      simulate_discharge(params.r_healthy, params.c_healthy, params),
+      params.vth);
+  const double t_p = threshold_crossing_ns(
+      simulate_discharge(params.r_partial, params.c_partial, params),
+      params.vth);
+  const double t_c = threshold_crossing_ns(
+      simulate_discharge(params.r_complete, params.c_complete, params),
+      params.vth);
+  // Degraded MCs discharge faster ("charging/discharging time is less").
+  EXPECT_LT(t_c, t_p);
+  EXPECT_LT(t_p, t_h);
+}
+
+TEST(SenseCode, ThreeHealthClassesWithPaperSkew) {
+  const CircuitParams params;  // 5 ns skew (the paper's design point)
+  EXPECT_EQ(sense_code(HealthClass::kHealthy, params), 0b11);
+  EXPECT_EQ(sense_code(HealthClass::kComplete, params), 0b00);
+  // Partially degraded: the two DFFs disagree.
+  const int partial = sense_code(HealthClass::kPartial, params);
+  EXPECT_TRUE(partial == 0b10 || partial == 0b01);
+}
+
+TEST(SenseCode, Classification) {
+  EXPECT_EQ(classify(0b11), HealthClass::kHealthy);
+  EXPECT_EQ(classify(0b00), HealthClass::kComplete);
+  EXPECT_EQ(classify(0b10), HealthClass::kPartial);
+  EXPECT_EQ(classify(0b01), HealthClass::kPartial);
+  EXPECT_THROW(classify(4), PreconditionError);
+}
+
+TEST(SkewWindow, ContainsPaperDesignPoint) {
+  const CircuitParams params;
+  const SkewWindow window = distinguishing_skew_window(params);
+  EXPECT_TRUE(window.valid());
+  EXPECT_TRUE(window.contains(5.0));
+}
+
+TEST(SkewWindow, SkewsOutsideWindowFailToDistinguish) {
+  CircuitParams params;
+  const SkewWindow window = distinguishing_skew_window(params);
+  // A skew below the window: the added DFF fires before the partial MC has
+  // crossed the threshold, so partial reads "11" like healthy.
+  params.clk_skew_ns = window.lo_ns * 0.5;
+  EXPECT_EQ(sense_code(HealthClass::kPartial, params),
+            sense_code(HealthClass::kHealthy, params));
+  // A skew beyond the window: healthy also crosses before the added edge,
+  // so healthy no longer reads "11".
+  params.clk_skew_ns = window.hi_ns * 1.5;
+  EXPECT_NE(sense_code(HealthClass::kHealthy, params), 0b11);
+}
+
+TEST(SkewWindow, SenseCodesConsistentAcrossWindowSweep) {
+  CircuitParams params;
+  const SkewWindow window = distinguishing_skew_window(params);
+  for (double skew = window.lo_ns + 0.2; skew < window.hi_ns;
+       skew += 0.5) {
+    params.clk_skew_ns = skew;
+    EXPECT_EQ(classify(sense_code(HealthClass::kHealthy, params)),
+              HealthClass::kHealthy);
+    EXPECT_EQ(classify(sense_code(HealthClass::kPartial, params)),
+              HealthClass::kPartial);
+    EXPECT_EQ(classify(sense_code(HealthClass::kComplete, params)),
+              HealthClass::kComplete);
+  }
+}
+
+TEST(SensingRobustness, NoiselessSensingIsPerfect) {
+  Rng rng(1);
+  const CircuitParams params;
+  for (HealthClass cls : {HealthClass::kHealthy, HealthClass::kPartial,
+                          HealthClass::kComplete}) {
+    const ClassificationStats stats = classification_errors(
+        cls, params, NoiseModel{0.0, 0.0}, 500, rng);
+    EXPECT_EQ(stats.errors, 0) << static_cast<int>(cls);
+    EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+  }
+}
+
+TEST(SensingRobustness, JitterDegradesThePartialClassFirst) {
+  // The partial class sits between two decision boundaries (≈ 3 ns and
+  // ≈ 2 ns of margin); the healthy and complete classes have more slack.
+  Rng rng(2);
+  const CircuitParams params;
+  const NoiseModel jitter{0.0, 1.5};
+  const auto partial = classification_errors(HealthClass::kPartial, params,
+                                             jitter, 4000, rng);
+  const auto healthy = classification_errors(HealthClass::kHealthy, params,
+                                             jitter, 4000, rng);
+  EXPECT_GT(partial.error_rate, 0.01);
+  EXPECT_GT(partial.error_rate, healthy.error_rate);
+}
+
+TEST(SensingRobustness, ErrorRateGrowsWithNoise) {
+  Rng rng(3);
+  const CircuitParams params;
+  double prev = -1.0;
+  for (const double jitter : {0.5, 1.5, 3.0}) {
+    const auto stats = classification_errors(
+        HealthClass::kPartial, params, NoiseModel{0.0, jitter}, 6000, rng);
+    EXPECT_GE(stats.error_rate, prev - 0.02) << jitter;  // ~monotone
+    prev = stats.error_rate;
+  }
+  EXPECT_GT(prev, 0.1);
+}
+
+TEST(SensingRobustness, LargeCapacitanceVariationBreaksClassification) {
+  // ±5% C variation dwarfs the 0.2% healthy-to-complete spread of Table I:
+  // a noticeable fraction of partial cells misread.
+  Rng rng(4);
+  const CircuitParams params;
+  const auto stats = classification_errors(
+      HealthClass::kPartial, params, NoiseModel{0.05, 0.0}, 4000, rng);
+  EXPECT_GT(stats.error_rate, 0.08);
+  // And it hurts far more than sub-nanosecond jitter.
+  const auto tiny_jitter = classification_errors(
+      HealthClass::kPartial, params, NoiseModel{0.0, 0.3}, 4000, rng);
+  EXPECT_GT(stats.error_rate, tiny_jitter.error_rate);
+}
+
+TEST(SensingRobustness, RejectsBadInput) {
+  Rng rng(5);
+  const CircuitParams params;
+  EXPECT_THROW(classification_errors(HealthClass::kHealthy, params,
+                                     NoiseModel{-0.1, 0.0}, 10, rng),
+               PreconditionError);
+  EXPECT_THROW(classification_errors(HealthClass::kHealthy, params,
+                                     NoiseModel{}, 0, rng),
+               PreconditionError);
+}
+
+TEST(Simulate, RejectsBadParameters) {
+  const CircuitParams params;
+  EXPECT_THROW(simulate_discharge(0.0, 1e-15, params), PreconditionError);
+  CircuitParams coarse = params;
+  coarse.sim_dt_ns = 1e9;  // dt larger than the RC constant
+  EXPECT_THROW(
+      simulate_discharge(params.r_healthy, params.c_healthy, coarse),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::mcell

@@ -1,0 +1,127 @@
+#include "model/action.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+TEST(Action, ClassPartition) {
+  int cardinal = 0, dbl = 0, ordinal = 0, widen = 0, heighten = 0;
+  for (Action a : kAllActions) {
+    switch (action_class(a)) {
+      case ActionClass::kCardinal: ++cardinal; break;
+      case ActionClass::kDouble: ++dbl; break;
+      case ActionClass::kOrdinal: ++ordinal; break;
+      case ActionClass::kWiden: ++widen; break;
+      case ActionClass::kHeighten: ++heighten; break;
+    }
+  }
+  // A = A_d ∪ A_dd ∪ A_dd' ∪ A_↓ ∪ A_↑, four actions each.
+  EXPECT_EQ(cardinal, 4);
+  EXPECT_EQ(dbl, 4);
+  EXPECT_EQ(ordinal, 4);
+  EXPECT_EQ(widen, 4);
+  EXPECT_EQ(heighten, 4);
+}
+
+TEST(Action, CardinalOf) {
+  EXPECT_EQ(cardinal_of(Action::kN), Dir::N);
+  EXPECT_EQ(cardinal_of(Action::kSS), Dir::S);
+  EXPECT_EQ(cardinal_of(Action::kEE), Dir::E);
+  EXPECT_EQ(cardinal_of(Action::kW), Dir::W);
+  EXPECT_THROW(cardinal_of(Action::kNE), PreconditionError);
+  EXPECT_THROW(cardinal_of(Action::kWidenNE), PreconditionError);
+}
+
+TEST(Action, OrdinalOf) {
+  EXPECT_EQ(ordinal_of(Action::kNE), Ordinal::NE);
+  EXPECT_EQ(ordinal_of(Action::kWidenSW), Ordinal::SW);
+  EXPECT_EQ(ordinal_of(Action::kHeightenNW), Ordinal::NW);
+  EXPECT_THROW(ordinal_of(Action::kN), PreconditionError);
+  EXPECT_THROW(ordinal_of(Action::kEE), PreconditionError);
+}
+
+TEST(Action, MovementsTranslateWithoutReshaping) {
+  const Rect d{3, 2, 7, 5};
+  EXPECT_EQ(apply(Action::kN, d), d.shifted(0, 1));
+  EXPECT_EQ(apply(Action::kS, d), d.shifted(0, -1));
+  EXPECT_EQ(apply(Action::kE, d), d.shifted(1, 0));
+  EXPECT_EQ(apply(Action::kW, d), d.shifted(-1, 0));
+  EXPECT_EQ(apply(Action::kNN, d), d.shifted(0, 2));
+  EXPECT_EQ(apply(Action::kSS, d), d.shifted(0, -2));
+  EXPECT_EQ(apply(Action::kEE, d), d.shifted(2, 0));
+  EXPECT_EQ(apply(Action::kWW, d), d.shifted(-2, 0));
+  EXPECT_EQ(apply(Action::kNE, d), d.shifted(1, 1));
+  EXPECT_EQ(apply(Action::kNW, d), d.shifted(-1, 1));
+  EXPECT_EQ(apply(Action::kSE, d), d.shifted(1, -1));
+  EXPECT_EQ(apply(Action::kSW, d), d.shifted(-1, -1));
+  for (Action a : {Action::kN, Action::kNN, Action::kNE, Action::kSW}) {
+    const Rect r = apply(a, d);
+    EXPECT_EQ(r.width(), d.width());
+    EXPECT_EQ(r.height(), d.height());
+  }
+}
+
+TEST(Action, WidenIncreasesWidthDecreasesHeight) {
+  const Rect d{3, 2, 7, 5};  // 5×4
+  for (Action a : {Action::kWidenNE, Action::kWidenNW, Action::kWidenSE,
+                   Action::kWidenSW}) {
+    const Rect r = apply(a, d);
+    EXPECT_EQ(r.width(), d.width() + 1) << to_string(a);
+    EXPECT_EQ(r.height(), d.height() - 1) << to_string(a);
+    // Width + height is conserved by morphing.
+    EXPECT_EQ(r.width() + r.height(), d.width() + d.height());
+  }
+}
+
+TEST(Action, HeightenIncreasesHeightDecreasesWidth) {
+  const Rect d{3, 2, 7, 5};
+  for (Action a : {Action::kHeightenNE, Action::kHeightenNW,
+                   Action::kHeightenSE, Action::kHeightenSW}) {
+    const Rect r = apply(a, d);
+    EXPECT_EQ(r.width(), d.width() - 1) << to_string(a);
+    EXPECT_EQ(r.height(), d.height() + 1) << to_string(a);
+  }
+}
+
+TEST(Action, MorphDirectionAnchorsTheNamedCorner) {
+  const Rect d{3, 2, 7, 5};
+  // a_↓NE extends east and releases the south row (droplet creeps NE).
+  EXPECT_EQ(apply(Action::kWidenNE, d), (Rect{3, 3, 8, 5}));
+  EXPECT_EQ(apply(Action::kWidenNW, d), (Rect{2, 3, 7, 5}));
+  EXPECT_EQ(apply(Action::kWidenSE, d), (Rect{3, 2, 8, 4}));
+  EXPECT_EQ(apply(Action::kWidenSW, d), (Rect{2, 2, 7, 4}));
+  // a_↑NE extends north and releases the west column.
+  EXPECT_EQ(apply(Action::kHeightenNE, d), (Rect{4, 2, 7, 6}));
+  EXPECT_EQ(apply(Action::kHeightenNW, d), (Rect{3, 2, 6, 6}));
+  EXPECT_EQ(apply(Action::kHeightenSE, d), (Rect{4, 1, 7, 5}));
+  EXPECT_EQ(apply(Action::kHeightenSW, d), (Rect{3, 1, 6, 5}));
+}
+
+TEST(Action, MorphAreaChangesByAtMostMaxDimension) {
+  // |A' − A| = |h − w − 1| for widen; morphing approximately conserves
+  // droplet volume for near-square droplets.
+  const Rect square{0, 0, 4, 4};  // 5×5
+  EXPECT_EQ(apply(Action::kWidenNE, square).area(), 24);      // 6×4
+  EXPECT_EQ(apply(Action::kHeightenSW, square).area(), 24);   // 4×6
+}
+
+TEST(Action, MorphOnDegenerateDropletThrows) {
+  const Rect row{0, 0, 4, 0};  // height 1
+  EXPECT_THROW(apply(Action::kWidenNE, row), PreconditionError);
+  const Rect column{0, 0, 0, 4};  // width 1
+  EXPECT_THROW(apply(Action::kHeightenNE, column), PreconditionError);
+}
+
+TEST(Action, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (Action a : kAllActions) names.insert(to_string(a));
+  EXPECT_EQ(names.size(), kAllActions.size());
+}
+
+}  // namespace
+}  // namespace meda

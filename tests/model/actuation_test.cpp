@@ -1,0 +1,76 @@
+#include "model/actuation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+TEST(Actuation, HeldDropletKeepsItsPattern) {
+  const Rect droplet{3, 2, 7, 5};
+  EXPECT_EQ(actuated_pattern(droplet, std::nullopt), droplet);
+}
+
+TEST(Actuation, CommandedDropletChargesTheTarget) {
+  const Rect droplet{3, 2, 7, 5};
+  EXPECT_EQ(actuated_pattern(droplet, Action::kNE), droplet.shifted(1, 1));
+  EXPECT_EQ(actuated_pattern(droplet, Action::kEE), droplet.shifted(2, 0));
+  EXPECT_EQ(actuated_pattern(droplet, Action::kWidenNE),
+            apply(Action::kWidenNE, droplet));
+}
+
+// Example 1's actuation matrix: U_ij = 1 exactly on [3,7]×[2,5].
+TEST(Actuation, PaperExample1Matrix) {
+  const std::array<DropletCommand, 1> commands = {
+      DropletCommand{Rect{3, 2, 7, 5}, std::nullopt}};
+  const BoolMatrix u = build_actuation_matrix(12, 10, commands);
+  EXPECT_EQ(actuated_count(u), 20);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 0; x < 12; ++x)
+      EXPECT_EQ(u(x, y) != 0, x >= 3 && x <= 7 && y >= 2 && y <= 5);
+}
+
+TEST(Actuation, MultipleDropletsMerge) {
+  const std::array<DropletCommand, 2> commands = {
+      DropletCommand{Rect{0, 0, 1, 1}, Action::kE},   // target (1,0,2,1)
+      DropletCommand{Rect{5, 5, 6, 6}, std::nullopt}};
+  const BoolMatrix u = build_actuation_matrix(10, 10, commands);
+  EXPECT_EQ(actuated_count(u), 8);
+  EXPECT_TRUE(u(1, 0));
+  EXPECT_TRUE(u(2, 1));
+  EXPECT_FALSE(u(0, 0));  // vacated column is released
+  EXPECT_TRUE(u(5, 5));
+}
+
+TEST(Actuation, OverlappingPatternsCountOnce) {
+  const std::array<DropletCommand, 2> commands = {
+      DropletCommand{Rect{0, 0, 2, 2}, std::nullopt},
+      DropletCommand{Rect{1, 1, 3, 3}, std::nullopt}};
+  const BoolMatrix u = build_actuation_matrix(10, 10, commands);
+  EXPECT_EQ(actuated_count(u), 9 + 9 - 4);
+}
+
+TEST(Actuation, PatternsClipToTheChip) {
+  const std::array<DropletCommand, 1> commands = {
+      DropletCommand{Rect{8, 8, 9, 9}, Action::kNE}};  // target partly off
+  const BoolMatrix u = build_actuation_matrix(10, 10, commands);
+  EXPECT_EQ(actuated_count(u), 1);  // only (9, 9) remains on-chip
+  EXPECT_TRUE(u(9, 9));
+}
+
+TEST(Actuation, EmptyCommandListGivesZeroMatrix) {
+  const BoolMatrix u = build_actuation_matrix(6, 4, {});
+  EXPECT_EQ(actuated_count(u), 0);
+}
+
+TEST(Actuation, RejectsInvalidInput) {
+  EXPECT_THROW(build_actuation_matrix(0, 5, {}), PreconditionError);
+  EXPECT_THROW(actuated_pattern(Rect::none(), std::nullopt),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

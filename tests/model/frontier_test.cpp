@@ -1,0 +1,170 @@
+#include "model/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace meda {
+namespace {
+
+// The running example droplet δ = (3, 2, 7, 5) used throughout Section V.
+const Rect kDelta{3, 2, 7, 5};
+
+// Example 2: Fr(δ; a_NE, E) = [8,8]×[3,6], Fr(δ; a_NE, N) = [4,8]×[6,6].
+TEST(Frontier, PaperExample2) {
+  EXPECT_EQ(frontier(kDelta, Action::kNE, Dir::E), (Rect{8, 3, 8, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kNE, Dir::N), (Rect{4, 6, 8, 6}));
+}
+
+// Table II rows for δ = (x_a, y_a, x_b, y_b) = (3, 2, 7, 5).
+TEST(Frontier, TableIICardinals) {
+  EXPECT_EQ(frontier(kDelta, Action::kN, Dir::N), (Rect{3, 6, 7, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kS, Dir::S), (Rect{3, 1, 7, 1}));
+  EXPECT_EQ(frontier(kDelta, Action::kE, Dir::E), (Rect{8, 2, 8, 5}));
+  EXPECT_EQ(frontier(kDelta, Action::kW, Dir::W), (Rect{2, 2, 2, 5}));
+  // Perpendicular frontiers are empty.
+  EXPECT_FALSE(frontier(kDelta, Action::kN, Dir::E).valid());
+  EXPECT_FALSE(frontier(kDelta, Action::kN, Dir::W).valid());
+  EXPECT_FALSE(frontier(kDelta, Action::kE, Dir::N).valid());
+  EXPECT_FALSE(frontier(kDelta, Action::kE, Dir::S).valid());
+}
+
+TEST(Frontier, TableIIOrdinals) {
+  EXPECT_EQ(frontier(kDelta, Action::kNE, Dir::N), (Rect{4, 6, 8, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kNE, Dir::E), (Rect{8, 3, 8, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kNW, Dir::N), (Rect{2, 6, 6, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kNW, Dir::W), (Rect{2, 3, 2, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kSE, Dir::S), (Rect{4, 1, 8, 1}));
+  EXPECT_EQ(frontier(kDelta, Action::kSE, Dir::E), (Rect{8, 1, 8, 4}));
+  EXPECT_EQ(frontier(kDelta, Action::kSW, Dir::S), (Rect{2, 1, 6, 1}));
+  EXPECT_EQ(frontier(kDelta, Action::kSW, Dir::W), (Rect{2, 1, 2, 4}));
+}
+
+TEST(Frontier, TableIIMorphs) {
+  EXPECT_EQ(frontier(kDelta, Action::kWidenNE, Dir::E), (Rect{8, 3, 8, 5}));
+  EXPECT_EQ(frontier(kDelta, Action::kWidenNW, Dir::W), (Rect{2, 3, 2, 5}));
+  EXPECT_EQ(frontier(kDelta, Action::kWidenSE, Dir::E), (Rect{8, 2, 8, 4}));
+  EXPECT_EQ(frontier(kDelta, Action::kWidenSW, Dir::W), (Rect{2, 2, 2, 4}));
+  EXPECT_EQ(frontier(kDelta, Action::kHeightenNE, Dir::N),
+            (Rect{4, 6, 7, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kHeightenNW, Dir::N),
+            (Rect{3, 6, 6, 6}));
+  EXPECT_EQ(frontier(kDelta, Action::kHeightenSE, Dir::S),
+            (Rect{4, 1, 7, 1}));
+  EXPECT_EQ(frontier(kDelta, Action::kHeightenSW, Dir::S),
+            (Rect{3, 1, 6, 1}));
+}
+
+TEST(Frontier, DoubleStepFirstFrontierEqualsSingleStep) {
+  for (auto [dbl, single] :
+       {std::pair{Action::kNN, Action::kN}, {Action::kSS, Action::kS},
+        {Action::kEE, Action::kE}, {Action::kWW, Action::kW}}) {
+    const Dir d = cardinal_of(single);
+    EXPECT_EQ(frontier(kDelta, dbl, d), frontier(kDelta, single, d));
+  }
+}
+
+// |Fr| column of Table II over a sweep of droplet shapes.
+class FrontierSizeTest : public ::testing::TestWithParam<Rect> {};
+
+TEST_P(FrontierSizeTest, CardinalSizesMatchTableII) {
+  const Rect d = GetParam();
+  const int w = d.width();
+  const int h = d.height();
+  EXPECT_EQ(frontier_size(d, Action::kN, Dir::N), w);
+  EXPECT_EQ(frontier_size(d, Action::kS, Dir::S), w);
+  EXPECT_EQ(frontier_size(d, Action::kE, Dir::E), h);
+  EXPECT_EQ(frontier_size(d, Action::kW, Dir::W), h);
+  EXPECT_EQ(frontier_size(d, Action::kN, Dir::E), 0);
+  EXPECT_EQ(frontier_size(d, Action::kE, Dir::N), 0);
+}
+
+TEST_P(FrontierSizeTest, OrdinalSizesMatchTableII) {
+  const Rect d = GetParam();
+  const int w = d.width();
+  const int h = d.height();
+  for (Action a : {Action::kNE, Action::kNW, Action::kSE, Action::kSW}) {
+    EXPECT_EQ(frontier_size(d, a, vertical(ordinal_of(a))), w)
+        << to_string(a);
+    EXPECT_EQ(frontier_size(d, a, horizontal(ordinal_of(a))), h)
+        << to_string(a);
+  }
+}
+
+TEST_P(FrontierSizeTest, MorphSizesMatchTableII) {
+  const Rect d = GetParam();
+  if (d.height() >= 2) {
+    for (Action a : {Action::kWidenNE, Action::kWidenNW, Action::kWidenSE,
+                     Action::kWidenSW}) {
+      EXPECT_EQ(frontier_size(d, a, horizontal(ordinal_of(a))),
+                d.height() - 1)
+          << to_string(a);
+    }
+  }
+  if (d.width() >= 2) {
+    for (Action a : {Action::kHeightenNE, Action::kHeightenNW,
+                     Action::kHeightenSE, Action::kHeightenSW}) {
+      EXPECT_EQ(frontier_size(d, a, vertical(ordinal_of(a))), d.width() - 1)
+          << to_string(a);
+    }
+  }
+}
+
+TEST_P(FrontierSizeTest, FrontiersAreDisjointFromTheDroplet) {
+  const Rect d = GetParam();
+  for (Action a : kAllActions) {
+    if ((action_class(a) == ActionClass::kWiden && d.height() < 2) ||
+        (action_class(a) == ActionClass::kHeighten && d.width() < 2))
+      continue;
+    const FrontierDirs dirs = pulling_directions(a);
+    for (int i = 0; i < dirs.count; ++i) {
+      const Rect fr = frontier(d, a, dirs.dirs[i]);
+      ASSERT_TRUE(fr.valid());
+      EXPECT_FALSE(fr.intersects(d)) << to_string(a);
+      // Frontier MCs are adjacent to the droplet. Ordinal frontiers are
+      // shifted diagonally, so on droplets of width/height 1 they only
+      // touch at a corner (gap 2); otherwise the gap is exactly 1.
+      const int max_gap =
+          (action_class(a) == ActionClass::kOrdinal &&
+           (d.width() == 1 || d.height() == 1))
+              ? 2
+              : 1;
+      EXPECT_LE(fr.manhattan_gap(d), max_gap) << to_string(a);
+      EXPECT_GE(fr.manhattan_gap(d), 1) << to_string(a);
+    }
+  }
+}
+
+TEST_P(FrontierSizeTest, FrontiersLieInsideTheSuccessorPattern) {
+  // Every pulling MC is covered by the actuated target pattern a(δ) for
+  // single-step actions (the actuated cells are what pull the droplet).
+  const Rect d = GetParam();
+  for (Action a : kAllActions) {
+    if (action_class(a) == ActionClass::kDouble) continue;
+    if ((action_class(a) == ActionClass::kWiden && d.height() < 2) ||
+        (action_class(a) == ActionClass::kHeighten && d.width() < 2))
+      continue;
+    const Rect target = apply(a, d);
+    const FrontierDirs dirs = pulling_directions(a);
+    for (int i = 0; i < dirs.count; ++i) {
+      const Rect fr = frontier(d, a, dirs.dirs[i]);
+      EXPECT_TRUE(target.contains(fr))
+          << to_string(a) << " frontier " << fr.to_string() << " target "
+          << target.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropletShapes, FrontierSizeTest,
+    ::testing::Values(Rect{3, 2, 7, 5},    // the paper's 5×4 example
+                      Rect{0, 0, 2, 2},    // 3×3
+                      Rect{10, 10, 13, 13},// 4×4
+                      Rect{5, 5, 10, 9},   // 6×5
+                      Rect{2, 3, 3, 8},    // 2×6 tall
+                      Rect{4, 4, 9, 5},    // 6×2 wide
+                      Rect{1, 1, 1, 4},    // 1×4 column
+                      Rect{1, 1, 4, 1}));  // 4×1 row
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,152 @@
+#include "model/guards.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/frontier.hpp"
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+const ActionRules kDefaultRules{};  // r = 3/2, everything enabled
+
+TEST(Guards, MovementsAreUnguarded) {
+  const Rect d{3, 2, 7, 5};
+  for (Action a : {Action::kN, Action::kS, Action::kE, Action::kW,
+                   Action::kNE, Action::kNW, Action::kSE, Action::kSW}) {
+    EXPECT_TRUE(guard_satisfied(a, d, kDefaultRules)) << to_string(a);
+  }
+}
+
+TEST(Guards, DoubleStepRequiresHalfLength) {
+  // g_NN/g_SS: h >= 4; g_EE/g_WW: w >= 4 (a droplet can reliably move at
+  // most half its length per cycle).
+  const Rect tall{0, 0, 2, 3};  // 3×4
+  EXPECT_TRUE(guard_satisfied(Action::kNN, tall, kDefaultRules));
+  EXPECT_TRUE(guard_satisfied(Action::kSS, tall, kDefaultRules));
+  EXPECT_FALSE(guard_satisfied(Action::kEE, tall, kDefaultRules));
+  EXPECT_FALSE(guard_satisfied(Action::kWW, tall, kDefaultRules));
+  const Rect wide{0, 0, 3, 2};  // 4×3
+  EXPECT_FALSE(guard_satisfied(Action::kNN, wide, kDefaultRules));
+  EXPECT_TRUE(guard_satisfied(Action::kEE, wide, kDefaultRules));
+}
+
+// The paper's worked guard example: r = 3/2 and δ = (3, 2, 7, 5) gives
+// g_↑ = 1 and g_↓ = 0.
+TEST(Guards, PaperGuardExample) {
+  const Rect d{3, 2, 7, 5};
+  ActionRules rules;
+  rules.max_aspect_ratio = 1.5;
+  for (Action a : {Action::kHeightenNE, Action::kHeightenNW,
+                   Action::kHeightenSE, Action::kHeightenSW}) {
+    EXPECT_TRUE(guard_satisfied(a, d, rules)) << to_string(a);
+  }
+  for (Action a : {Action::kWidenNE, Action::kWidenNW, Action::kWidenSE,
+                   Action::kWidenSW}) {
+    EXPECT_FALSE(guard_satisfied(a, d, rules)) << to_string(a);
+  }
+}
+
+TEST(Guards, SquareDropletsCannotMorphUnderDefaultRatio) {
+  // (h + 1)/(w − 1) for a w×w droplet exceeds 3/2 for w <= 4; 5×5 sits
+  // exactly on the boundary (1.5 <= 1.5 holds).
+  for (int w : {2, 3, 4}) {
+    const Rect d = Rect::from_size(0, 0, w, w);
+    EXPECT_FALSE(guard_satisfied(Action::kHeightenNE, d, kDefaultRules));
+    EXPECT_FALSE(guard_satisfied(Action::kWidenNE, d, kDefaultRules));
+  }
+  const Rect five = Rect::from_size(0, 0, 5, 5);
+  EXPECT_TRUE(guard_satisfied(Action::kHeightenNE, five, kDefaultRules));
+}
+
+TEST(Guards, MorphGuardPreventsDegenerateResults) {
+  ActionRules permissive;
+  permissive.max_aspect_ratio = 100.0;
+  const Rect row{0, 0, 4, 0};  // 5×1
+  EXPECT_FALSE(guard_satisfied(Action::kWidenNE, row, permissive));
+  const Rect col{0, 0, 0, 4};  // 1×5
+  EXPECT_FALSE(guard_satisfied(Action::kHeightenNE, col, permissive));
+}
+
+TEST(Guards, GuardBoundsPostMorphAspectRatio) {
+  ActionRules rules;
+  rules.max_aspect_ratio = 2.0;
+  // For every droplet where the guard passes, the morphed droplet's aspect
+  // ratio stays within [1/r, r].
+  for (int w = 2; w <= 7; ++w) {
+    for (int h = 2; h <= 7; ++h) {
+      const Rect d = Rect::from_size(0, 0, w, h);
+      if (guard_satisfied(Action::kHeightenNE, d, rules)) {
+        const Rect r = apply(Action::kHeightenNE, d);
+        EXPECT_LE(r.aspect_ratio(), 2.0 + 1e-12);
+        EXPECT_GE(r.aspect_ratio(), 0.5 - 1e-12);
+      }
+      if (guard_satisfied(Action::kWidenNE, d, rules)) {
+        const Rect r = apply(Action::kWidenNE, d);
+        EXPECT_LE(r.aspect_ratio(), 2.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ActionEnabled, RespectsClassSwitches) {
+  const Rect d{5, 5, 8, 8};  // 4×4
+  const Rect chip{0, 0, 29, 29};
+  ActionRules rules;
+  rules.enable_double_steps = false;
+  EXPECT_FALSE(action_enabled(Action::kEE, d, rules, chip));
+  EXPECT_TRUE(action_enabled(Action::kE, d, rules, chip));
+  rules = ActionRules{};
+  rules.enable_ordinal = false;
+  EXPECT_FALSE(action_enabled(Action::kNE, d, rules, chip));
+  rules = ActionRules{};
+  rules.enable_morphing = false;
+  const Rect morphable{5, 5, 9, 8};  // 5×4: g_↑ holds under r = 3/2
+  EXPECT_FALSE(action_enabled(Action::kHeightenNE, morphable, rules, chip));
+  rules = ActionRules{};
+  EXPECT_TRUE(action_enabled(Action::kHeightenNE, morphable, rules, chip));
+}
+
+TEST(ActionEnabled, DisabledWhenFrontierFallsOffChip) {
+  const Rect chip{0, 0, 9, 9};
+  // Droplet flush against the north edge: no MCs exist to pull it north.
+  const Rect at_top{2, 6, 5, 9};
+  EXPECT_FALSE(action_enabled(Action::kN, at_top, ActionRules{}, chip));
+  EXPECT_FALSE(action_enabled(Action::kNE, at_top, ActionRules{}, chip));
+  EXPECT_FALSE(action_enabled(Action::kNW, at_top, ActionRules{}, chip));
+  EXPECT_TRUE(action_enabled(Action::kS, at_top, ActionRules{}, chip));
+  EXPECT_TRUE(action_enabled(Action::kE, at_top, ActionRules{}, chip));
+}
+
+TEST(ActionEnabled, DoubleStepNeedsTwoCellsOfClearance) {
+  const Rect chip{0, 0, 9, 9};
+  // 4×4 droplet one cell from the east edge: the single step fits, but the
+  // double step's final pattern would leave the chip.
+  const Rect d{5, 3, 8, 6};
+  EXPECT_TRUE(action_enabled(Action::kE, d, ActionRules{}, chip));
+  EXPECT_FALSE(action_enabled(Action::kEE, d, ActionRules{}, chip));
+  // Two cells of clearance: both steps fit.
+  const Rect d2{4, 3, 7, 6};
+  EXPECT_TRUE(action_enabled(Action::kEE, d2, ActionRules{}, chip));
+}
+
+TEST(ActionEnabled, InteriorDropletHasAllMovementActions) {
+  const Rect chip{0, 0, 29, 29};
+  const Rect d{10, 10, 13, 13};  // 4×4 deep inside
+  int enabled = 0;
+  for (Action a : kAllActions)
+    if (action_enabled(a, d, ActionRules{}, chip)) ++enabled;
+  // 4 cardinal + 4 double + 4 ordinal; morphs blocked by the 3/2 guard.
+  EXPECT_EQ(enabled, 12);
+}
+
+TEST(Guards, RejectsInvalidAspectBound) {
+  ActionRules rules;
+  rules.max_aspect_ratio = 0.5;
+  const Rect droplet{0, 0, 3, 3};
+  EXPECT_THROW(guard_satisfied(Action::kWidenNE, droplet, rules),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

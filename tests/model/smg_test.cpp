@@ -1,0 +1,197 @@
+#include "model/smg.hpp"
+
+#include "core/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace meda::smg {
+namespace {
+
+Game make_game() {
+  return Game(Rect{0, 0, 19, 19}, ActionRules{}, 2,
+              HealthEstimator::kScaled);
+}
+
+State make_state(const Rect& droplet, int health_code = 3) {
+  State s;
+  s.droplet = droplet;
+  s.health = IntMatrix(20, 20, health_code);
+  s.turn = Player::kController;
+  return s;
+}
+
+TEST(Smg, EnabledActionsMatchInteriorExpectation) {
+  const Game game = make_game();
+  const State s = make_state(Rect{8, 8, 11, 11});  // 4×4 interior
+  const auto actions = game.enabled_actions(s);
+  // 4 cardinal + 4 double + 4 ordinal (morphs blocked by the 3/2 guard).
+  EXPECT_EQ(actions.size(), 12u);
+}
+
+TEST(Smg, EnabledActionsShrinkAtTheEdge) {
+  const Game game = make_game();
+  const State s = make_state(Rect{0, 0, 3, 3});  // corner droplet
+  const auto actions = game.enabled_actions(s);
+  for (Action a : actions) {
+    EXPECT_NE(a, Action::kS);
+    EXPECT_NE(a, Action::kW);
+    EXPECT_NE(a, Action::kSW);
+  }
+}
+
+TEST(Smg, ControllerTransitionIsFullHealthDeterministic) {
+  const Game game = make_game();
+  const State s = make_state(Rect{8, 8, 11, 11});
+  const auto branches = game.controller_transition(s, Action::kE);
+  ASSERT_EQ(branches.size(), 1u);  // scaled estimator: H=3 → force 1
+  EXPECT_EQ(branches[0].state.droplet, (Rect{9, 8, 12, 11}));
+  EXPECT_EQ(branches[0].state.turn, Player::kDegradation);
+  EXPECT_DOUBLE_EQ(branches[0].probability, 1.0);
+}
+
+TEST(Smg, ControllerTransitionBranchesUnderDegradedHealth) {
+  const Game game = make_game();
+  const State s = make_state(Rect{8, 8, 11, 11}, /*health_code=*/2);
+  const auto branches = game.controller_transition(s, Action::kNE);
+  ASSERT_EQ(branches.size(), 4u);  // dd', d, d', ε
+  const double total = std::accumulate(
+      branches.begin(), branches.end(), 0.0,
+      [](double acc, const Branch& b) { return acc + b.probability; });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (const Branch& b : branches) {
+    EXPECT_EQ(b.state.turn, Player::kDegradation);
+    EXPECT_EQ(b.state.health, s.health);  // ① cannot change H
+  }
+}
+
+TEST(Smg, ControllerTransitionRejectsDisabledAction) {
+  const Game game = make_game();
+  const State s = make_state(Rect{0, 0, 3, 3});
+  EXPECT_THROW(game.controller_transition(s, Action::kS), PreconditionError);
+}
+
+TEST(Smg, TurnOrderIsEnforced) {
+  const Game game = make_game();
+  State s = make_state(Rect{8, 8, 11, 11});
+  s.turn = Player::kDegradation;
+  EXPECT_THROW(game.enabled_actions(s), PreconditionError);
+  EXPECT_THROW(game.controller_transition(s, Action::kE), PreconditionError);
+  s.turn = Player::kController;
+  EXPECT_THROW(game.degradation_transition(s, DegradationMove{}),
+               PreconditionError);
+}
+
+TEST(Smg, DegradationMoveDecrementsSelectedCells) {
+  const Game game = make_game();
+  State s = make_state(Rect{8, 8, 11, 11});
+  s.turn = Player::kDegradation;
+  DegradationMove move;
+  move.cells = {Vec2i{0, 0}, Vec2i{5, 5}, Vec2i{5, 5}};  // ② may batch cells
+  const State next = game.degradation_transition(s, move);
+  EXPECT_EQ(next.turn, Player::kController);
+  EXPECT_EQ(next.health.at(0, 0), 2);
+  EXPECT_EQ(next.health.at(5, 5), 1);  // decremented twice
+  EXPECT_EQ(next.health.at(1, 1), 3);
+  EXPECT_EQ(next.droplet, s.droplet);
+}
+
+TEST(Smg, DegradationClampsAtZero) {
+  const Game game = make_game();
+  State s = make_state(Rect{8, 8, 11, 11}, /*health_code=*/0);
+  s.turn = Player::kDegradation;
+  DegradationMove move;
+  move.cells = {Vec2i{3, 3}};
+  const State next = game.degradation_transition(s, move);
+  EXPECT_EQ(next.health.at(3, 3), 0);
+}
+
+TEST(Smg, DegradationMoveOutsideChipThrows) {
+  const Game game = make_game();
+  State s = make_state(Rect{8, 8, 11, 11});
+  s.turn = Player::kDegradation;
+  DegradationMove move;
+  move.cells = {Vec2i{25, 0}};
+  EXPECT_THROW(game.degradation_transition(s, move), PreconditionError);
+}
+
+TEST(Smg, PlayoutWithFrozenHealthFollowsTheInducedMdp) {
+  // The Section VI-C reduction: while player ② stays idle, playing the SMG
+  // under a strategy synthesized from the induced MDP reaches the goal, and
+  // the visited states all carry the frozen health matrix.
+  const Rect chip_bounds{0, 0, 14, 7};
+  ActionRules rules;
+  rules.enable_morphing = false;
+  const Game game(chip_bounds, rules, 2, HealthEstimator::kScaled);
+
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 2, 3, 3);
+  rj.goal = Rect::from_size(10, 2, 3, 3);
+  rj.hazard = chip_bounds;
+  core::SynthesisConfig config;
+  config.rules = rules;
+  const core::Synthesizer synth(chip_bounds, config);
+  const IntMatrix frozen(15, 8, 3);
+  const core::SynthesisResult r = synth.synthesize(rj, frozen, 2);
+  ASSERT_TRUE(r.feasible);
+
+  State s = make_state(rj.start);
+  s.health = frozen;
+  int turns = 0;
+  while (!rj.goal.contains(s.droplet) && turns++ < 50) {
+    const auto action = r.strategy.action(s.droplet);
+    ASSERT_TRUE(action.has_value()) << s.droplet.to_string();
+    const auto branches = game.controller_transition(s, *action);
+    ASSERT_EQ(branches.size(), 1u);  // full health: deterministic
+    s = branches[0].state;
+    EXPECT_EQ(s.health, frozen);  // ① transitions never change H
+    s = game.degradation_transition(s, DegradationMove{});  // ② idles
+  }
+  EXPECT_TRUE(rj.goal.contains(s.droplet));
+  EXPECT_EQ(turns, 10);  // 10 single-step east moves for a 3×3 droplet
+}
+
+TEST(Smg, DegradationMovesChangeTheControllersModel) {
+  // When player ② degrades the frontier to zero, a re-synthesis from the
+  // new H must route around it (the adaptive loop's core assumption).
+  const Rect chip_bounds{0, 0, 14, 9};
+  ActionRules rules;
+  rules.enable_morphing = false;
+  const Game game(chip_bounds, rules, 2, HealthEstimator::kScaled);
+  State s = make_state(Rect::from_size(0, 3, 3, 3));
+  s.health = IntMatrix(15, 10, 3);
+  s.turn = Player::kDegradation;
+  DegradationMove kill_wall;
+  for (int y = 2; y < 10; ++y)
+    for (int repeat = 0; repeat < 3; ++repeat)
+      kill_wall.cells.push_back(Vec2i{7, y});  // 3 decrements → code 0
+  s = game.degradation_transition(s, kill_wall);
+
+  assay::RoutingJob rj;
+  rj.start = s.droplet;
+  rj.goal = Rect::from_size(11, 3, 3, 3);
+  rj.hazard = chip_bounds;
+  core::SynthesisConfig config;
+  config.rules = rules;
+  const core::Synthesizer synth(chip_bounds, config);
+  const core::SynthesisResult r = synth.synthesize(rj, s.health, 2);
+  ASSERT_TRUE(r.feasible);
+  // The straight path takes 11 steps; the detour through the southern gap
+  // costs strictly more.
+  EXPECT_GT(r.expected_cycles, 11.0);
+}
+
+TEST(Smg, EmptyDegradationMoveIsIdentityOnHealth) {
+  const Game game = make_game();
+  State s = make_state(Rect{8, 8, 11, 11});
+  s.turn = Player::kDegradation;
+  const State next = game.degradation_transition(s, DegradationMove{});
+  EXPECT_EQ(next.health, s.health);
+  EXPECT_EQ(next.turn, Player::kController);
+}
+
+}  // namespace
+}  // namespace meda::smg

@@ -1,0 +1,140 @@
+#include "pcb/pcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meda::pcb {
+namespace {
+
+TEST(Electrode, CapacitanceGrowsLinearlyWithActuations) {
+  Electrode e(electrode_2mm());
+  const double c0 = e.capacitance_pf();
+  e.actuate(1.0);
+  const double step = e.capacitance_pf() - c0;
+  EXPECT_GT(step, 0.0);
+  for (int i = 0; i < 99; ++i) e.actuate(1.0);
+  EXPECT_NEAR(e.capacitance_pf() - c0, 100.0 * step, 1e-9);
+  EXPECT_EQ(e.actuation_count(), 100);
+}
+
+TEST(Electrode, ResidualChargeBoostsTrappingRate) {
+  Electrode short_act(electrode_3mm());
+  Electrode long_act(electrode_3mm());
+  short_act.actuate(1.0);
+  long_act.actuate(5.0);
+  const double c0 = electrode_3mm().c0_pf;
+  const double short_gain = short_act.capacitance_pf() - c0;
+  const double long_gain = long_act.capacitance_pf() - c0;
+  // 5 s actuation beyond the residual threshold: 5× the seconds AND the
+  // boost factor — much faster than 5×.
+  EXPECT_NEAR(long_gain / short_gain, 5.0 * electrode_3mm().residual_boost,
+              1e-9);
+}
+
+TEST(Electrode, LargerElectrodesTrapFaster) {
+  EXPECT_LT(electrode_2mm().trap_rate_pf_per_s,
+            electrode_3mm().trap_rate_pf_per_s);
+  EXPECT_LT(electrode_3mm().trap_rate_pf_per_s,
+            electrode_4mm().trap_rate_pf_per_s);
+  EXPECT_LT(electrode_2mm().c0_pf, electrode_4mm().c0_pf);
+}
+
+TEST(Electrode, ChargingTimeIsRcLog) {
+  Electrode e(electrode_2mm());
+  // t = −RC ln(1 − f); with f = 1 − 1/e this is exactly RC.
+  const double f = 1.0 - std::exp(-1.0);
+  const double rc = 1e6 * e.capacitance_pf() * 1e-12;
+  EXPECT_NEAR(e.charging_time_s(1e6, f), rc, rc * 1e-9);
+}
+
+TEST(Electrode, ChargingTimeRejectsBadFraction) {
+  Electrode e(electrode_2mm());
+  EXPECT_THROW(e.charging_time_s(1e6, 1.0), PreconditionError);
+  EXPECT_THROW(e.charging_time_s(1e6, 0.0), PreconditionError);
+  EXPECT_THROW(e.charging_time_s(0.0, 0.5), PreconditionError);
+}
+
+TEST(MeasurementRig, NoiselessMeasurementRecoversCapacitance) {
+  Rng rng(1);
+  MeasurementRig rig;
+  rig.noise_rel = 0.0;
+  Electrode e(electrode_4mm());
+  EXPECT_NEAR(rig.measure_capacitance_pf(e, rng), e.capacitance_pf(), 1e-9);
+}
+
+TEST(MeasurementRig, NoisyMeasurementIsUnbiased) {
+  Rng rng(2);
+  MeasurementRig rig;  // 1% noise
+  Electrode e(electrode_3mm());
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += rig.measure_capacitance_pf(e, rng);
+  EXPECT_NEAR(sum / n, e.capacitance_pf(), e.capacitance_pf() * 0.002);
+}
+
+TEST(DegradationExperiment, SeriesIsLinearWithHighR2) {
+  Rng rng(3);
+  const MeasurementRig rig;
+  const DegradationSeries series = run_degradation_experiment(
+      electrode_2mm(), rig, 1.0, 600, 50, rng);
+  EXPECT_EQ(series.actuations.size(), 13u);  // 0, 50, ..., 600
+  const stats::FitResult fit =
+      stats::linear_fit(series.actuations, series.capacitance_pf);
+  EXPECT_NEAR(fit.slope, electrode_2mm().trap_rate_pf_per_s, 0.001);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(DegradationExperiment, ResidualModeSlopeIsBoosted) {
+  Rng rng(4);
+  MeasurementRig rig;
+  rig.noise_rel = 0.0;
+  const auto slow = run_degradation_experiment(electrode_3mm(), rig, 1.0,
+                                               400, 50, rng);
+  const auto fast = run_degradation_experiment(electrode_3mm(), rig, 5.0,
+                                               400, 50, rng);
+  const double slope_slow =
+      stats::linear_fit(slow.actuations, slow.capacitance_pf).slope;
+  const double slope_fast =
+      stats::linear_fit(fast.actuations, fast.capacitance_pf).slope;
+  EXPECT_NEAR(slope_fast / slope_slow, 20.0, 0.1);  // 5 s × 4 boost
+}
+
+TEST(ForceSeries, NoiselessMatchesGroundTruth) {
+  Rng rng(5);
+  const DegradationParams truth{0.556, 822.7};
+  const ForceSeries series =
+      measure_relative_force(truth, 1000, 100, 0.0, rng);
+  for (std::size_t i = 0; i < series.actuations.size(); ++i) {
+    EXPECT_NEAR(series.relative_force[i],
+                truth.relative_force(static_cast<std::uint64_t>(
+                    series.actuations[i])),
+                1e-12);
+  }
+}
+
+TEST(ForceFit, RecoversPaperParameters) {
+  Rng rng(6);
+  const DegradationParams truth{0.543, 805.5};  // Fig. 6, 3×3 mm electrode
+  const ForceSeries series =
+      measure_relative_force(truth, 1500, 100, 0.03, rng);
+  const ForceFit fit = fit_force_model(series, truth.c);
+  EXPECT_NEAR(fit.tau, truth.tau, 0.02);
+  EXPECT_DOUBLE_EQ(fit.c, truth.c);
+  EXPECT_NEAR(fit.k, 2.0 * std::log(truth.tau) / truth.c,
+              std::abs(fit.k) * 0.05);
+  EXPECT_GT(fit.r2_adjusted, 0.94);  // the paper's acceptance bar
+}
+
+TEST(ForceFit, RejectsNonPositiveReference) {
+  Rng rng(7);
+  const ForceSeries series =
+      measure_relative_force(DegradationParams{0.5, 100.0}, 300, 50, 0.0,
+                             rng);
+  EXPECT_THROW(fit_force_model(series, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::pcb

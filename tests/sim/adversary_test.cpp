@@ -1,0 +1,107 @@
+#include "sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+
+namespace meda::sim {
+namespace {
+
+SimulatedChipConfig small_config() {
+  SimulatedChipConfig config;
+  config.chip.width = 20;
+  config.chip.height = 12;
+  // Low c so adversarial wear is visible in the health matrix quickly.
+  config.chip.degradation = DegradationRange{0.5, 0.5, 100.0, 100.0};
+  return config;
+}
+
+std::uint64_t total_wear(const Biochip& chip) {
+  std::uint64_t total = 0;
+  for (int y = 0; y < chip.height(); ++y)
+    for (int x = 0; x < chip.width(); ++x)
+      total += chip.mc(x, y).actuations();
+  return total;
+}
+
+TEST(RandomAdversaryTest, AddsExactlyTheBudgetedWear) {
+  SimulatedChip chip(small_config(), Rng(1));
+  chip.set_adversary(
+      std::make_unique<RandomAdversary>(AdversaryBudget{3, 40}));
+  const std::uint64_t before = total_wear(chip.substrate());
+  chip.step({});
+  chip.step({});
+  // No droplets → only adversary wear: 2 cycles × 3 cells × 40.
+  EXPECT_EQ(total_wear(chip.substrate()) - before, 2u * 3u * 40u);
+}
+
+TEST(FrontierAdversaryTest, IdleWithoutDroplets) {
+  SimulatedChip chip(small_config(), Rng(2));
+  chip.set_adversary(
+      std::make_unique<FrontierAdversary>(AdversaryBudget{5, 100}));
+  chip.step({});
+  EXPECT_EQ(total_wear(chip.substrate()), 0u);
+}
+
+TEST(FrontierAdversaryTest, DamagesOnlyTheRingAroundDroplets) {
+  SimulatedChip chip(small_config(), Rng(3));
+  chip.set_adversary(
+      std::make_unique<FrontierAdversary>(AdversaryBudget{4, 25}));
+  const core::DropletId id = chip.dispense(Rect{5, 0, 8, 3});
+  (void)id;
+  chip.step({});
+  const Rect droplet{5, 0, 8, 3};
+  const Rect ring = droplet.inflated(1);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      const std::uint64_t n = chip.substrate().mc(x, y).actuations();
+      if (droplet.contains(x, y)) {
+        // Held droplet pattern: exactly one actuation (adversary never hits
+        // cells under the droplet).
+        EXPECT_EQ(n, 1u) << x << "," << y;
+      } else if (ring.contains(x, y)) {
+        EXPECT_EQ(n % 25, 0u) << x << "," << y;  // 0 or k×25 hits
+      } else {
+        EXPECT_EQ(n, 0u) << x << "," << y;
+      }
+    }
+  }
+  EXPECT_EQ(total_wear(chip.substrate()),
+            static_cast<std::uint64_t>(droplet.area()) + 4u * 25u);
+}
+
+TEST(AdversaryTest, RemovingTheAdversaryStopsTheDamage) {
+  SimulatedChip chip(small_config(), Rng(4));
+  chip.set_adversary(
+      std::make_unique<RandomAdversary>(AdversaryBudget{2, 10}));
+  chip.step({});
+  EXPECT_EQ(total_wear(chip.substrate()), 20u);
+  chip.set_adversary(nullptr);
+  chip.step({});
+  EXPECT_EQ(total_wear(chip.substrate()), 20u);
+}
+
+TEST(AdversaryTest, AdaptiveRouterSurvivesAFrontierAdversary) {
+  // End-to-end robustness: under a frontier-targeting degradation player,
+  // the adaptive router still completes COVID-RAT (it observes the damage
+  // through H and reroutes), where the baseline may stall.
+  SimulatedChipConfig config;
+  config.chip.width = assay::kChipWidth;
+  config.chip.height = assay::kChipHeight;
+  config.chip.degradation = DegradationRange{0.5, 0.7, 80.0, 150.0};
+  SimulatedChip chip(config, Rng(5));
+  chip.set_adversary(
+      std::make_unique<FrontierAdversary>(AdversaryBudget{2, 60}));
+  core::SchedulerConfig sched;
+  sched.adaptive = true;
+  sched.max_cycles = 2000;
+  core::Scheduler scheduler(sched);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::covid_rat());
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_GT(stats.resyntheses, 0);  // the damage was observed and reacted to
+}
+
+}  // namespace
+}  // namespace meda::sim

@@ -1,0 +1,150 @@
+#include "sim/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace meda::sim {
+namespace {
+
+/// Builds a trace where cell (x, y) is actuated on cycle t iff
+/// predicate(x, y, t).
+template <typename Pred>
+std::vector<BoolMatrix> make_trace(int w, int h, int cycles, Pred pred) {
+  std::vector<BoolMatrix> trace;
+  for (int t = 0; t < cycles; ++t) {
+    BoolMatrix m(w, h);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) m(x, y) = pred(x, y, t) ? 1 : 0;
+    trace.push_back(std::move(m));
+  }
+  return trace;
+}
+
+const std::array<int, 3> kDistances = {1, 2, 3};
+
+TEST(ActuationCorrelation, PerfectlyCoupledNeighborsGiveRhoOne) {
+  // All cells actuate together on even cycles: every pair correlates 1.
+  Rng rng(1);
+  const auto trace = make_trace(
+      10, 10, 40, [](int, int, int t) { return t % 2 == 0; });
+  const auto corr = actuation_correlation(trace, kDistances, 1000, rng);
+  ASSERT_EQ(corr.distance.size(), 3u);
+  for (double rho : corr.mean_rho) EXPECT_NEAR(rho, 1.0, 1e-9);
+  for (int pairs : corr.pairs) EXPECT_GT(pairs, 0);
+}
+
+TEST(ActuationCorrelation, IndependentCellsGiveRhoNearZero) {
+  Rng noise(7);
+  std::vector<std::vector<unsigned char>> bits(
+      100, std::vector<unsigned char>(400));
+  for (auto& cell : bits)
+    for (auto& b : cell) b = noise.bernoulli(0.5);
+  const auto trace = make_trace(10, 10, 400, [&](int x, int y, int t) {
+    return bits[static_cast<std::size_t>(y * 10 + x)]
+               [static_cast<std::size_t>(t)] != 0;
+  });
+  Rng rng(2);
+  const auto corr = actuation_correlation(trace, kDistances, 500, rng);
+  for (double rho : corr.mean_rho) EXPECT_NEAR(rho, 0.0, 0.05);
+}
+
+TEST(ActuationCorrelation, DistanceDecayForAMovingBlock) {
+  // A 4×4 block sweeping east one cell per cycle: nearby cells share most
+  // of their actuation window, distant cells less — ρ decreases with d.
+  const auto trace = make_trace(40, 8, 36, [](int x, int y, int t) {
+    return y >= 2 && y <= 5 && x >= t && x < t + 4;
+  });
+  Rng rng(3);
+  const std::array<int, 5> ds = {1, 2, 3, 4, 5};
+  const auto corr = actuation_correlation(trace, ds, 4000, rng);
+  for (std::size_t i = 1; i < corr.mean_rho.size(); ++i)
+    EXPECT_LT(corr.mean_rho[i], corr.mean_rho[i - 1]) << "d=" << ds[i];
+  EXPECT_GT(corr.mean_rho.front(), 0.5);
+}
+
+TEST(ActuationCorrelation, ConstantCellsAreExcluded) {
+  // Only two cells ever toggle; all-zero and all-one cells must not join.
+  const auto trace = make_trace(6, 6, 20, [](int x, int y, int t) {
+    if (x == 0 && y == 0) return true;           // constant 1
+    if (x == 2 && y == 2) return t % 2 == 0;     // toggling
+    if (x == 3 && y == 2) return t % 2 == 0;     // toggling, d=1 from above
+    return false;                                // constant 0
+  });
+  Rng rng(4);
+  const auto corr = actuation_correlation(trace, std::array<int, 1>{1}, 100,
+                                          rng);
+  EXPECT_EQ(corr.pairs[0], 1);  // exactly the toggling pair
+  EXPECT_NEAR(corr.mean_rho[0], 1.0, 1e-9);
+}
+
+TEST(ActuationCorrelation, PairBudgetIsRespected) {
+  Rng rng(5);
+  const auto trace = make_trace(
+      12, 12, 30, [](int, int, int t) { return t % 3 == 0; });
+  const auto corr =
+      actuation_correlation(trace, std::array<int, 1>{1}, 10, rng);
+  EXPECT_LE(corr.pairs[0], 10);
+}
+
+TEST(WearDistribution, UniformWearHasZeroGini) {
+  const Matrix<std::uint64_t> counts(10, 5, 40);
+  const WearDistribution dist = wear_distribution(counts);
+  EXPECT_DOUBLE_EQ(dist.mean, 40.0);
+  EXPECT_DOUBLE_EQ(dist.max, 40.0);
+  EXPECT_DOUBLE_EQ(dist.p95, 40.0);
+  EXPECT_NEAR(dist.gini, 0.0, 1e-12);
+}
+
+TEST(WearDistribution, ConcentratedWearHasHighGini) {
+  Matrix<std::uint64_t> counts(10, 10, 0);
+  counts(3, 3) = 1000;  // a single hot cell
+  const WearDistribution dist = wear_distribution(counts);
+  EXPECT_DOUBLE_EQ(dist.mean, 10.0);
+  EXPECT_DOUBLE_EQ(dist.max, 1000.0);
+  EXPECT_GT(dist.gini, 0.95);
+}
+
+TEST(WearDistribution, GiniMatchesClosedFormForTwoValues) {
+  // Half the cells at 0, half at 2: Gini → 0.5 for large n.
+  Matrix<std::uint64_t> counts(100, 2, 0);
+  for (int x = 0; x < 100; ++x) counts(x, 1) = 2;
+  const WearDistribution dist = wear_distribution(counts);
+  EXPECT_NEAR(dist.gini, 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(dist.mean, 1.0);
+}
+
+TEST(WearDistribution, LevelledWearScoresLowerThanConcentrated) {
+  Matrix<std::uint64_t> level(20, 20, 0);
+  Matrix<std::uint64_t> hot(20, 20, 0);
+  Rng rng(8);
+  for (int i = 0; i < 4000; ++i) {
+    level(rng.uniform_int(0, 19), rng.uniform_int(0, 19)) += 1;
+    hot(rng.uniform_int(8, 11), rng.uniform_int(8, 11)) += 1;
+  }
+  EXPECT_LT(wear_distribution(level).gini, wear_distribution(hot).gini);
+}
+
+TEST(WearDistribution, RejectsEmptyMatrix) {
+  EXPECT_THROW(wear_distribution(Matrix<std::uint64_t>{}),
+               PreconditionError);
+}
+
+TEST(ActuationCorrelation, RejectsBadInput) {
+  Rng rng(6);
+  EXPECT_THROW(
+      actuation_correlation({}, std::array<int, 1>{1}, 10, rng),
+      PreconditionError);
+  const auto trace = make_trace(4, 4, 5, [](int, int, int) { return true; });
+  EXPECT_THROW(
+      actuation_correlation(trace, std::array<int, 1>{0}, 10, rng),
+      PreconditionError);
+  EXPECT_THROW(
+      actuation_correlation(trace, std::array<int, 1>{1}, 0, rng),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::sim

@@ -1,0 +1,81 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::sim {
+namespace {
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.chips = 2;
+  config.runs_per_chip = 2;
+  config.seed0 = 9;
+  return config;
+}
+
+std::vector<RouterConfig> two_routers() {
+  std::vector<RouterConfig> routers(2);
+  routers[0].name = "baseline";
+  routers[0].scheduler.adaptive = false;
+  routers[1].name = "adaptive";
+  return routers;
+}
+
+TEST(Campaign, GridShapeAndAccounting) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat(),
+                                             assay::master_mix()};
+  const auto cells = run_campaign(assays, two_routers(), small_campaign());
+  ASSERT_EQ(cells.size(), 4u);  // 2 assays × 2 routers
+  for (const CampaignCell& cell : cells) {
+    EXPECT_EQ(cell.runs, 4);  // 2 chips × 2 runs
+    EXPECT_EQ(cell.successes, 4);  // healthy chips: everything succeeds
+    EXPECT_DOUBLE_EQ(cell.success_rate, 1.0);
+    EXPECT_EQ(cell.cycles.count(), 4u);
+  }
+  EXPECT_EQ(cells[0].assay, "COVID-RAT");
+  EXPECT_EQ(cells[0].router, "baseline");
+  EXPECT_EQ(cells[1].router, "adaptive");
+  EXPECT_EQ(cells[2].assay, "Master-Mix");
+}
+
+TEST(Campaign, PairedSeedingMakesRoutersComparable) {
+  // On healthy chips the adaptive and baseline routers take identical
+  // cycle counts (same seeds, same deterministic routes).
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells = run_campaign(assays, two_routers(), small_campaign());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].cycles.mean(), cells[1].cycles.mean());
+}
+
+TEST(Campaign, PrintsEveryCell) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells = run_campaign(assays, two_routers(), small_campaign());
+  std::ostringstream os;
+  print_campaign(os, cells);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("COVID-RAT"), std::string::npos);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  EXPECT_NE(text.find("adaptive"), std::string::npos);
+  EXPECT_NE(text.find("±"), std::string::npos);
+}
+
+TEST(Campaign, RejectsEmptyInputs) {
+  EXPECT_THROW(run_campaign({}, two_routers(), small_campaign()),
+               PreconditionError);
+  EXPECT_THROW(run_campaign({assay::covid_rat()}, {}, small_campaign()),
+               PreconditionError);
+  CampaignConfig bad = small_campaign();
+  bad.chips = 0;
+  EXPECT_THROW(run_campaign({assay::covid_rat()}, two_routers(), bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::sim

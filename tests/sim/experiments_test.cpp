@@ -1,0 +1,178 @@
+#include "sim/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "util/check.hpp"
+
+namespace meda::sim {
+namespace {
+
+RepeatedRunsConfig healthy_config(int runs = 3) {
+  RepeatedRunsConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.runs = runs;
+  config.seed = 7;
+  return config;
+}
+
+TEST(RunRepeated, HealthyChipSucceedsEveryRun) {
+  const auto runs = run_repeated(assay::covid_rat(), healthy_config());
+  ASSERT_EQ(runs.size(), 3u);
+  for (const RunRecord& r : runs) {
+    EXPECT_TRUE(r.success) << r.stats.failure_reason;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.cycles, r.stats.cycles);
+  }
+}
+
+TEST(RunRepeated, IsDeterministicPerSeed) {
+  const auto a = run_repeated(assay::covid_rat(), healthy_config());
+  const auto b = run_repeated(assay::covid_rat(), healthy_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].success, b[i].success);
+    EXPECT_EQ(a[i].cycles, b[i].cycles);
+  }
+}
+
+TEST(RunRepeated, ChipDegradationPersistsAcrossRuns) {
+  // With aggressive degradation, later runs take at least as long (the
+  // transport corridor wears out).
+  RepeatedRunsConfig config = healthy_config(10);
+  config.chip.chip.degradation = DegradationRange{0.5, 0.7, 60.0, 120.0};
+  const auto runs = run_repeated(assay::serial_dilution(), config);
+  ASSERT_EQ(runs.size(), 10u);
+  EXPECT_TRUE(runs.front().success);
+  EXPECT_GT(runs.back().cycles + (runs.back().success ? 0 : 100000),
+            runs.front().cycles);
+}
+
+TEST(ProbabilityOfSuccess, CountsOnlyRunsWithinBudget) {
+  std::vector<RunRecord> records(4);
+  records[0] = {true, 100, {}};
+  records[1] = {true, 200, {}};
+  records[2] = {false, 150, {}};  // failed runs never count
+  records[3] = {true, 300, {}};
+  EXPECT_DOUBLE_EQ(probability_of_success(records, 99), 0.0);
+  EXPECT_DOUBLE_EQ(probability_of_success(records, 100), 0.25);
+  EXPECT_DOUBLE_EQ(probability_of_success(records, 250), 0.5);
+  EXPECT_DOUBLE_EQ(probability_of_success(records, 1000), 0.75);
+}
+
+TEST(ProbabilityOfSuccess, MonotoneInBudget) {
+  RepeatedRunsConfig config = healthy_config(6);
+  config.chip.chip.degradation = DegradationRange{0.5, 0.9, 80.0, 200.0};
+  const auto runs = run_repeated(assay::master_mix(), config);
+  double prev = 0.0;
+  for (std::uint64_t k = 50; k <= 1000; k += 50) {
+    const double pos = probability_of_success(runs, k);
+    EXPECT_GE(pos, prev);
+    prev = pos;
+  }
+}
+
+TEST(ProbabilityOfSuccess, EmptyRecordsThrow) {
+  EXPECT_THROW(probability_of_success({}, 100), PreconditionError);
+}
+
+TEST(RunTrial, HealthyChipReachesTheTarget) {
+  TrialConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.successes_target = 3;
+  config.kmax_total = 2000;
+  config.seed = 11;
+  const TrialResult r = run_trial(assay::covid_rat(), config);
+  EXPECT_EQ(r.successes, 3);
+  EXPECT_EQ(r.executions, 3);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.first_failure_execution, 0);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_LE(r.total_cycles, 2000u);
+}
+
+TEST(RunTrial, TinyBudgetAborts) {
+  TrialConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.successes_target = 5;
+  config.kmax_total = 30;  // far below one execution's cycle count
+  config.seed = 11;
+  const TrialResult r = run_trial(assay::covid_rat(), config);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.successes, 0);
+  EXPECT_GE(r.first_failure_execution, 1);
+}
+
+TEST(RunTrial, BudgetCapsTheCumulativeCycles) {
+  TrialConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.chip.chip.degradation = DegradationRange{0.5, 0.7, 40.0, 80.0};
+  config.successes_target = 20;  // unreachable on this dying chip
+  config.kmax_total = 800;
+  config.seed = 13;
+  const TrialResult r = run_trial(assay::serial_dilution(), config);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LE(r.total_cycles, 800u + 100u);  // slack: the last run overshoots
+}
+
+TEST(OfflineLibrary, PrecomputeEliminatesRuntimeSynthesis) {
+  // Section VI-D offline phase: after precomputing on the pristine twin, a
+  // real execution on an equally fresh chip is served entirely from the
+  // library.
+  core::StrategyLibrary library;
+  BiochipConfig chip_config;
+  chip_config.width = assay::kChipWidth;
+  chip_config.height = assay::kChipHeight;
+  core::SchedulerConfig sched;
+  const std::size_t entries = precompute_offline_library(
+      library, assay::covid_pcr(), chip_config, sched);
+  EXPECT_GT(entries, 0u);
+
+  SimulatedChipConfig sim_config;
+  sim_config.chip = chip_config;
+  SimulatedChip chip(sim_config, Rng(123));
+  core::Scheduler scheduler(sched, &library);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::covid_pcr());
+  ASSERT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_EQ(stats.synthesis_calls, 0);
+  EXPECT_GT(stats.library_hits, 0);
+}
+
+TEST(OfflineLibrary, DegradedChipFallsBackToRuntimeSynthesis) {
+  core::StrategyLibrary library;
+  BiochipConfig chip_config;
+  chip_config.width = assay::kChipWidth;
+  chip_config.height = assay::kChipHeight;
+  core::SchedulerConfig sched;
+  precompute_offline_library(library, assay::covid_rat(), chip_config, sched);
+
+  SimulatedChipConfig sim_config;
+  sim_config.chip = chip_config;
+  sim_config.chip.degradation = DegradationRange{0.5, 0.6, 60.0, 100.0};
+  sim_config.pre_wear_max = 200;  // worn chip → different health digests
+  SimulatedChip chip(sim_config, Rng(124));
+  core::Scheduler scheduler(sched, &library);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::covid_rat());
+  ASSERT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_GT(stats.synthesis_calls, 0);
+}
+
+TEST(RunTrial, DeterministicPerSeed) {
+  TrialConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.successes_target = 2;
+  config.seed = 17;
+  const TrialResult a = run_trial(assay::master_mix(), config);
+  const TrialResult b = run_trial(assay::master_mix(), config);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.executions, b.executions);
+}
+
+}  // namespace
+}  // namespace meda::sim

@@ -1,0 +1,102 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace meda::sim {
+namespace {
+
+struct RunArtifacts {
+  assay::MoList assay = assay::master_mix();
+  core::ExecutionStats stats;
+  std::unique_ptr<SimulatedChip> chip;
+};
+
+RunArtifacts run_master_mix(bool record_trace) {
+  RunArtifacts artifacts;
+  SimulatedChipConfig config;
+  config.chip.width = assay::kChipWidth;
+  config.chip.height = assay::kChipHeight;
+  config.record_droplet_trace = record_trace;
+  artifacts.chip = std::make_unique<SimulatedChip>(config, Rng(7));
+  core::Scheduler scheduler(core::SchedulerConfig{});
+  artifacts.stats = scheduler.run(*artifacts.chip, artifacts.assay);
+  return artifacts;
+}
+
+TEST(HtmlReport, ContainsSummaryGanttAndHeatmap) {
+  const RunArtifacts artifacts = run_master_mix(false);
+  ASSERT_TRUE(artifacts.stats.success);
+  const std::string html = render_html_report(
+      artifacts.assay, artifacts.stats, *artifacts.chip);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Master-Mix"), std::string::npos);
+  EXPECT_NE(html.find("success"), std::string::npos);
+  EXPECT_NE(html.find("MO schedule"), std::string::npos);
+  EXPECT_NE(html.find("Final health matrix"), std::string::npos);
+  // One Gantt bar per completed MO.
+  std::size_t bars = 0;
+  for (std::size_t pos = html.find("rx='2'"); pos != std::string::npos;
+       pos = html.find("rx='2'", pos + 1))
+    ++bars;
+  EXPECT_EQ(bars, artifacts.assay.ops.size());
+  // One heatmap cell per MC.
+  std::size_t cells = 0;
+  for (std::size_t pos = html.find("<rect"); pos != std::string::npos;
+       pos = html.find("<rect", pos + 1))
+    ++cells;
+  EXPECT_GE(cells, static_cast<std::size_t>(assay::kChipWidth *
+                                            assay::kChipHeight));
+  // No trace recorded → no animation section.
+  EXPECT_EQ(html.find("Droplet trace"), std::string::npos);
+}
+
+TEST(HtmlReport, EmbedsTheDropletTraceWhenRecorded) {
+  const RunArtifacts artifacts = run_master_mix(true);
+  const std::string html = render_html_report(
+      artifacts.assay, artifacts.stats, *artifacts.chip);
+  EXPECT_NE(html.find("Droplet trace"), std::string::npos);
+  EXPECT_NE(html.find("const frames=["), std::string::npos);
+  EXPECT_NE(html.find("max='" + std::to_string(artifacts.stats.cycles - 1)),
+            std::string::npos);
+}
+
+TEST(HtmlReport, ReportsFailuresFaithfully) {
+  RunArtifacts artifacts;
+  SimulatedChipConfig config;
+  config.chip.width = assay::kChipWidth;
+  config.chip.height = assay::kChipHeight;
+  artifacts.chip = std::make_unique<SimulatedChip>(config, Rng(7));
+  core::SchedulerConfig sched;
+  sched.max_cycles = 5;
+  core::Scheduler scheduler(sched);
+  artifacts.stats = scheduler.run(*artifacts.chip, artifacts.assay);
+  const std::string html = render_html_report(
+      artifacts.assay, artifacts.stats, *artifacts.chip);
+  EXPECT_NE(html.find("FAILED"), std::string::npos);
+  EXPECT_NE(html.find("cycle limit exceeded"), std::string::npos);
+}
+
+TEST(HtmlReport, WritesToDisk) {
+  const RunArtifacts artifacts = run_master_mix(false);
+  const std::string path = "/tmp/meda_report_test.html";
+  write_html_report(path, artifacts.assay, artifacts.stats, *artifacts.chip);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "<!DOCTYPE html>");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_html_report("/nonexistent/report.html", artifacts.assay,
+                                 artifacts.stats, *artifacts.chip),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::sim

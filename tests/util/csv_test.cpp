@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/meda_csv_test.csv";
+  {
+    CsvWriter csv(path, {"assay", "router", "cycles"});
+    ASSERT_TRUE(csv.is_open());
+    csv.write_row({"CEP", "adaptive", "141"});
+    csv.write_row({"CEP", "baseline", "162"});
+  }
+  EXPECT_EQ(read_file(path),
+            "assay,router,cycles\nCEP,adaptive,141\nCEP,baseline,162\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  const std::string path = "/tmp/meda_csv_escape_test.csv";
+  {
+    CsvWriter csv(path, {"name", "note"});
+    csv.write_row({"a,b", "say \"hi\""});
+  }
+  EXPECT_EQ(read_file(path), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  const std::string path = "/tmp/meda_csv_width_test.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only"}), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter("/tmp/meda_csv_empty.csv", {}), PreconditionError);
+}
+
+TEST(CsvWriter, UnwritablePathIsNotOpenButDoesNotThrow) {
+  CsvWriter csv("/nonexistent-dir/out.csv", {"a"});
+  EXPECT_FALSE(csv.is_open());
+  EXPECT_NO_THROW(csv.write_row({"1"}));  // silently dropped
+}
+
+}  // namespace
+}  // namespace meda

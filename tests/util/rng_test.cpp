@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateIntervalReturnsBound) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(Rng, UniformRejectsReversedBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(5.0, 2.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliClampOutOfRange) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequencyNearP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(17);
+  const std::array<double, 3> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(17);
+  const std::array<double, 2> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(weights), PreconditionError);
+}
+
+TEST(Rng, CategoricalRejectsNegative) {
+  Rng rng(17);
+  const std::array<double, 2> weights = {0.5, -0.1};
+  EXPECT_THROW(rng.categorical(weights), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsRoughlyMatch) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 0.5);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(23);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(29);
+  const auto sample = sample_without_replacement(rng, 50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_GE(*unique.begin(), 0);
+  EXPECT_LT(*unique.rbegin(), 50);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(31);
+  const auto sample = sample_without_replacement(rng, 10, 10);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(31);
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda

@@ -1,0 +1,165 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace meda::stats {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(population_variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(population_stddev(xs), 2.0);
+  EXPECT_NEAR(sample_variance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), PreconditionError);
+}
+
+TEST(Stats, CovarianceOfIndependentShiftedCopies) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {11, 12, 13, 14, 15};
+  EXPECT_DOUBLE_EQ(covariance(xs, ys), population_variance(xs));
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZeroByConvention) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, PearsonBoolMatchesDoublePearson) {
+  Rng rng(5);
+  std::vector<unsigned char> a(200), b(200);
+  std::vector<double> ad(200), bd(200);
+  for (int i = 0; i < 200; ++i) {
+    a[i] = rng.bernoulli(0.4);
+    b[i] = rng.bernoulli(0.6) ? a[i] : rng.bernoulli(0.5);
+    ad[i] = a[i];
+    bd[i] = b[i];
+  }
+  EXPECT_NEAR(pearson_bool(a, b), pearson(ad, bd), 1e-10);
+}
+
+TEST(Stats, PearsonBoolIdenticalVectorsIsOne) {
+  std::vector<unsigned char> a = {1, 0, 1, 1, 0, 0, 1};
+  EXPECT_NEAR(pearson_bool(a, a), 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 - 0.25 * i);
+  }
+  const FitResult fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, -0.25, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2_adjusted, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisyHasHighButImperfectR2) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 2.0 * i + rng.normal(0.0, 3.0));
+  }
+  const FitResult fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_GT(fit.r2, 0.95);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_LE(fit.r2_adjusted, fit.r2);
+}
+
+TEST(Stats, LinearFitRejectsConstantX) {
+  const std::vector<double> xs = {2, 2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3, 4};
+  EXPECT_THROW(linear_fit(xs, ys), PreconditionError);
+}
+
+TEST(Stats, ExponentialFitRecoversDecayRate) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 40; ++i) {
+    xs.push_back(i * 25.0);
+    ys.push_back(0.8 * std::exp(-0.002 * i * 25.0));
+  }
+  const FitResult fit = exponential_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.002, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 0.8, 1e-9);
+  EXPECT_NEAR(fit.r2_adjusted, 1.0, 1e-9);
+}
+
+TEST(Stats, ExponentialFitRejectsNonPositiveY) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1.0, 0.0, 0.5};
+  EXPECT_THROW(exponential_fit(xs, ys), PreconditionError);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(11);
+  RunningStats acc;
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), 500u);
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.stddev(), sample_stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(acc.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Stats, RunningStatsSingleSampleHasZeroStddev) {
+  RunningStats acc;
+  acc.add(3.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+  EXPECT_EQ(acc.mean(), 3.0);
+}
+
+TEST(Stats, RunningStatsEmptyMeanThrows) {
+  RunningStats acc;
+  EXPECT_THROW(acc.mean(), PreconditionError);
+}
+
+TEST(Stats, Ci95HalfwidthSmallSample) {
+  RunningStats acc;
+  acc.add(1.0);
+  EXPECT_EQ(acc.ci95_halfwidth(), 0.0);
+  acc.add(3.0);
+  // n = 2, dof = 1: t = 12.706, sd = sqrt(2) → 12.706·sqrt(2)/sqrt(2).
+  EXPECT_NEAR(acc.ci95_halfwidth(), 12.706, 1e-9);
+}
+
+TEST(Stats, Ci95HalfwidthShrinksWithSamples) {
+  Rng rng(3);
+  RunningStats small, large;
+  for (int i = 0; i < 5; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  // Asymptotic regime: ±1.96·sd/sqrt(n).
+  EXPECT_NEAR(large.ci95_halfwidth(),
+              1.96 * large.stddev() / std::sqrt(500.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace meda::stats

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Every line starts its second column at the same offset.
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableFormat, FmtDouble) {
+  EXPECT_EQ(fmt_double(0.5319, 3), "0.532");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(TableFormat, FmtIntThousandsSeparators) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1913), "1,913");
+  EXPECT_EQ(fmt_int(26720), "26,720");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(fmt_int(-1913), "-1,913");
+}
+
+TEST(TableFormat, FmtSci) {
+  EXPECT_EQ(fmt_sci(2.375e-15, 3), "2.375e-15");
+}
+
+}  // namespace
+}  // namespace meda
