@@ -1,0 +1,74 @@
+// Chaos campaign: success-vs-sensor-noise curves (Fig. 16-style) under the
+// composed adversaries of the robustness subsystem — a lying scan chain
+// (transient bit flips + stuck DFFs + dropped frames), injected substrate
+// faults with heterogeneous pre-wear, and an explicit degradation player.
+//
+// Two routers run on identical chips at every noise level:
+//   - adaptive : the paper's proactive router acting on raw scan frames;
+//   - robust   : the same router behind the health filter, with the
+//                recovery ladder armed (watchdog → re-sense → bounded
+//                retries/backoff → quarantine → per-job abort).
+//
+// Expected shape: both routers match on a clean channel; as noise grows the
+// raw-scan router chases phantom health changes (re-synthesis storms,
+// infeasible plans from phantom-dead cells) while the robust router's curve
+// degrades gracefully.
+
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sim/campaign.hpp"
+#include "util/table.hpp"
+
+using namespace meda;
+
+int main() {
+  sim::ChaosCampaignConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  // Mid-life faulty chips, as in the Fig. 16 fault-injection study.
+  config.chip.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
+  config.chip.pre_wear_max = 150;
+  config.chip.faults.mode = FaultMode::kClustered;
+  config.chip.faults.faulty_fraction = 0.05;
+  config.chip.faults.fail_at_lo = 15;
+  config.chip.faults.fail_at_hi = 120;
+  config.chips = 3;
+  config.runs_per_chip = 4;
+  config.seed0 = 4200;
+
+  // The noise axis: transient flips sweep while 1% of the scan chain's DFFs
+  // are stuck and 2% of frames drop (held constant across levels).
+  for (const double p : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    sim::ChaosLevel level;
+    level.name = "p=" + fmt_double(p, 3);
+    level.sensor.bit_flip_p = p;
+    level.sensor.stuck_fraction = p > 0.0 ? 0.01 : 0.0;
+    level.sensor.frame_drop_p = p > 0.0 ? 0.02 : 0.0;
+    config.levels.push_back(level);
+  }
+
+  sim::RouterConfig adaptive;
+  adaptive.name = "adaptive";
+  adaptive.scheduler.adaptive = true;
+  adaptive.scheduler.max_cycles = 1500;
+
+  sim::RouterConfig robust = adaptive;
+  robust.name = "robust";
+  robust.scheduler.filter.enabled = true;
+  robust.scheduler.recovery.enabled = true;
+
+  std::cout << "=== Chaos campaign — success vs sensor noise ===\n(CEP, "
+            << config.chips << " mid-life faulty chips x "
+            << config.runs_per_chip
+            << " runs; stuck DFFs + frame drops at every p > 0)\n\n";
+  const std::vector<sim::ChaosCell> cells = sim::run_chaos_campaign(
+      {assay::cep()}, {adaptive, robust}, config);
+  sim::print_chaos_campaign(std::cout, cells);
+  sim::write_chaos_csv("chaos_campaign.csv", cells);
+  std::cout << "\n(Series also written to chaos_campaign.csv.)\n"
+               "Expected: the routers tie at p=0; the robust router holds\n"
+               "its success rate as p grows while the raw-scan router's\n"
+               "curve collapses into re-synthesis storms and aborts.\n";
+  return 0;
+}

@@ -20,6 +20,10 @@
 //   --trace N             print an ASCII chip frame every N cycles
 //   --report PATH         write a self-contained HTML execution report
 //   --health-bits B       health-sensor resolution (default 2)
+//   --sensor-noise P      noisy scan chain: per-bit flip probability P,
+//                         plus 1% stuck DFFs and 2% frame drops
+//   --robust              health filter + recovery ladder (watchdog,
+//                         re-sense, quarantine, bounded retries, abort)
 
 #include <cstring>
 #include <iostream>
@@ -47,6 +51,7 @@ assay::MoList pick_assay(const std::string& name) {
                "[--prewear N] [--faults uniform|clustered FRAC]\n"
                "                 [--degradation LO HI] [--max-cycles N] "
                "[--trace N] [--report PATH] [--health-bits B]\n"
+               "                 [--sensor-noise P] [--robust]\n"
                "benchmarks:\n";
   for (const auto& info : assay::list_benchmarks())
     std::cerr << "  " << info.key << " — " << info.description << "\n";
@@ -110,6 +115,13 @@ int main(int argc, char** argv) {
         chip_config.record_droplet_trace = true;
       } else if (arg == "--health-bits") {
         chip_config.chip.health_bits = std::stoi(next());
+      } else if (arg == "--sensor-noise") {
+        chip_config.sensor.bit_flip_p = std::stod(next());
+        chip_config.sensor.stuck_fraction = 0.01;
+        chip_config.sensor.frame_drop_p = 0.02;
+      } else if (arg == "--robust") {
+        sched.filter.enabled = true;
+        sched.recovery.enabled = true;
       } else if (!arg.empty() && arg[0] == '-') {
         usage();
       } else {
@@ -151,6 +163,10 @@ int main(int argc, char** argv) {
            std::to_string(stats.resyntheses),
            fmt_double(stats.synthesis_seconds * 1e3, 2)});
 
+      if (run == 0 && !stats.recovery_events.empty()) {
+        std::cout << "recovery ladder (run 1):\n"
+                  << core::format_events(stats.recovery_events) << "\n";
+      }
       if (trace_every > 0 && run == 0) {
         const auto& frames = chip.droplet_trace();
         for (std::size_t f = 0; f < frames.size();

@@ -17,6 +17,34 @@ std::uint64_t sample_threshold(const FaultInjectionConfig& cfg, Rng& rng) {
       static_cast<int>(cfg.fail_at_lo), static_cast<int>(cfg.fail_at_hi)));
 }
 
+/// Grows @p chosen to exactly @p target cells by repeatedly adding a random
+/// unchosen 4-neighbor of an already-chosen cell (so every added cell stays
+/// attached to a cluster). No-op when @p chosen is empty or already large
+/// enough; stops early if the whole chip is chosen.
+void grow_frontier(std::unordered_set<Vec2i>& chosen, int width, int height,
+                   int target, Rng& rng) {
+  while (!chosen.empty() && static_cast<int>(chosen.size()) < target) {
+    std::vector<Vec2i> frontier;
+    for (const Vec2i& p : chosen) {
+      const Vec2i neighbors[4] = {{p.x + 1, p.y}, {p.x - 1, p.y},
+                                  {p.x, p.y + 1}, {p.x, p.y - 1}};
+      for (const Vec2i& n : neighbors)
+        if (n.x >= 0 && n.x < width && n.y >= 0 && n.y < height &&
+            !chosen.contains(n))
+          frontier.push_back(n);
+    }
+    if (frontier.empty()) return;  // the whole chip is faulty
+    // The set's iteration order is unspecified; sort for per-seed
+    // determinism before drawing.
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    chosen.insert(
+        frontier[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(frontier.size()) - 1))]);
+  }
+}
+
 }  // namespace
 
 std::vector<Vec2i> inject_faults(Biochip& chip,
@@ -42,16 +70,28 @@ std::vector<Vec2i> inject_faults(Biochip& chip,
     const int cs = std::min({config.cluster_size, chip.width(), chip.height()});
     // Place clusters until the target cell count is covered. Clusters are
     // placed independently, so overlaps are possible (and simply merge).
+    // Two guarantees keep the count exact (no silent over/undershoot):
+    //  - a cluster that would overshoot the target is inserted as a raster
+    //    prefix of its cells (a prefix of >= 2 cells is always contiguous,
+    //    so no isolated faulty cell appears); a 1-cell remainder is instead
+    //    grown from the frontier of already-chosen cells;
+    //  - if random placement stalls (attempt budget exhausted on a dense
+    //    chip), the deficit is grown from the frontier as well.
     const int max_attempts = 50 * (target / (cs * cs) + 1);
     int attempts = 0;
     while (static_cast<int>(chosen.size()) < target &&
            attempts++ < max_attempts) {
+      const int remaining = target - static_cast<int>(chosen.size());
+      if (remaining == 1 && !chosen.empty()) break;  // grow from the frontier
       const int x0 = rng.uniform_int(0, chip.width() - cs);
       const int y0 = rng.uniform_int(0, chip.height() - cs);
-      for (int dy = 0; dy < cs; ++dy)
-        for (int dx = 0; dx < cs; ++dx)
+      for (int dy = 0; dy < cs && static_cast<int>(chosen.size()) < target;
+           ++dy)
+        for (int dx = 0; dx < cs && static_cast<int>(chosen.size()) < target;
+             ++dx)
           chosen.insert(Vec2i{x0 + dx, y0 + dy});
     }
+    grow_frontier(chosen, chip.width(), chip.height(), target, rng);
   }
 
   injected.reserve(chosen.size());

@@ -1,0 +1,65 @@
+#include "chip/sensor_channel.hpp"
+
+#include "chip/scan_chain.hpp"
+#include "util/check.hpp"
+
+namespace meda {
+
+SensorChannel::SensorChannel(const SensorNoiseConfig& config, int width,
+                             int height, int bits, Rng rng)
+    : config_(config), width_(width), height_(height), bits_(bits) {
+  MEDA_REQUIRE(width >= 1 && height >= 1, "sensor channel needs a chip area");
+  MEDA_REQUIRE(bits >= 1 && bits <= 16, "health bits out of range");
+  MEDA_REQUIRE(config.bit_flip_p >= 0.0 && config.bit_flip_p <= 1.0 &&
+                   config.stuck_fraction >= 0.0 &&
+                   config.stuck_fraction <= 1.0 &&
+                   config.frame_drop_p >= 0.0 && config.frame_drop_p < 1.0,
+               "sensor noise probabilities out of range");
+  const std::size_t positions = static_cast<std::size_t>(width) *
+                                static_cast<std::size_t>(height) *
+                                static_cast<std::size_t>(bits);
+  stuck_.assign(positions, 0);
+  if (config.stuck_fraction > 0.0) {
+    const int n = static_cast<int>(positions);
+    const int target =
+        static_cast<int>(config.stuck_fraction * static_cast<double>(n) + 0.5);
+    for (int flat : sample_without_replacement(rng, n, target)) {
+      stuck_[static_cast<std::size_t>(flat)] =
+          rng.bernoulli(config.stuck_at_one_share) ? 2 : 1;
+    }
+    stuck_count_ = target;
+  }
+}
+
+IntMatrix SensorChannel::read(const IntMatrix& truth, Rng& rng) {
+  ++frames_read_;
+  if (bits_ == 0) return truth;  // default-constructed: transparent
+  MEDA_REQUIRE(truth.width() == width_ && truth.height() == height_,
+               "health frame does not match the channel dimensions");
+  // A dropped frame never reaches the controller: it keeps the previous
+  // frame. The drop is decided before per-bit noise so the random stream
+  // stays aligned whether or not the frame survives.
+  if (has_last_ && config_.frame_drop_p > 0.0 &&
+      rng.bernoulli(config_.frame_drop_p)) {
+    ++frames_dropped_;
+    ++staleness_;
+    return last_frame_;
+  }
+  std::vector<bool> stream = scan_out_health(truth, bits_);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (stuck_[i] != 0) {
+      stream[i] = stuck_[i] == 2;
+      continue;
+    }
+    if (config_.bit_flip_p > 0.0 && rng.bernoulli(config_.bit_flip_p)) {
+      stream[i] = !stream[i];
+      ++bits_flipped_;
+    }
+  }
+  last_frame_ = scan_in_health(stream, width_, height_, bits_);
+  has_last_ = true;
+  staleness_ = 0;
+  return last_frame_;
+}
+
+}  // namespace meda

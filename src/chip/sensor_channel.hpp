@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+/// @file sensor_channel.hpp
+/// Imperfect health scan-out (robustness extension of Section III).
+///
+/// The paper's dual-DFF sensor design assumes the b-bit health codes arrive
+/// at the controller intact. Real charge-trapping hardware does not: the
+/// scan chain is a long shift register clocked at speed, so readouts suffer
+/// transient bit flips, individual DFFs can be stuck-at-0/1 (a manufacturing
+/// or wear-out defect that persists for the chip's lifetime), and a whole
+/// scan frame can be lost to a timing violation — in which case the
+/// controller only has the previous (stale) frame to act on.
+///
+/// SensorChannel models exactly these three error modes on top of the
+/// bitstream layout of scan_chain.hpp. With a default-constructed
+/// SensorNoiseConfig the channel is transparent (it still serializes and
+/// re-parses the frame, exercising the real readout path).
+
+namespace meda {
+
+/// Error-channel configuration for the health scan-out path.
+struct SensorNoiseConfig {
+  /// Per-bit probability of a transient flip (independent per read).
+  double bit_flip_p = 0.0;
+  /// Fraction of scan-chain DFF positions that are permanently stuck.
+  /// Stuck positions are sampled once per chip and persist across reads.
+  double stuck_fraction = 0.0;
+  /// Share of stuck DFFs that are stuck-at-1 (the rest are stuck-at-0).
+  double stuck_at_one_share = 0.5;
+  /// Probability a whole scan frame is dropped; the reader then sees the
+  /// last successfully transferred frame (staleness). The first frame is
+  /// never dropped (there is nothing stale to fall back to).
+  double frame_drop_p = 0.0;
+
+  /// True when any error mode is active.
+  bool enabled() const {
+    return bit_flip_p > 0.0 || stuck_fraction > 0.0 || frame_drop_p > 0.0;
+  }
+};
+
+/// Stateful noisy readout channel for one chip's health scan chain.
+class SensorChannel {
+ public:
+  /// Transparent channel (no noise, no state).
+  SensorChannel() = default;
+
+  /// Samples the persistent stuck-at defects for a width×height×bits scan
+  /// chain from @p rng (consumed at construction only).
+  SensorChannel(const SensorNoiseConfig& config, int width, int height,
+                int bits, Rng rng);
+
+  /// Reads @p truth through the channel: serialize, corrupt, parse.
+  /// Transient randomness (flips, frame drops) draws from @p rng.
+  IntMatrix read(const IntMatrix& truth, Rng& rng);
+
+  // Channel statistics ---------------------------------------------------
+  std::uint64_t frames_read() const { return frames_read_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bits_flipped() const { return bits_flipped_; }
+  /// Number of permanently stuck DFF positions.
+  int stuck_bits() const { return stuck_count_; }
+  /// Reads since the last fresh frame (0 right after a successful read).
+  std::uint64_t staleness() const { return staleness_; }
+
+ private:
+  SensorNoiseConfig config_{};
+  int width_ = 0;
+  int height_ = 0;
+  int bits_ = 0;
+  /// Per-DFF persistence: 0 = healthy, 1 = stuck-at-0, 2 = stuck-at-1.
+  std::vector<std::uint8_t> stuck_;
+  int stuck_count_ = 0;
+  IntMatrix last_frame_;
+  bool has_last_ = false;
+  std::uint64_t frames_read_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bits_flipped_ = 0;
+  std::uint64_t staleness_ = 0;
+};
+
+}  // namespace meda

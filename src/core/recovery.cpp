@@ -1,0 +1,29 @@
+#include "core/recovery.hpp"
+
+#include <sstream>
+
+namespace meda::core {
+
+std::string_view to_string(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kWatchdogResense: return "watchdog-resense";
+    case RecoveryAction::kSynthesisRetry: return "synthesis-retry";
+    case RecoveryAction::kBackoff: return "backoff";
+    case RecoveryAction::kQuarantine: return "quarantine";
+    case RecoveryAction::kJobAbort: return "job-abort";
+  }
+  return "?";
+}
+
+std::string format_events(const std::vector<RecoveryEvent>& events) {
+  std::ostringstream os;
+  for (const RecoveryEvent& e : events) {
+    os << "cycle " << e.cycle << " [" << to_string(e.action) << ']';
+    if (e.mo >= 0) os << " MO " << e.mo;
+    if (!e.detail.empty()) os << ": " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace meda::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// @file recovery.hpp
+/// The scheduler's structured recovery ladder (robustness extension of
+/// Algorithm 3). When execution misbehaves — a droplet stops making
+/// progress, synthesis comes back infeasible, sensing contradicts reality —
+/// the scheduler escalates through a fixed ladder instead of burning its
+/// cycle budget or failing the whole bioassay outright:
+///
+///   1. droplet-stuck watchdog        → forced re-sense + strategy drop
+///   2. re-synthesis, bounded retries → exponential backoff between attempts
+///   3. hazard quarantine             → persistently misbehaving cells are
+///                                      clamped dead in the health view and
+///                                      routed around (routability-gated)
+///   4. graceful per-job abort        → the MO (and its dependents) abort
+///                                      with a structured reason; unrelated
+///                                      MOs keep running
+///
+/// Every rung fired is recorded as a RecoveryEvent in the execution stats
+/// and surfaced in the HTML execution report.
+
+namespace meda::core {
+
+/// Which rung of the ladder fired.
+enum class RecoveryAction : unsigned char {
+  kWatchdogResense,  ///< stuck droplet: forced re-sense, strategy dropped
+  kSynthesisRetry,   ///< infeasible synthesis: retry scheduled
+  kBackoff,          ///< exponential backoff wait entered
+  kQuarantine,       ///< cells quarantined out of the health view
+  kJobAbort,         ///< one MO aborted gracefully
+};
+
+std::string_view to_string(RecoveryAction action);
+
+/// One recovery-ladder firing.
+struct RecoveryEvent {
+  RecoveryAction action = RecoveryAction::kWatchdogResense;
+  std::uint64_t cycle = 0;  ///< relative to the start of the execution
+  int mo = -1;              ///< affected MO (-1: execution-wide)
+  std::string detail;
+};
+
+/// Ladder tuning. `enabled = false` preserves the legacy behavior: any
+/// infeasible synthesis fails the whole execution immediately and stuck
+/// droplets run into the cycle limit.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Commanded cycles without droplet progress before the watchdog fires.
+  int stuck_cycles = 12;
+  /// Re-synthesis attempts per routing job before escalating past retries.
+  int max_retries = 3;
+  /// Backoff before retry i is backoff_base_cycles << (i-1) cycles.
+  int backoff_base_cycles = 4;
+  /// Watchdog firings on the same routing job before its blocked frontier
+  /// is quarantined.
+  int quarantine_after_watchdogs = 2;
+  /// Also quarantine cells the health filter flags as suspect.
+  bool quarantine_suspects = true;
+  /// When > 0: after each quarantine, probe chip-wide routability with this
+  /// many sampled jobs; abort the job early if the feasible fraction falls
+  /// below min_routable_fraction (the chip is effectively unroutable).
+  int routability_probe_jobs = 0;
+  double min_routable_fraction = 0.25;
+};
+
+/// Aggregated ladder counters for one execution.
+struct RecoveryCounters {
+  int watchdog_fires = 0;
+  int forced_resenses = 0;
+  int synthesis_retries = 0;
+  std::uint64_t backoff_cycles = 0;
+  int quarantined_cells = 0;
+  int aborted_jobs = 0;
+
+  bool any() const {
+    return watchdog_fires > 0 || forced_resenses > 0 ||
+           synthesis_retries > 0 || backoff_cycles > 0 ||
+           quarantined_cells > 0 || aborted_jobs > 0;
+  }
+};
+
+/// Renders events as one line each ("cycle 412 [quarantine] MO 3: ...").
+std::string format_events(const std::vector<RecoveryEvent>& events);
+
+}  // namespace meda::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/routability.hpp"
 #include "model/outcomes.hpp"
 #include "util/check.hpp"
 
@@ -110,6 +111,12 @@ struct RouteTask {
   // progress.
   Rect last_pos = Rect::none();
   int stuck_cycles = 0;
+  // Recovery-ladder bookkeeping.
+  int retries = 0;            ///< failed synthesis attempts (current episode)
+  int backoff_remaining = 0;  ///< cycles left in the current backoff wait
+  int watchdog_count = 0;     ///< watchdog firings since the last escalation
+  Rect watch_pos = Rect::none();
+  int no_progress = 0;        ///< commanded cycles without movement
   // Model-vs-reality bookkeeping.
   std::uint64_t created_cycle = 0;
   double first_expected_cycles = -1.0;
@@ -119,17 +126,19 @@ struct RouteTask {
 /// Runtime state of one MO.
 struct MoRun {
   const Mo* mo = nullptr;
-  enum class State { kWaiting, kActive, kDone } state = State::kWaiting;
+  enum class State { kWaiting, kActive, kDone, kAborted } state =
+      State::kWaiting;
   int phase = 0;
   int hold_remaining = 0;
   std::vector<RouteTask> routes;
   std::vector<DropletId> in;
   std::vector<DropletId> out;
+  std::vector<DropletId> live;  ///< droplets this MO currently owns on chip
   DropletId merged = -1;                          // mix/dlt intermediate
   std::pair<DropletId, DropletId> parts{-1, -1};  // spt/dlt parts
 };
 
-/// Per-execution driver implementing Algorithm 3.
+/// Per-execution driver implementing Algorithm 3 plus the recovery ladder.
 class Runner {
  public:
   Runner(const SchedulerConfig& config, StrategyLibrary& library,
@@ -140,10 +149,15 @@ class Runner {
         assay_(assay_list),
         chip_bounds_(chip.bounds()),
         synthesizer_(chip.bounds(), config.synthesis),
-        outputs_(assay::compute_outputs(assay_list)) {
+        outputs_(assay::compute_outputs(assay_list)),
+        filter_(config.filter),
+        quarantined_(chip.bounds().width(), chip.bounds().height(), 0) {
     runs_.resize(assay_.ops.size());
     for (std::size_t i = 0; i < assay_.ops.size(); ++i)
       runs_[i].mo = &assay_.ops[i];
+    senses_health_ = config_.adaptive ||
+                     config_.reactive_recovery_stuck_cycles > 0 ||
+                     config_.recovery.enabled || config_.filter.enabled;
   }
 
   ExecutionStats execute() {
@@ -152,26 +166,34 @@ class Runner {
     stats_.mo_timings.resize(runs_.size());
     for (std::size_t i = 0; i < runs_.size(); ++i)
       stats_.mo_timings[i].mo = static_cast<int>(i);
-    while (!failed_ && !all_done()) {
+    while (!failed_ && !all_settled()) {
       if (chip_.cycle() - start_cycle >= config_.max_cycles) {
         fail("cycle limit exceeded");
         break;
       }
-      IntMatrix health;
-      if (config_.adaptive || config_.reactive_recovery_stuck_cycles > 0)
-        health = chip_.sense_health();
+      refresh_health(/*forced=*/false);
       std::vector<Command> commands;
       for (MoRun& run : runs_) {
         if (failed_) break;
         if (run.state == MoRun::State::kWaiting) try_activate(run);
-        if (run.state == MoRun::State::kActive) process(run, health, commands);
+        if (run.state == MoRun::State::kActive) process(run, commands);
       }
       if (failed_) break;
+      finalize_aborts(commands);
       chip_.step(commands);
     }
     stats_.cycles = chip_.cycle() - start_cycle;
+    for (const MoRun& run : runs_)
+      if (run.state == MoRun::State::kDone) ++stats_.completed_mos;
+    stats_.aborted_mos = stats_.recovery.aborted_jobs;
     stats_.success = !failed_ && all_done();
-    if (failed_) stats_.failure_reason = failure_reason_;
+    if (failed_) {
+      stats_.failure_reason = failure_reason_;
+    } else if (!stats_.success && !abort_reasons_.empty()) {
+      std::string reason = std::to_string(abort_reasons_.size()) +
+                           " job(s) aborted — first: " + abort_reasons_.front();
+      stats_.failure_reason = std::move(reason);
+    }
     return stats_;
   }
 
@@ -182,16 +204,185 @@ class Runner {
     });
   }
 
+  /// True when every MO has finished or gracefully aborted.
+  bool all_settled() const {
+    return std::all_of(runs_.begin(), runs_.end(), [](const MoRun& r) {
+      return r.state == MoRun::State::kDone ||
+             r.state == MoRun::State::kAborted;
+    });
+  }
+
   void fail(std::string reason) {
     failed_ = true;
     failure_reason_ = std::move(reason);
   }
 
+  void event(RecoveryAction action, int mo, std::string detail) {
+    stats_.recovery_events.push_back(RecoveryEvent{
+        action, chip_.cycle() - start_cycle_, mo, std::move(detail)});
+  }
+
+  /// Senses the chip and rebuilds the controller's health view: raw scan or
+  /// filtered estimate, with quarantined cells clamped dead. @p forced marks
+  /// a ladder-driven re-sense (the filter re-seeds from the next frame).
+  void refresh_health(bool forced) {
+    if (!senses_health_) return;
+    IntMatrix scan = chip_.sense_health();
+    if (config_.filter.enabled) {
+      if (forced) filter_.force_resense();
+      filter_.observe(scan);
+      health_ = filter_.estimate();
+    } else {
+      health_ = std::move(scan);
+    }
+    if (forced) ++stats_.recovery.forced_resenses;
+    apply_quarantine();
+  }
+
+  /// Folds filter-suspect cells into the quarantine set and clamps every
+  /// quarantined cell to health 0 in the current view.
+  void apply_quarantine() {
+    if (!config_.recovery.enabled) return;
+    if (config_.recovery.quarantine_suspects && config_.filter.enabled &&
+        filter_.suspect_count() > quarantined_suspects_seen_) {
+      const BoolMatrix& suspect = filter_.suspect();
+      int added = 0;
+      for (int y = 0; y < quarantined_.height(); ++y)
+        for (int x = 0; x < quarantined_.width(); ++x)
+          if (suspect(x, y) != 0 && quarantined_(x, y) == 0) {
+            quarantined_(x, y) = 1;
+            ++added;
+          }
+      quarantined_suspects_seen_ = filter_.suspect_count();
+      if (added > 0) {
+        quarantine_count_ += added;
+        stats_.recovery.quarantined_cells += added;
+        event(RecoveryAction::kQuarantine, -1,
+              std::to_string(added) + " suspect cell(s)");
+      }
+    }
+    clamp_quarantined();
+  }
+
+  void clamp_quarantined() {
+    if (quarantine_count_ == 0 || health_.empty()) return;
+    for (int y = 0; y < health_.height(); ++y)
+      for (int x = 0; x < health_.width(); ++x)
+        if (quarantined_(x, y) != 0) health_(x, y) = 0;
+  }
+
+  /// Quarantines the cells a stuck droplet keeps failing to enter: the
+  /// commanded action's target pattern minus the current position (fallback:
+  /// the one-cell ring around the droplet). The router must then plan around
+  /// them even though they may still *read* healthy.
+  void quarantine_attempt_frontier(MoRun& run, RouteTask& task,
+                                   const Rect& pos) {
+    Rect area = pos.inflated(1);
+    if (task.has_strategy) {
+      if (const std::optional<Action> a = task.strategy.action(pos))
+        area = apply(*a, pos);
+    }
+    area = area.intersection_with(chip_bounds_);
+    int added = 0;
+    for (int y = area.ya; y <= area.yb; ++y)
+      for (int x = area.xa; x <= area.xb; ++x)
+        if (!pos.contains(x, y) && quarantined_(x, y) == 0) {
+          quarantined_(x, y) = 1;
+          ++added;
+        }
+    if (added == 0) return;
+    quarantine_count_ += added;
+    stats_.recovery.quarantined_cells += added;
+    event(RecoveryAction::kQuarantine, run.mo->id,
+          std::to_string(added) + " cell(s) blocking " + pos.to_string());
+    clamp_quarantined();
+    routability_gate(run);
+  }
+
+  /// After a quarantine, optionally probes chip-wide routability; a chip
+  /// that can no longer route most jobs is not worth burning cycles on.
+  void routability_gate(MoRun& run) {
+    if (config_.recovery.routability_probe_jobs <= 0) return;
+    RoutabilityConfig probe;
+    probe.jobs = config_.recovery.routability_probe_jobs;
+    probe.synthesis = config_.synthesis;
+    // Deterministic probe seed tied to the execution point.
+    Rng rng(0x90BAB17Eull ^ (chip_.cycle() * 0x9E3779B97F4A7C15ull));
+    const RoutabilityReport report =
+        assess_routability(health_, chip_.health_bits(), probe, rng);
+    if (report.feasible_fraction < config_.recovery.min_routable_fraction) {
+      abort_job(run, "chip unroutable after quarantine (feasible fraction " +
+                         std::to_string(report.feasible_fraction) + ")");
+    }
+  }
+
+  /// Gracefully aborts one MO: its droplets are scheduled for discard at the
+  /// end of the cycle and its dependents cascade-abort on activation.
+  void abort_job(MoRun& run, const std::string& reason) {
+    if (run.state == MoRun::State::kAborted) return;
+    run.state = MoRun::State::kAborted;
+    ++stats_.recovery.aborted_jobs;
+    abort_reasons_.push_back("MO " + std::to_string(run.mo->id) + ": " +
+                             reason);
+    event(RecoveryAction::kJobAbort, run.mo->id, reason);
+    doomed_.insert(doomed_.end(), run.live.begin(), run.live.end());
+    run.live.clear();
+  }
+
+  /// Executes deferred aborts: strips commands addressed to doomed droplets,
+  /// removes the droplets from the chip, and releases aborted runs' routes.
+  void finalize_aborts(std::vector<Command>& commands) {
+    if (doomed_.empty()) return;
+    std::erase_if(commands, [this](const Command& c) {
+      return std::find(doomed_.begin(), doomed_.end(), c.droplet) !=
+             doomed_.end();
+    });
+    for (const DropletId id : doomed_) chip_.discard(id);
+    doomed_.clear();
+    for (MoRun& run : runs_)
+      if (run.state == MoRun::State::kAborted) run.routes.clear();
+  }
+
+  /// Ladder stage: an infeasible synthesis. Bounded retries with
+  /// exponential backoff and a forced re-sense; then graceful job abort.
+  void on_synthesis_failure(MoRun& run, RouteTask& task) {
+    ++task.retries;
+    ++stats_.recovery.synthesis_retries;
+    if (task.retries > config_.recovery.max_retries) {
+      abort_job(run, "no feasible strategy after " +
+                         std::to_string(task.retries) + " attempts");
+      return;
+    }
+    event(RecoveryAction::kSynthesisRetry, task.rj.mo,
+          "attempt " + std::to_string(task.retries) + "/" +
+              std::to_string(config_.recovery.max_retries));
+    if (config_.recovery.backoff_base_cycles > 0) {
+      task.backoff_remaining = config_.recovery.backoff_base_cycles
+                               << (task.retries - 1);
+      event(RecoveryAction::kBackoff, task.rj.mo,
+            std::to_string(task.backoff_remaining) + " cycle(s)");
+    }
+    // Fresh information for the retry.
+    refresh_health(/*forced=*/true);
+  }
+
   void try_activate(MoRun& run) {
+    bool aborted_pre = false;
     for (const assay::PreRef& ref : run.mo->pre) {
-      if (runs_[static_cast<std::size_t>(ref.mo)].state !=
-          MoRun::State::kDone)
-        return;
+      const MoRun::State s = runs_[static_cast<std::size_t>(ref.mo)].state;
+      if (s == MoRun::State::kWaiting || s == MoRun::State::kActive) return;
+      if (s == MoRun::State::kAborted) aborted_pre = true;
+    }
+    if (aborted_pre) {
+      // Cascade: inputs produced by completed predecessors can never be
+      // consumed; remove them from the chip with the abort.
+      for (const assay::PreRef& ref : run.mo->pre) {
+        const MoRun& pre = runs_[static_cast<std::size_t>(ref.mo)];
+        if (pre.state == MoRun::State::kDone)
+          doomed_.push_back(pre.out[static_cast<std::size_t>(ref.out)]);
+      }
+      abort_job(run, "predecessor aborted");
+      return;
     }
     run.in.clear();
     for (const assay::PreRef& ref : run.mo->pre) {
@@ -202,6 +393,7 @@ class Runner {
     }
     run.state = MoRun::State::kActive;
     run.phase = 0;
+    run.live = run.in;
     stats_.mo_timings[static_cast<std::size_t>(run.mo->id)].activated =
         chip_.cycle() - start_cycle_;
   }
@@ -209,6 +401,7 @@ class Runner {
   void finish(MoRun& run, std::vector<DropletId> out) {
     run.out = std::move(out);
     run.routes.clear();
+    run.live.clear();
     run.state = MoRun::State::kDone;
     MoTiming& timing = stats_.mo_timings[static_cast<std::size_t>(run.mo->id)];
     timing.completed = chip_.cycle() - start_cycle_;
@@ -246,7 +439,7 @@ class Runner {
 
   /// Advances one route by one cycle (emits at most one command).
   /// Returns true when the droplet has arrived (no command emitted).
-  bool advance_route(RouteTask& task, const IntMatrix& health,
+  bool advance_route(MoRun& run, RouteTask& task,
                      std::vector<Command>& commands) {
     if (route_arrived(task)) {
       if (!task.recorded && task.first_expected_cycles >= 0.0) {
@@ -264,6 +457,41 @@ class Runner {
       return false;
     }
 
+    // Ladder backoff: hold in place while waiting out a failed synthesis.
+    if (task.backoff_remaining > 0) {
+      --task.backoff_remaining;
+      ++stats_.recovery.backoff_cycles;
+      commands.push_back(Command{task.droplet, std::nullopt, task.partner});
+      return false;
+    }
+
+    // Ladder watchdog: a commanded droplet that stops making progress
+    // triggers a forced re-sense + strategy drop; repeated firings escalate
+    // to quarantining the cells it keeps failing to enter.
+    if (config_.recovery.enabled && config_.recovery.stuck_cycles > 0) {
+      if (task.has_strategy && pos == task.watch_pos) {
+        if (++task.no_progress >= config_.recovery.stuck_cycles) {
+          task.no_progress = 0;
+          ++task.watchdog_count;
+          ++stats_.recovery.watchdog_fires;
+          event(RecoveryAction::kWatchdogResense, task.rj.mo,
+                "droplet stuck at " + pos.to_string());
+          refresh_health(/*forced=*/true);
+          if (task.watchdog_count >=
+              config_.recovery.quarantine_after_watchdogs) {
+            task.watchdog_count = 0;
+            quarantine_attempt_frontier(run, task, pos);
+            if (run.state != MoRun::State::kActive) return false;
+          }
+          task.has_strategy = false;
+          task.pending = false;
+        }
+      } else {
+        task.watch_pos = pos;
+        task.no_progress = 0;
+      }
+    }
+
     // Reactive error recovery (retrial-based, Section II-C): once the
     // droplet has been stuck long enough, re-route using the sensed health.
     if (config_.reactive_recovery_stuck_cycles > 0 && !config_.adaptive) {
@@ -272,8 +500,8 @@ class Runner {
           task.stuck_cycles = 0;
           task.has_strategy = false;
           task.pending = false;
-          recover_strategy(task, pos, health);
-          if (failed_) return false;
+          recover_strategy(run, task, pos);
+          if (failed_ || run.state != MoRun::State::kActive) return false;
         }
       } else {
         task.last_pos = pos;
@@ -281,10 +509,10 @@ class Runner {
       }
     }
 
-    ensure_strategy(task, pos, health);
-    if (failed_) return false;
+    ensure_strategy(run, task, pos);
+    if (failed_ || run.state != MoRun::State::kActive) return false;
     if (!task.has_strategy) {
-      // Synthesis still pending; hold in place.
+      // Synthesis still pending (or backing off); hold in place.
       commands.push_back(Command{task.droplet, std::nullopt, task.partner});
       return false;
     }
@@ -295,11 +523,23 @@ class Runner {
       // strategy swap); force a fresh synthesis from the current state.
       task.has_strategy = false;
       task.pending = false;
-      ensure_strategy(task, pos, health);
-      if (failed_) return false;
+      ensure_strategy(run, task, pos);
+      if (failed_ || run.state != MoRun::State::kActive) return false;
       if (task.has_strategy) action = task.strategy.action(pos);
     }
     if (!action) {
+      if (task.backoff_remaining > 0 || !task.has_strategy) {
+        // The ladder already took over (retry scheduled); hold meanwhile.
+        commands.push_back(Command{task.droplet, std::nullopt, task.partner});
+        return false;
+      }
+      if (config_.recovery.enabled) {
+        on_synthesis_failure(run, task);
+        if (run.state == MoRun::State::kActive)
+          commands.push_back(
+              Command{task.droplet, std::nullopt, task.partner});
+        return false;
+      }
       fail("strategy does not cover the droplet state for MO " +
            std::to_string(task.rj.mo));
       return false;
@@ -310,12 +550,11 @@ class Runner {
 
   /// One-shot reactive re-route from the sensed health matrix (used by the
   /// retrial-recovery comparison mode; bypasses the adaptive digest logic).
-  void recover_strategy(RouteTask& task, const Rect& pos,
-                        const IntMatrix& health) {
+  void recover_strategy(MoRun& run, RouteTask& task, const Rect& pos) {
     ++stats_.resyntheses;
     RoutingJob rj = task.rj;
     rj.start = pos;
-    const std::uint64_t digest = health_digest(health, task.rj.hazard);
+    const std::uint64_t digest = health_digest(health_, task.rj.hazard);
     SynthesisResult result;
     const SynthesisResult* cached =
         config_.use_library ? library_.lookup(rj, digest) : nullptr;
@@ -324,16 +563,21 @@ class Runner {
       result = *cached;
     } else {
       ++stats_.synthesis_calls;
-      result = synthesizer_.synthesize(rj, health, chip_.health_bits());
+      result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
       stats_.synthesis_seconds +=
           result.construction_seconds + result.solve_seconds;
       if (config_.use_library) library_.store(rj, digest, result);
     }
     if (!result.feasible) {
-      fail("reactive recovery found no feasible strategy for MO " +
-           std::to_string(task.rj.mo));
+      if (config_.recovery.enabled) {
+        on_synthesis_failure(run, task);
+      } else {
+        fail("reactive recovery found no feasible strategy for MO " +
+             std::to_string(task.rj.mo));
+      }
       return;
     }
+    task.retries = 0;
     task.strategy = std::move(result.strategy);
     // Store the baseline digest so ensure_strategy keeps the recovered
     // strategy until the droplet gets stuck again.
@@ -343,8 +587,7 @@ class Runner {
 
   /// Retrieves / synthesizes / re-synthesizes the task's strategy
   /// (Algorithm 3 lines 11-16 plus the hybrid re-synthesis rule).
-  void ensure_strategy(RouteTask& task, const Rect& pos,
-                       const IntMatrix& health) {
+  void ensure_strategy(MoRun& run, RouteTask& task, const Rect& pos) {
     // Adopt a finished asynchronous synthesis.
     if (task.pending) {
       if (--task.pending_countdown <= 0) {
@@ -358,7 +601,7 @@ class Runner {
     }
 
     const std::uint64_t digest =
-        config_.adaptive ? health_digest(health, task.rj.hazard) : 0;
+        config_.adaptive ? health_digest(health_, task.rj.hazard) : 0;
     if (task.has_strategy && digest == task.digest) return;
 
     if (task.has_strategy) ++stats_.resyntheses;
@@ -375,7 +618,7 @@ class Runner {
     } else {
       ++stats_.synthesis_calls;
       if (config_.adaptive) {
-        result = synthesizer_.synthesize(rj, health, chip_.health_bits());
+        result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
       } else {
         result = synthesizer_.synthesize_with_force(
             rj,
@@ -387,9 +630,15 @@ class Runner {
     }
 
     if (!result.feasible) {
-      fail("no feasible routing strategy for MO " + std::to_string(task.rj.mo));
+      if (config_.recovery.enabled) {
+        on_synthesis_failure(run, task);
+      } else {
+        fail("no feasible routing strategy for MO " +
+             std::to_string(task.rj.mo));
+      }
       return;
     }
+    task.retries = 0;
     if (task.first_expected_cycles < 0.0 &&
         std::isfinite(result.expected_cycles))
       task.first_expected_cycles = result.expected_cycles;
@@ -425,8 +674,7 @@ class Runner {
   ///   2 — transport the merged droplet to the mixer location;
   ///   3 — hold for the mixing duration.
   /// Leaves run.phase == 4 when complete.
-  void process_mix_phases(MoRun& run, const IntMatrix& health,
-                          std::vector<Command>& commands) {
+  void process_mix_phases(MoRun& run, std::vector<Command>& commands) {
     const Mo& mo = *run.mo;
     if (run.phase == 0) {
       run.routes.clear();
@@ -448,14 +696,15 @@ class Runner {
         run.merged = chip_.merge(run.in[0], run.in[1],
                                  merge_site(run.in[0], run.in[1],
                                             merged_area));
+        run.live = {run.merged};
         run.phase = 2;
         return;  // merging consumes the cycle
       }
       // Route the partner with the shorter remaining distance second so the
       // pair tends to meet near the mixer; both droplets are commanded.
-      advance_route(run.routes[0], health, commands);
-      if (failed_) return;
-      advance_route(run.routes[1], health, commands);
+      advance_route(run, run.routes[0], commands);
+      if (failed_ || run.state != MoRun::State::kActive) return;
+      advance_route(run, run.routes[1], commands);
       return;
     }
     if (run.phase == 2) {
@@ -465,7 +714,7 @@ class Runner {
       run.phase = 3;
     }
     if (run.phase == 3) {
-      if (advance_route(run.routes[0], health, commands)) {
+      if (advance_route(run, run.routes[0], commands)) {
         run.hold_remaining = mo.hold_cycles;
         run.phase = 4;
       }
@@ -481,8 +730,7 @@ class Runner {
   }
 
   /// Drives one MO's phase machine for one cycle.
-  void process(MoRun& run, const IntMatrix& health,
-               std::vector<Command>& commands) {
+  void process(MoRun& run, std::vector<Command>& commands) {
     const Mo& mo = *run.mo;
     const int id = mo.id;
     const auto& mo_outputs = outputs_[static_cast<std::size_t>(id)];
@@ -493,11 +741,12 @@ class Runner {
           if (!chip_.location_clear(entry)) return;  // port busy; wait
           const DropletId d = chip_.dispense(entry);
           run.in = {d};
+          run.live = {d};
           run.routes = {make_route(id, d, mo_outputs[0])};
           run.phase = 1;
           return;  // dispensing consumes the cycle
         }
-        if (advance_route(run.routes[0], health, commands))
+        if (advance_route(run, run.routes[0], commands))
           finish(run, {run.routes[0].droplet});
         return;
       }
@@ -509,7 +758,7 @@ class Runner {
           run.phase = 1;
         }
         if (run.phase == 1) {
-          if (advance_route(run.routes[0], health, commands)) run.phase = 2;
+          if (advance_route(run, run.routes[0], commands)) run.phase = 2;
           return;
         }
         chip_.discard(run.routes[0].droplet);  // exits through the edge
@@ -523,7 +772,7 @@ class Runner {
           run.phase = 1;
         }
         if (run.phase == 1) {
-          if (advance_route(run.routes[0], health, commands)) {
+          if (advance_route(run, run.routes[0], commands)) {
             run.phase = 2;
             run.hold_remaining = mo.hold_cycles;
           }
@@ -537,7 +786,7 @@ class Runner {
         return;
       }
       case MoType::kMix: {
-        process_mix_phases(run, health, commands);
+        process_mix_phases(run, commands);
         if (run.phase == 5) finish(run, {run.merged});
         return;
       }
@@ -549,6 +798,7 @@ class Runner {
               split_rects(pos, (area + 1) / 2, area / 2, chip_bounds_);
           if (!chip_.split_clear(run.in[0], r0, r1)) return;  // wait
           run.parts = chip_.split(run.in[0], r0, r1);
+          run.live = {run.parts.first, run.parts.second};
           run.phase = 1;
           return;  // splitting consumes the cycle
         }
@@ -558,9 +808,9 @@ class Runner {
           run.phase = 2;
         }
         // Route both parts concurrently; done when both have arrived.
-        const bool a0 = advance_route(run.routes[0], health, commands);
-        if (failed_) return;
-        const bool a1 = advance_route(run.routes[1], health, commands);
+        const bool a0 = advance_route(run, run.routes[0], commands);
+        if (failed_ || run.state != MoRun::State::kActive) return;
+        const bool a1 = advance_route(run, run.routes[1], commands);
         if (a0 && a1) finish(run, {run.parts.first, run.parts.second});
         return;
       }
@@ -568,7 +818,8 @@ class Runner {
         // Mix at loc[0] (phases 0-4), split (5), then distribute: the
         // departing half routes to loc[1] before the stayer settles at
         // loc[0], so it cannot block the stayer's goal.
-        process_mix_phases(run, health, commands);
+        process_mix_phases(run, commands);
+        if (run.state != MoRun::State::kActive) return;
         if (run.phase < 5) return;
         if (run.phase == 5) {
           const Rect pos = chip_.droplet_position(run.merged);
@@ -577,6 +828,7 @@ class Runner {
               split_rects(pos, (area + 1) / 2, area / 2, chip_bounds_);
           if (!chip_.split_clear(run.merged, r0, r1)) return;  // wait
           run.parts = chip_.split(run.merged, r0, r1);
+          run.live = {run.parts.first, run.parts.second};
           run.phase = 6;
           return;  // splitting consumes the cycle
         }
@@ -585,14 +837,14 @@ class Runner {
           run.phase = 7;
         }
         if (run.phase == 7) {
-          if (advance_route(run.routes[0], health, commands)) run.phase = 8;
+          if (advance_route(run, run.routes[0], commands)) run.phase = 8;
           return;
         }
         if (run.phase == 8) {
           run.routes = {make_route(id, run.parts.first, mo_outputs[0])};
           run.phase = 9;
         }
-        if (advance_route(run.routes[0], health, commands))
+        if (advance_route(run, run.routes[0], commands))
           finish(run, {run.parts.first, run.parts.second});
         return;
       }
@@ -611,6 +863,15 @@ class Runner {
   std::uint64_t start_cycle_ = 0;
   bool failed_ = false;
   std::string failure_reason_;
+  // Sensing / recovery state.
+  bool senses_health_ = false;
+  IntMatrix health_;  ///< the controller's current health view
+  HealthFilter filter_;
+  BoolMatrix quarantined_;
+  int quarantine_count_ = 0;
+  int quarantined_suspects_seen_ = 0;
+  std::vector<DropletId> doomed_;  ///< droplets to discard at cycle end
+  std::vector<std::string> abort_reasons_;
 };
 
 }  // namespace

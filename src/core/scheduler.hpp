@@ -7,7 +7,9 @@
 #include "assay/helper.hpp"
 #include "assay/mo.hpp"
 #include "core/biochip_io.hpp"
+#include "core/health_filter.hpp"
 #include "core/library.hpp"
+#include "core/recovery.hpp"
 #include "core/synthesizer.hpp"
 
 /// @file scheduler.hpp
@@ -46,6 +48,12 @@ struct SchedulerConfig {
   /// cycles. 0 disables recovery (the pure baseline). Ignored when
   /// `adaptive` is true — the proactive router never waits to get stuck.
   int reactive_recovery_stuck_cycles = 0;
+  /// Health estimation over the (possibly noisy) scan chain: when enabled
+  /// the scheduler acts on the filtered estimate, never on a raw frame.
+  HealthFilterConfig filter{};
+  /// The structured recovery ladder (watchdog → re-sense → bounded
+  /// re-synthesis with backoff → quarantine → per-job abort).
+  RecoveryConfig recovery{};
 };
 
 /// Activation/completion cycle of one MO within an execution (cycle counts
@@ -77,6 +85,10 @@ struct ExecutionStats {
   std::string failure_reason;         ///< empty on success
   std::vector<MoTiming> mo_timings;   ///< per-MO schedule (by MO id)
   std::vector<RouteRecord> routes;    ///< per-route model-vs-reality data
+  RecoveryCounters recovery;          ///< ladder counters (all zero if quiet)
+  std::vector<RecoveryEvent> recovery_events;  ///< ladder firings, in order
+  int completed_mos = 0;              ///< MOs that finished
+  int aborted_mos = 0;                ///< MOs gracefully aborted (== recovery.aborted_jobs)
 };
 
 /// Executes planned bioassays on a biochip.

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <ostream>
 
+#include "core/library.hpp"
 #include "sim/experiments.hpp"
 #include "util/check.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace meda::sim {
@@ -66,6 +68,129 @@ void print_campaign(std::ostream& os,
                     1)});
   }
   table.print(os);
+}
+
+namespace {
+
+std::unique_ptr<DegradationAdversary> make_adversary(
+    AdversaryKind kind, const AdversaryBudget& budget) {
+  switch (kind) {
+    case AdversaryKind::kNone: return nullptr;
+    case AdversaryKind::kRandom:
+      return std::make_unique<RandomAdversary>(budget);
+    case AdversaryKind::kFrontier:
+      return std::make_unique<FrontierAdversary>(budget);
+  }
+  return nullptr;
+}
+
+void accumulate_recovery(core::RecoveryCounters& into,
+                         const core::RecoveryCounters& from) {
+  into.watchdog_fires += from.watchdog_fires;
+  into.forced_resenses += from.forced_resenses;
+  into.synthesis_retries += from.synthesis_retries;
+  into.backoff_cycles += from.backoff_cycles;
+  into.quarantined_cells += from.quarantined_cells;
+  into.aborted_jobs += from.aborted_jobs;
+}
+
+}  // namespace
+
+std::vector<ChaosCell> run_chaos_campaign(
+    const std::vector<assay::MoList>& assays,
+    const std::vector<RouterConfig>& routers,
+    const ChaosCampaignConfig& config) {
+  MEDA_REQUIRE(!assays.empty() && !routers.empty() && !config.levels.empty(),
+               "chaos campaign needs an assay, a router, and a level");
+  MEDA_REQUIRE(config.chips >= 1 && config.runs_per_chip >= 1,
+               "chaos campaign needs positive chip/run counts");
+  std::vector<ChaosCell> cells;
+  for (const assay::MoList& assay_list : assays) {
+    for (const ChaosLevel& level : config.levels) {
+      for (const RouterConfig& router : routers) {
+        ChaosCell cell;
+        cell.assay = assay_list.name;
+        cell.router = router.name;
+        cell.level = level.name;
+        cell.sensor = level.sensor;
+        for (int chip_idx = 0; chip_idx < config.chips; ++chip_idx) {
+          // The substrate seed depends only on chip_idx: the same chip (same
+          // degradation constants, same injected faults) underlies every
+          // level and router — only the sensing channel differs.
+          Rng rng(config.seed0 + static_cast<std::uint64_t>(chip_idx));
+          SimulatedChipConfig chip_config = config.chip;
+          chip_config.sensor = level.sensor;
+          SimulatedChip chip(chip_config, rng.fork(0xC41));
+          chip.set_adversary(
+              make_adversary(config.adversary, config.adversary_budget));
+          core::StrategyLibrary library;
+          core::Scheduler scheduler(router.scheduler, &library);
+          for (int run = 0; run < config.runs_per_chip; ++run) {
+            chip.clear_droplets();
+            const core::ExecutionStats stats =
+                scheduler.run(chip, assay_list);
+            ++cell.runs;
+            accumulate_recovery(cell.recovery, stats.recovery);
+            if (stats.success) {
+              ++cell.successes;
+              cell.cycles.add(static_cast<double>(stats.cycles));
+            }
+          }
+          cell.frames_dropped += chip.sensor_channel().frames_dropped();
+          cell.bits_flipped += chip.sensor_channel().bits_flipped();
+        }
+        cell.success_rate =
+            static_cast<double>(cell.successes) / cell.runs;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+void print_chaos_campaign(std::ostream& os,
+                          const std::vector<ChaosCell>& cells) {
+  Table table({"bioassay", "noise", "router", "success", "cycles",
+               "watchdog", "retries", "quarantined", "aborted"});
+  for (const ChaosCell& cell : cells) {
+    table.add_row(
+        {cell.assay, cell.level, cell.router,
+         std::to_string(cell.successes) + "/" + std::to_string(cell.runs),
+         cell.cycles.count() > 0 ? fmt_double(cell.cycles.mean(), 1) : "-",
+         std::to_string(cell.recovery.watchdog_fires),
+         std::to_string(cell.recovery.synthesis_retries),
+         std::to_string(cell.recovery.quarantined_cells),
+         std::to_string(cell.recovery.aborted_jobs)});
+  }
+  table.print(os);
+}
+
+void write_chaos_csv(const std::string& path,
+                     const std::vector<ChaosCell>& cells) {
+  CsvWriter csv(path,
+                {"assay", "router", "level", "bit_flip_p", "stuck_fraction",
+                 "frame_drop_p", "runs", "successes", "success_rate",
+                 "mean_cycles", "watchdog_fires", "forced_resenses",
+                 "synthesis_retries", "backoff_cycles", "quarantined_cells",
+                 "aborted_jobs", "frames_dropped", "bits_flipped"});
+  for (const ChaosCell& cell : cells) {
+    csv.write_row(
+        {cell.assay, cell.router, cell.level,
+         fmt_double(cell.sensor.bit_flip_p, 6),
+         fmt_double(cell.sensor.stuck_fraction, 6),
+         fmt_double(cell.sensor.frame_drop_p, 6),
+         std::to_string(cell.runs), std::to_string(cell.successes),
+         fmt_double(cell.success_rate, 4),
+         cell.cycles.count() > 0 ? fmt_double(cell.cycles.mean(), 2) : "",
+         std::to_string(cell.recovery.watchdog_fires),
+         std::to_string(cell.recovery.forced_resenses),
+         std::to_string(cell.recovery.synthesis_retries),
+         std::to_string(cell.recovery.backoff_cycles),
+         std::to_string(cell.recovery.quarantined_cells),
+         std::to_string(cell.recovery.aborted_jobs),
+         std::to_string(cell.frames_dropped),
+         std::to_string(cell.bits_flipped)});
+  }
 }
 
 }  // namespace meda::sim

@@ -6,6 +6,7 @@
 
 #include "assay/mo.hpp"
 #include "core/scheduler.hpp"
+#include "sim/adversary.hpp"
 #include "sim/simulated_chip.hpp"
 #include "util/stats.hpp"
 
@@ -53,5 +54,67 @@ std::vector<CampaignCell> run_campaign(
 /// approximated by the binomial SE; cycles carry a t-based 95% CI).
 void print_campaign(std::ostream& os,
                     const std::vector<CampaignCell>& cells);
+
+// Chaos campaigns --------------------------------------------------------
+//
+// A chaos campaign composes the three independent adversaries of the
+// robustness evaluation — sensor noise (the scan chain lies), injected
+// faults / pre-wear (the substrate is damaged), and an explicit degradation
+// player (the substrate keeps getting damaged) — into one sweep, producing
+// the Fig. 16-style success-vs-noise curves for each router.
+
+/// One point on the sensor-noise axis.
+struct ChaosLevel {
+  std::string name;           ///< series label (e.g. "p=0.01")
+  SensorNoiseConfig sensor{};
+};
+
+/// Which explicit degradation player (SMG player ②) to install.
+enum class AdversaryKind { kNone, kRandom, kFrontier };
+
+/// Chaos-campaign controls. The substrate configuration (faults, pre-wear)
+/// comes from `chip`; its sensor field is overridden per level.
+struct ChaosCampaignConfig {
+  SimulatedChipConfig chip{};
+  std::vector<ChaosLevel> levels;
+  AdversaryKind adversary = AdversaryKind::kNone;
+  AdversaryBudget adversary_budget{};
+  int chips = 3;            ///< chip instances per cell
+  int runs_per_chip = 5;    ///< repeated executions per chip (reuse)
+  std::uint64_t seed0 = 1;  ///< chip i uses seed0 + i (paired across
+                            ///< routers and levels: same substrate)
+};
+
+/// Aggregated results of one (assay, level, router) cell.
+struct ChaosCell {
+  std::string assay;
+  std::string router;
+  std::string level;
+  SensorNoiseConfig sensor{};
+  int runs = 0;
+  int successes = 0;
+  double success_rate = 0.0;
+  stats::RunningStats cycles;  ///< over successful runs
+  core::RecoveryCounters recovery;     ///< summed over all runs
+  std::uint64_t frames_dropped = 0;    ///< summed over all chips
+  std::uint64_t bits_flipped = 0;      ///< summed over all chips
+};
+
+/// Runs the (assay × level × router) grid. Substrate seeds are identical
+/// across levels and routers, so each curve is a paired comparison: the
+/// same chips, differing only in sensing noise and router.
+std::vector<ChaosCell> run_chaos_campaign(
+    const std::vector<assay::MoList>& assays,
+    const std::vector<RouterConfig>& routers,
+    const ChaosCampaignConfig& config);
+
+/// Prints the chaos campaign as an aligned table.
+void print_chaos_campaign(std::ostream& os,
+                          const std::vector<ChaosCell>& cells);
+
+/// Writes the cells to @p path as CSV: one row per cell with the noise
+/// parameters, success rate, and every recovery-ladder counter.
+void write_chaos_csv(const std::string& path,
+                     const std::vector<ChaosCell>& cells);
 
 }  // namespace meda::sim

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/recovery.hpp"
 #include "util/check.hpp"
 
 namespace meda::sim {
@@ -34,7 +35,31 @@ void emit_summary(std::ostringstream& os, const assay::MoList& assay,
      << stats.synthesis_calls << " / " << stats.library_hits << " / "
      << stats.resyntheses << "</td></tr>"
      << "<tr><td>synthesis wall time</td><td>"
-     << stats.synthesis_seconds * 1e3 << " ms</td></tr></table>\n";
+     << stats.synthesis_seconds * 1e3 << " ms</td></tr>";
+  if (stats.completed_mos + stats.aborted_mos > 0) {
+    os << "<tr><td>MOs completed / aborted</td><td>" << stats.completed_mos
+       << " / " << stats.aborted_mos << "</td></tr>";
+  }
+  os << "</table>\n";
+}
+
+void emit_recovery(std::ostringstream& os,
+                   const core::ExecutionStats& stats) {
+  if (!stats.recovery.any() && stats.recovery_events.empty()) return;
+  const core::RecoveryCounters& r = stats.recovery;
+  os << "<h2>Recovery ladder</h2>\n<table class='kv'>"
+     << "<tr><td>watchdog fires / forced re-senses</td><td>"
+     << r.watchdog_fires << " / " << r.forced_resenses << "</td></tr>"
+     << "<tr><td>synthesis retries / backoff cycles</td><td>"
+     << r.synthesis_retries << " / " << r.backoff_cycles << "</td></tr>"
+     << "<tr><td>quarantined cells / aborted jobs</td><td>"
+     << r.quarantined_cells << " / " << r.aborted_jobs
+     << "</td></tr></table>\n";
+  if (!stats.recovery_events.empty()) {
+    os << "<h3>Event log</h3>\n<pre style='background:#fafafa;border:1px "
+          "solid #ddd;padding:8px'>"
+       << core::format_events(stats.recovery_events) << "</pre>\n";
+  }
 }
 
 void emit_gantt(std::ostringstream& os, const assay::MoList& assay,
@@ -144,6 +169,7 @@ std::string render_html_report(const assay::MoList& assay,
         "margin:24px;max-width:960px}table.kv td{padding:2px 10px 2px 0}"
         "h2{margin-top:28px}</style>\n</head><body>\n";
   emit_summary(os, assay, stats);
+  emit_recovery(os, stats);
   emit_gantt(os, assay, stats);
   emit_heatmap(os, chip);
   emit_trace(os, chip);

@@ -17,6 +17,20 @@ SimulatedChip::SimulatedChip(const SimulatedChipConfig& config, Rng rng)
         chip_.mc(x, y).actuate_n(static_cast<std::uint64_t>(
             rng_.uniform_int(0, static_cast<int>(config.pre_wear_max))));
   }
+  // Only fork the sensing RNG when noise is configured: a perfect channel
+  // must leave rng_'s stream — and hence every downstream outcome sample of
+  // existing fixed-seed experiments — untouched.
+  if (config.sensor.enabled()) {
+    sensor_rng_ = rng_.fork(0x5E45);
+    sensor_channel_ =
+        SensorChannel(config.sensor, chip_.width(), chip_.height(),
+                      chip_.health_bits(), rng_.fork(0x5746));
+  }
+}
+
+IntMatrix SimulatedChip::sense_health() const {
+  if (!config_.sensor.enabled()) return chip_.health_matrix();
+  return sensor_channel_.read(chip_.health_matrix(), sensor_rng_);
 }
 
 Rect SimulatedChip::droplet_position(core::DropletId id) const {

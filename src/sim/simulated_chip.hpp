@@ -7,6 +7,7 @@
 
 #include "chip/biochip.hpp"
 #include "chip/fault_injection.hpp"
+#include "chip/sensor_channel.hpp"
 #include "core/biochip_io.hpp"
 #include "model/guards.hpp"
 #include "sim/adversary.hpp"
@@ -35,6 +36,10 @@ struct SimulatedChipConfig {
   /// actuations (heterogeneous wear from earlier bioassays on the reused
   /// chip). 0 = factory-fresh.
   std::uint64_t pre_wear_max = 0;
+  /// Imperfections of the sensing path (Section III-B scan chain): every
+  /// sense_health() is serialized through the scan chain and corrupted per
+  /// this model. Default: a perfect channel (sense_health returns H).
+  SensorNoiseConfig sensor{};
 };
 
 /// Simulated MEDA biochip.
@@ -47,7 +52,7 @@ class SimulatedChip : public core::BiochipIo {
   // BiochipIo ----------------------------------------------------------
   Rect bounds() const override { return chip_.bounds(); }
   int health_bits() const override { return chip_.health_bits(); }
-  IntMatrix sense_health() const override { return chip_.health_matrix(); }
+  IntMatrix sense_health() const override;
   Rect droplet_position(core::DropletId id) const override;
   bool location_clear(const Rect& at) const override;
   core::DropletId dispense(const Rect& at) override;
@@ -69,6 +74,9 @@ class SimulatedChip : public core::BiochipIo {
 
   /// Locations of fault-injected MCs.
   const std::vector<Vec2i>& injected_faults() const { return faults_; }
+
+  /// The sensing path (read statistics: frames dropped, bits flipped, ...).
+  const SensorChannel& sensor_channel() const { return sensor_channel_; }
 
   /// Droplets currently on the chip.
   std::vector<std::pair<core::DropletId, Rect>> droplets() const;
@@ -113,6 +121,10 @@ class SimulatedChip : public core::BiochipIo {
   SimulatedChipConfig config_;
   Biochip chip_;
   Rng rng_;
+  // Sensing path state (mutable: sense_health() is observationally const to
+  // the controller but advances the channel's noise process).
+  mutable SensorChannel sensor_channel_;
+  mutable Rng sensor_rng_{0};
   std::vector<Vec2i> faults_;
   std::unordered_map<core::DropletId, Rect> droplets_;
   core::DropletId next_id_ = 0;

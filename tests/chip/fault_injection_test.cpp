@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/check.hpp"
@@ -120,6 +121,57 @@ TEST(FaultInjection, ZeroFractionInjectsNothing) {
   config.mode = FaultMode::kUniform;
   config.faulty_fraction = 0.0;
   EXPECT_TRUE(inject_faults(chip, config, rng).empty());
+}
+
+TEST(FaultInjection, ClusteredHitsTargetCountExactly) {
+  // Regression: the clustered placer used to overshoot (a full cluster was
+  // stamped even when fewer cells were needed) or undershoot (clusters
+  // landing on already-chosen cells were simply wasted). It must now pin
+  // the count to round(fraction · cells), like the uniform mode.
+  Rng rng(7);
+  for (const double fraction : {0.02, 0.05, 0.11}) {
+    for (const int cluster_size : {2, 3}) {
+      Biochip chip = make_chip(rng, 40, 30);  // 1200 cells
+      FaultInjectionConfig config;
+      config.mode = FaultMode::kClustered;
+      config.faulty_fraction = fraction;
+      config.cluster_size = cluster_size;
+      const auto injected = inject_faults(chip, config, rng);
+      const auto target =
+          static_cast<std::size_t>(std::llround(fraction * 1200));
+      EXPECT_EQ(injected.size(), target)
+          << "fraction " << fraction << ", cluster " << cluster_size;
+      std::set<Vec2i> unique(injected.begin(), injected.end());
+      EXPECT_EQ(unique.size(), injected.size());
+    }
+  }
+}
+
+TEST(FaultInjection, ClusteredReachesHighFractionsOnSmallChips) {
+  // Dense regime: on a small chip most cluster placements collide with
+  // already-chosen cells, so the placer must grow existing clusters at
+  // their frontier instead of spinning or giving up short.
+  Rng rng(8);
+  Biochip chip = make_chip(rng, 8, 6);  // 48 cells
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kClustered;
+  config.faulty_fraction = 0.75;
+  const auto injected = inject_faults(chip, config, rng);
+  EXPECT_EQ(injected.size(), 36u);
+  for (const Vec2i& p : injected) EXPECT_TRUE(chip.in_bounds(p.x, p.y));
+}
+
+TEST(FaultInjection, ClusteredStaysInBoundsNearEdges) {
+  // Clusters anchored near the east/south edges must clamp, not spill.
+  Rng rng(9);
+  Biochip chip = make_chip(rng, 5, 5);
+  FaultInjectionConfig config;
+  config.mode = FaultMode::kClustered;
+  config.faulty_fraction = 0.5;
+  config.cluster_size = 3;
+  const auto injected = inject_faults(chip, config, rng);
+  EXPECT_EQ(injected.size(), 13u);  // round(0.5 · 25), half rounds up
+  for (const Vec2i& p : injected) EXPECT_TRUE(chip.in_bounds(p.x, p.y));
 }
 
 TEST(FaultInjection, RejectsBadFraction) {

@@ -66,5 +66,58 @@ TEST(ScanChain, RejectsLengthMismatch) {
                PreconditionError);
 }
 
+TEST(ScanChain, FuzzedHealthRoundTripOverGeometriesAndBitDepths) {
+  // Property: scan_in_health ∘ scan_out_health == identity for every
+  // geometry and bit depth. 200 random (w, h, bits, codes) draws.
+  Rng rng(0xF022);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int w = rng.uniform_int(1, 24);
+    const int h = rng.uniform_int(1, 24);
+    const int bits = rng.uniform_int(1, 12);
+    IntMatrix health(w, h);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        health(x, y) = rng.uniform_int(0, (1 << bits) - 1);
+    const std::vector<bool> stream = scan_out_health(health, bits);
+    ASSERT_EQ(stream.size(),
+              static_cast<std::size_t>(w) * h * bits)
+        << w << "x" << h << "@" << bits;
+    ASSERT_EQ(scan_in_health(stream, w, h, bits), health)
+        << w << "x" << h << "@" << bits;
+  }
+}
+
+TEST(ScanChain, FuzzedActuationRoundTrip) {
+  Rng rng(0xF023);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int w = rng.uniform_int(1, 32);
+    const int h = rng.uniform_int(1, 32);
+    BoolMatrix pattern(w, h);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) pattern(x, y) = rng.bernoulli(0.5);
+    ASSERT_EQ(scan_in_actuation(scan_out_actuation(pattern), w, h), pattern)
+        << w << "x" << h;
+  }
+}
+
+TEST(ScanChain, RejectsOffByOneStreamLengths) {
+  // A truncated or over-long bitstream — the symptom of a desynchronized
+  // scan clock — must be rejected, never silently re-framed.
+  Rng rng(0xF024);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int w = rng.uniform_int(1, 16);
+    const int h = rng.uniform_int(1, 16);
+    const int bits = rng.uniform_int(1, 8);
+    const std::size_t exact =
+        static_cast<std::size_t>(w) * h * bits;
+    EXPECT_THROW(scan_in_health(std::vector<bool>(exact + 1), w, h, bits),
+                 PreconditionError);
+    if (exact > 0)
+      EXPECT_THROW(scan_in_health(std::vector<bool>(exact - 1), w, h, bits),
+                   PreconditionError);
+    EXPECT_NO_THROW(scan_in_health(std::vector<bool>(exact), w, h, bits));
+  }
+}
+
 }  // namespace
 }  // namespace meda

@@ -1,0 +1,153 @@
+#include "chip/sensor_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace meda {
+namespace {
+
+IntMatrix random_health(int w, int h, int bits, Rng& rng) {
+  IntMatrix health(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      health(x, y) = rng.uniform_int(0, (1 << bits) - 1);
+  return health;
+}
+
+TEST(SensorChannel, DefaultConstructedIsTransparent) {
+  SensorChannel channel;
+  Rng rng(1);
+  const IntMatrix truth = random_health(6, 4, 2, rng);
+  EXPECT_EQ(channel.read(truth, rng), truth);
+  EXPECT_EQ(channel.bits_flipped(), 0u);
+  EXPECT_EQ(channel.frames_dropped(), 0u);
+}
+
+TEST(SensorChannel, NoiselessChannelIsLossless) {
+  // A constructed channel with zero noise still serializes through the scan
+  // chain and parses back — the frame must survive the round trip.
+  Rng rng(2);
+  SensorChannel channel(SensorNoiseConfig{}, 8, 5, 3, rng.fork(1));
+  for (int i = 0; i < 5; ++i) {
+    const IntMatrix truth = random_health(8, 5, 3, rng);
+    EXPECT_EQ(channel.read(truth, rng), truth);
+  }
+  EXPECT_EQ(channel.frames_read(), 5u);
+  EXPECT_EQ(channel.bits_flipped(), 0u);
+  EXPECT_EQ(channel.stuck_bits(), 0);
+}
+
+TEST(SensorChannel, RejectsBadProbabilities) {
+  Rng rng(3);
+  SensorNoiseConfig config;
+  config.bit_flip_p = 1.5;
+  EXPECT_THROW(SensorChannel(config, 4, 4, 2, rng.fork(1)),
+               PreconditionError);
+  config = SensorNoiseConfig{};
+  config.frame_drop_p = 1.0;  // would starve the reader forever
+  EXPECT_THROW(SensorChannel(config, 4, 4, 2, rng.fork(2)),
+               PreconditionError);
+  config = SensorNoiseConfig{};
+  config.stuck_fraction = -0.1;
+  EXPECT_THROW(SensorChannel(config, 4, 4, 2, rng.fork(3)),
+               PreconditionError);
+}
+
+TEST(SensorChannel, RejectsMismatchedFrame) {
+  Rng rng(4);
+  SensorChannel channel(SensorNoiseConfig{}, 4, 3, 2, rng.fork(1));
+  EXPECT_THROW(channel.read(IntMatrix(5, 3, 0), rng), PreconditionError);
+}
+
+TEST(SensorChannel, BitFlipsCorruptTheFrame) {
+  Rng rng(5);
+  SensorNoiseConfig config;
+  config.bit_flip_p = 0.5;
+  SensorChannel channel(config, 20, 10, 2, rng.fork(1));
+  const IntMatrix truth(20, 10, 0);
+  const IntMatrix seen = channel.read(truth, rng);
+  EXPECT_NE(seen, truth);  // 400 bits at p = 0.5: all-clean is impossible
+  EXPECT_GT(channel.bits_flipped(), 0u);
+}
+
+TEST(SensorChannel, StuckBitsArePersistentAcrossReads) {
+  Rng rng(6);
+  SensorNoiseConfig config;
+  config.stuck_fraction = 0.25;
+  config.stuck_at_one_share = 1.0;  // all stuck-at-1
+  SensorChannel channel(config, 10, 10, 3, rng.fork(1));
+  EXPECT_EQ(channel.stuck_bits(), 75);  // 25% of 10*10*3 positions
+  const IntMatrix truth(10, 10, 0);
+  const IntMatrix r1 = channel.read(truth, rng);
+  const IntMatrix r2 = channel.read(truth, rng);
+  EXPECT_EQ(r1, r2);     // the defect pattern is frozen at construction
+  EXPECT_NE(r1, truth);  // stuck-at-1 bits must surface over all-zero truth
+}
+
+TEST(SensorChannel, StuckAtZeroOnlyPullsReadingsDown) {
+  Rng rng(7);
+  SensorNoiseConfig config;
+  config.stuck_fraction = 0.3;
+  config.stuck_at_one_share = 0.0;  // all stuck-at-0
+  const int bits = 2;
+  SensorChannel channel(config, 12, 8, bits, rng.fork(1));
+  const IntMatrix truth(12, 8, (1 << bits) - 1);
+  const IntMatrix seen = channel.read(truth, rng);
+  int lowered = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      EXPECT_LE(seen(x, y), truth(x, y));
+      if (seen(x, y) < truth(x, y)) ++lowered;
+    }
+  }
+  EXPECT_GT(lowered, 0);
+}
+
+TEST(SensorChannel, FrameDropServesTheStaleFrame) {
+  Rng rng(8);
+  SensorNoiseConfig config;
+  config.frame_drop_p = 0.9;
+  SensorChannel channel(config, 6, 4, 2, rng.fork(1));
+  const IntMatrix first(6, 4, 3);
+  // The very first read is never dropped: there is nothing stale to serve.
+  EXPECT_EQ(channel.read(first, rng), first);
+  EXPECT_EQ(channel.frames_dropped(), 0u);
+  EXPECT_EQ(channel.staleness(), 0u);
+
+  const IntMatrix changed(6, 4, 1);
+  IntMatrix prev = first;
+  std::uint64_t dropped = 0;
+  for (int i = 0; i < 30; ++i) {
+    const IntMatrix seen = channel.read(changed, rng);
+    if (channel.frames_dropped() > dropped) {
+      dropped = channel.frames_dropped();
+      EXPECT_EQ(seen, prev);  // a dropped read re-serves the stale frame
+    } else {
+      EXPECT_EQ(seen, changed);
+    }
+    prev = seen;
+  }
+  EXPECT_GT(dropped, 0u);  // P(no drop in 30 reads at 0.9) ≈ 1e-30
+}
+
+TEST(SensorChannel, DeterministicPerSeed) {
+  SensorNoiseConfig config;
+  config.bit_flip_p = 0.05;
+  config.stuck_fraction = 0.1;
+  config.frame_drop_p = 0.2;
+  auto sequence = [&config]() {
+    Rng rng(99);
+    SensorChannel channel(config, 9, 7, 2, rng.fork(1));
+    std::vector<IntMatrix> frames;
+    Rng truth_rng(5);
+    for (int i = 0; i < 10; ++i)
+      frames.push_back(channel.read(random_health(9, 7, 2, truth_rng), rng));
+    return frames;
+  };
+  EXPECT_EQ(sequence(), sequence());
+}
+
+}  // namespace
+}  // namespace meda

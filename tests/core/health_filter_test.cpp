@@ -1,0 +1,147 @@
+#include "core/health_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+HealthFilterConfig quick_config() {
+  HealthFilterConfig config;
+  config.enabled = true;
+  config.down_confirm = 2;
+  config.up_confirm = 4;
+  config.suspect_threshold = 3;
+  config.suspect_decay_frames = 0;  // no decay: disagreements accumulate
+  return config;
+}
+
+TEST(HealthFilter, SeedsFromTheFirstFrame) {
+  HealthFilter filter(quick_config());
+  EXPECT_FALSE(filter.seeded());
+  const IntMatrix frame(5, 4, 3);
+  filter.observe(frame);
+  EXPECT_TRUE(filter.seeded());
+  EXPECT_EQ(filter.estimate(), frame);
+}
+
+TEST(HealthFilter, TransientFlipIsDebounced) {
+  HealthFilter filter(quick_config());
+  IntMatrix frame(5, 4, 3);
+  filter.observe(frame);
+  IntMatrix glitched = frame;
+  glitched(2, 1) = 0;  // one-frame transient
+  filter.observe(glitched);
+  EXPECT_EQ(filter.estimate()(2, 1), 3);  // not adopted yet
+  filter.observe(frame);                  // reading recovers
+  filter.observe(frame);
+  EXPECT_EQ(filter.estimate(), frame);
+  EXPECT_GT(filter.rejected_updates(), 0u);
+  EXPECT_EQ(filter.adopted_updates(), 0u);
+}
+
+TEST(HealthFilter, PersistentDecreaseAdoptedAfterDownConfirm) {
+  HealthFilter filter(quick_config());  // down_confirm = 2
+  IntMatrix frame(5, 4, 3);
+  filter.observe(frame);
+  IntMatrix degraded = frame;
+  degraded(1, 2) = 1;
+  filter.observe(degraded);
+  EXPECT_EQ(filter.estimate()(1, 2), 3);  // first disagreeing read
+  filter.observe(degraded);
+  EXPECT_EQ(filter.estimate()(1, 2), 1);  // second consecutive read: adopt
+  EXPECT_EQ(filter.adopted_updates(), 1u);
+}
+
+TEST(HealthFilter, IncreaseNeedsMoreConfirmationThanDecrease) {
+  // The monotone-wear prior: health readings that *rise* fight the physics
+  // and need up_confirm (= 4) consecutive reads instead of 2.
+  HealthFilter filter(quick_config());
+  IntMatrix frame(5, 4, 1);
+  filter.observe(frame);
+  IntMatrix raised = frame;
+  raised(3, 3) = 3;
+  for (int i = 0; i < 3; ++i) {
+    filter.observe(raised);
+    EXPECT_EQ(filter.estimate()(3, 3), 1) << "read " << i + 1;
+  }
+  filter.observe(raised);  // 4th consecutive read
+  EXPECT_EQ(filter.estimate()(3, 3), 3);
+}
+
+TEST(HealthFilter, InterruptedStreakStartsOver) {
+  HealthFilter filter(quick_config());
+  IntMatrix frame(4, 4, 3);
+  filter.observe(frame);
+  IntMatrix degraded = frame;
+  degraded(0, 0) = 0;
+  filter.observe(degraded);  // streak 1 of 2
+  filter.observe(frame);     // agreement resets the candidate
+  filter.observe(degraded);  // streak 1 of 2 again
+  EXPECT_EQ(filter.estimate()(0, 0), 3);
+  filter.observe(degraded);
+  EXPECT_EQ(filter.estimate()(0, 0), 0);
+}
+
+TEST(HealthFilter, ForceResenseReseedsVerbatim) {
+  HealthFilter filter(quick_config());
+  filter.observe(IntMatrix(4, 3, 3));
+  IntMatrix fresh(4, 3, 2);
+  filter.force_resense();
+  filter.observe(fresh);  // adopted without any debounce
+  EXPECT_EQ(filter.estimate(), fresh);
+}
+
+TEST(HealthFilter, FlakyCellBecomesSuspect) {
+  HealthFilter filter(quick_config());  // suspect_threshold = 3
+  IntMatrix frame(4, 4, 3);
+  filter.observe(frame);
+  // A flaky DFF makes the cell's reading bounce between two wrong values;
+  // the estimate never settles on the noise (the candidate keeps changing)
+  // but the disagreement score accumulates to the suspect threshold.
+  IntMatrix noisy = frame;
+  for (int i = 0; i < 4; ++i) {
+    noisy(2, 2) = (i % 2 == 0) ? 1 : 2;
+    filter.observe(noisy);
+  }
+  EXPECT_EQ(filter.estimate()(2, 2), 3);  // noise was never adopted
+  EXPECT_EQ(filter.suspect_count(), 1);
+  EXPECT_NE(filter.suspect()(2, 2), 0);
+  // Sticky: agreeing reads do not clear the flag.
+  filter.observe(frame);
+  EXPECT_EQ(filter.suspect_count(), 1);
+}
+
+TEST(HealthFilter, SuspectStateSurvivesForcedResense) {
+  HealthFilter filter(quick_config());
+  IntMatrix frame(4, 4, 3);
+  filter.observe(frame);
+  IntMatrix noisy = frame;
+  for (int i = 0; i < 4; ++i) {
+    noisy(1, 1) = (i % 2 == 0) ? 0 : 2;
+    filter.observe(noisy);
+  }
+  ASSERT_EQ(filter.suspect_count(), 1);
+  filter.force_resense();
+  filter.observe(frame);
+  EXPECT_EQ(filter.suspect_count(), 1);  // the defect memory is kept
+}
+
+TEST(HealthFilter, ConfidenceSaturatesAtTheCap) {
+  HealthFilterConfig config = quick_config();
+  config.confidence_cap = 3;
+  HealthFilter filter(config);
+  const IntMatrix frame(3, 3, 2);
+  for (int i = 0; i < 10; ++i) filter.observe(frame);
+  EXPECT_EQ(filter.confidence()(1, 1), 3);
+}
+
+TEST(HealthFilter, RejectsDimensionChanges) {
+  HealthFilter filter(quick_config());
+  filter.observe(IntMatrix(4, 3, 1));
+  EXPECT_THROW(filter.observe(IntMatrix(3, 4, 1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::core

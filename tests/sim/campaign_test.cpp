@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "assay/benchmarks.hpp"
@@ -64,6 +65,106 @@ TEST(Campaign, PrintsEveryCell) {
   EXPECT_NE(text.find("baseline"), std::string::npos);
   EXPECT_NE(text.find("adaptive"), std::string::npos);
   EXPECT_NE(text.find("±"), std::string::npos);
+}
+
+ChaosCampaignConfig small_chaos() {
+  ChaosCampaignConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  ChaosLevel clean;
+  clean.name = "clean";
+  ChaosLevel noisy;
+  noisy.name = "p=0.02";
+  noisy.sensor.bit_flip_p = 0.02;
+  noisy.sensor.stuck_fraction = 0.01;
+  config.levels = {clean, noisy};
+  config.chips = 1;
+  config.runs_per_chip = 2;
+  config.seed0 = 21;
+  return config;
+}
+
+std::vector<RouterConfig> robust_router() {
+  std::vector<RouterConfig> routers(1);
+  routers[0].name = "robust";
+  routers[0].scheduler.filter.enabled = true;
+  routers[0].scheduler.recovery.enabled = true;
+  return routers;
+}
+
+TEST(ChaosCampaign, GridShapeAndNoiseAccounting) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells =
+      run_chaos_campaign(assays, robust_router(), small_chaos());
+  ASSERT_EQ(cells.size(), 2u);  // 1 assay × 2 levels × 1 router
+  EXPECT_EQ(cells[0].level, "clean");
+  EXPECT_EQ(cells[1].level, "p=0.02");
+  for (const ChaosCell& cell : cells) EXPECT_EQ(cell.runs, 2);
+  // Channel accounting: the clean level never corrupts a bit; the noisy
+  // level (2% of thousands of bits per frame) essentially always does.
+  EXPECT_EQ(cells[0].bits_flipped, 0u);
+  EXPECT_GT(cells[1].bits_flipped, 0u);
+}
+
+TEST(ChaosCampaign, ReproducibleFromTheMasterSeed) {
+  // The entire campaign — substrates, noise processes, recovery firings —
+  // derives from seed0; two invocations must agree cell by cell.
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto a = run_chaos_campaign(assays, robust_router(), small_chaos());
+  const auto b = run_chaos_campaign(assays, robust_router(), small_chaos());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].successes, b[i].successes);
+    EXPECT_EQ(a[i].cycles.count(), b[i].cycles.count());
+    if (a[i].cycles.count() > 0)
+      EXPECT_DOUBLE_EQ(a[i].cycles.mean(), b[i].cycles.mean());
+    EXPECT_EQ(a[i].recovery.watchdog_fires, b[i].recovery.watchdog_fires);
+    EXPECT_EQ(a[i].recovery.synthesis_retries,
+              b[i].recovery.synthesis_retries);
+    EXPECT_EQ(a[i].recovery.aborted_jobs, b[i].recovery.aborted_jobs);
+    EXPECT_EQ(a[i].bits_flipped, b[i].bits_flipped);
+    EXPECT_EQ(a[i].frames_dropped, b[i].frames_dropped);
+  }
+}
+
+TEST(ChaosCampaign, WritesOneCsvRowPerCell) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells =
+      run_chaos_campaign(assays, robust_router(), small_chaos());
+  const std::string path =
+      ::testing::TempDir() + "chaos_campaign_test.csv";
+  write_chaos_csv(path, cells);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.substr(0, 18), "assay,router,level");
+  EXPECT_NE(line.find("success_rate"), std::string::npos);
+  EXPECT_NE(line.find("quarantined_cells"), std::string::npos);
+  int rows = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, static_cast<int>(cells.size()));
+}
+
+TEST(ChaosCampaign, PrintsRecoveryColumns) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells =
+      run_chaos_campaign(assays, robust_router(), small_chaos());
+  std::ostringstream os;
+  print_chaos_campaign(os, cells);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("noise"), std::string::npos);
+  EXPECT_NE(text.find("quarantined"), std::string::npos);
+  EXPECT_NE(text.find("p=0.02"), std::string::npos);
+}
+
+TEST(ChaosCampaign, RejectsEmptyLevels) {
+  ChaosCampaignConfig config = small_chaos();
+  config.levels.clear();
+  EXPECT_THROW(run_chaos_campaign({assay::covid_rat()}, robust_router(),
+                                  config),
+               PreconditionError);
 }
 
 TEST(Campaign, RejectsEmptyInputs) {
