@@ -26,49 +26,63 @@ int main() {
   sim::ChaosCampaignConfig config;
   config.chip.chip.width = assay::kChipWidth;
   config.chip.chip.height = assay::kChipHeight;
-  // Mid-life faulty chips, as in the Fig. 16 fault-injection study.
-  config.chip.chip.degradation = DegradationRange{0.5, 0.9, 60.0, 150.0};
-  config.chip.pre_wear_max = 150;
+  // End-of-life chips: fast degradation, heavy pre-wear, a dense clustered
+  // fault population that keeps failing during the campaign. Harsh enough
+  // that the curves collapse at the top of the noise axis (a full
+  // Fig. 16-style success curve, not just its flat beginning).
+  config.chip.chip.degradation = DegradationRange{0.5, 0.9, 40.0, 100.0};
+  config.chip.pre_wear_max = 250;
   config.chip.faults.mode = FaultMode::kClustered;
-  config.chip.faults.faulty_fraction = 0.05;
-  config.chip.faults.fail_at_lo = 15;
-  config.chip.faults.fail_at_hi = 120;
+  config.chip.faults.faulty_fraction = 0.08;
+  config.chip.faults.fail_at_lo = 10;
+  config.chip.faults.fail_at_hi = 100;
   config.chips = 3;
   config.runs_per_chip = 4;
   config.seed0 = 4200;
 
-  // The noise axis: transient flips sweep while 1% of the scan chain's DFFs
-  // are stuck and 2% of frames drop (held constant across levels).
-  for (const double p : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+  // The noise axis now reaches deep into the failure regime: at the top
+  // levels 5% of the scan chain's DFFs are stuck and a fifth of all health
+  // frames never arrive, so the controller flies mostly blind.
+  for (const double p : {0.0, 0.01, 0.02, 0.05, 0.1}) {
     sim::ChaosLevel level;
     level.name = "p=" + fmt_double(p, 3);
     level.sensor.bit_flip_p = p;
-    level.sensor.stuck_fraction = p > 0.0 ? 0.01 : 0.0;
-    level.sensor.frame_drop_p = p > 0.0 ? 0.02 : 0.0;
+    level.sensor.stuck_fraction = p >= 0.05 ? 0.05 : (p > 0.0 ? 0.01 : 0.0);
+    level.sensor.frame_drop_p = p >= 0.05 ? 0.2 : (p > 0.0 ? 0.02 : 0.0);
     config.levels.push_back(level);
   }
 
+  // Longer assays than the smoke-test default: on a collapsing chip the
+  // extra routing distance is exactly what exposes the late-life failures.
   sim::RouterConfig adaptive;
   adaptive.name = "adaptive";
   adaptive.scheduler.adaptive = true;
-  adaptive.scheduler.max_cycles = 1500;
+  adaptive.scheduler.max_cycles = 2500;
 
   sim::RouterConfig robust = adaptive;
   robust.name = "robust";
   robust.scheduler.filter.enabled = true;
   robust.scheduler.recovery.enabled = true;
+  // End-of-life cells succeed with low probability rather than failing
+  // outright, so droplets crawl: give the watchdog more patience before it
+  // reads slow progress as a stall and starts quarantining live cells.
+  robust.scheduler.recovery.stuck_cycles = 24;
+  robust.scheduler.recovery.quarantine_after_watchdogs = 3;
 
   std::cout << "=== Chaos campaign — success vs sensor noise ===\n(CEP, "
-            << config.chips << " mid-life faulty chips x "
+            << config.chips << " end-of-life faulty chips x "
             << config.runs_per_chip
-            << " runs; stuck DFFs + frame drops at every p > 0)\n\n";
+            << " runs; stuck DFFs + frame drops at every p > 0,\n"
+               " 5% stuck / 20% dropped frames at the harshest levels)\n\n";
   const std::vector<sim::ChaosCell> cells = sim::run_chaos_campaign(
       {assay::cep()}, {adaptive, robust}, config);
   sim::print_chaos_campaign(std::cout, cells);
   sim::write_chaos_csv("chaos_campaign.csv", cells);
   std::cout << "\n(Series also written to chaos_campaign.csv.)\n"
-               "Expected: the routers tie at p=0; the robust router holds\n"
-               "its success rate as p grows while the raw-scan router's\n"
-               "curve collapses into re-synthesis storms and aborts.\n";
+               "Expected: the routers tie on a clean channel; the robust\n"
+               "router leads through the mid-noise band (the filter absorbs\n"
+               "phantom health changes the raw router chases), and both\n"
+               "curves collapse at the harshest level — with the chip this\n"
+               "degraded, flying 80%-blind leaves no router a good plan.\n";
   return 0;
 }

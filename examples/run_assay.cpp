@@ -17,7 +17,13 @@
 //   --faults MODE FRAC    inject faults: uniform|clustered, fraction (0-1)
 //   --degradation LO HI   per-MC constant c ~ U(LO, HI) (default 200 500)
 //   --max-cycles N        per-execution abort bound (default 3000)
-//   --trace N             print an ASCII chip frame every N cycles
+//   --trace PATH          write a Chrome trace_event JSON file (load in
+//                         chrome://tracing or https://ui.perfetto.dev):
+//                         nested scheduler/job/synthesis spans plus
+//                         cycle-domain counter tracks
+//   --metrics PATH        write a metrics-registry snapshot (.json for
+//                         JSON, anything else for the text format)
+//   --ascii-trace N       print an ASCII chip frame every N cycles
 //   --report PATH         write a self-contained HTML execution report
 //   --health-bits B       health-sensor resolution (default 2)
 //   --sensor-noise P      noisy scan chain: per-bit flip probability P,
@@ -33,6 +39,7 @@
 #include "assay/parser.hpp"
 #include "assay/registry.hpp"
 #include "core/scheduler.hpp"
+#include "obs/obs.hpp"
 #include "sim/report.hpp"
 #include "sim/simulated_chip.hpp"
 #include "util/table.hpp"
@@ -50,8 +57,9 @@ assay::MoList pick_assay(const std::string& name) {
                "[--reactive N] [--runs N] [--seed S]\n                 "
                "[--prewear N] [--faults uniform|clustered FRAC]\n"
                "                 [--degradation LO HI] [--max-cycles N] "
-               "[--trace N] [--report PATH] [--health-bits B]\n"
-               "                 [--sensor-noise P] [--robust]\n"
+               "[--report PATH] [--health-bits B]\n"
+               "                 [--sensor-noise P] [--robust] "
+               "[--trace PATH] [--metrics PATH] [--ascii-trace N]\n"
                "benchmarks:\n";
   for (const auto& info : assay::list_benchmarks())
     std::cerr << "  " << info.key << " — " << info.description << "\n";
@@ -72,6 +80,8 @@ int main(int argc, char** argv) {
   int runs = 1;
   int trace_every = 0;
   std::string report_path;
+  std::string trace_path;
+  std::string metrics_path;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -108,6 +118,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--max-cycles") {
         sched.max_cycles = std::stoull(next());
       } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--ascii-trace") {
         trace_every = std::stoi(next());
         chip_config.record_droplet_trace = true;
       } else if (arg == "--report") {
@@ -132,6 +146,8 @@ int main(int argc, char** argv) {
     const assay::MoList assay_list = assay_file.empty()
                                          ? pick_assay(assay_name)
                                          : assay::load_assay_file(assay_file);
+    if (!trace_path.empty()) obs::ctx().tracer().enable();
+    if (!metrics_path.empty()) obs::ctx().metrics().enable();
     sim::SimulatedChip chip(chip_config, Rng(seed));
     core::StrategyLibrary library;
     core::Scheduler scheduler(sched, &library);
@@ -163,9 +179,9 @@ int main(int argc, char** argv) {
            std::to_string(stats.resyntheses),
            fmt_double(stats.synthesis_seconds * 1e3, 2)});
 
-      if (run == 0 && !stats.recovery_events.empty()) {
-        std::cout << "recovery ladder (run 1):\n"
-                  << core::format_events(stats.recovery_events) << "\n";
+      if (run == 0 && !stats.events.empty()) {
+        std::cout << "event log (run 1):\n"
+                  << obs::format_events(stats.events) << "\n";
       }
       if (trace_every > 0 && run == 0) {
         const auto& frames = chip.droplet_trace();
@@ -180,6 +196,16 @@ int main(int argc, char** argv) {
     std::cout << "\n" << successes << "/" << runs << " executions succeeded; "
               << "total MC actuations "
               << chip.substrate().total_actuations() << "\n";
+    if (!trace_path.empty()) {
+      obs::ctx().tracer().write_json(trace_path);
+      std::cout << "trace written to " << trace_path << " ("
+                << obs::ctx().tracer().event_count()
+                << " events; load in chrome://tracing or Perfetto)\n";
+    }
+    if (!metrics_path.empty()) {
+      obs::ctx().metrics().write_snapshot(metrics_path);
+      std::cout << "metrics snapshot written to " << metrics_path << "\n";
+    }
     return successes == runs ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

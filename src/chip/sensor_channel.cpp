@@ -1,6 +1,7 @@
 #include "chip/sensor_channel.hpp"
 
 #include "chip/scan_chain.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda {
@@ -34,6 +35,7 @@ SensorChannel::SensorChannel(const SensorNoiseConfig& config, int width,
 IntMatrix SensorChannel::read(const IntMatrix& truth, Rng& rng) {
   ++frames_read_;
   if (bits_ == 0) return truth;  // default-constructed: transparent
+  MEDA_OBS_COUNT("sensor.frames_read", 1);
   MEDA_REQUIRE(truth.width() == width_ && truth.height() == height_,
                "health frame does not match the channel dimensions");
   // A dropped frame never reaches the controller: it keeps the previous
@@ -43,9 +45,11 @@ IntMatrix SensorChannel::read(const IntMatrix& truth, Rng& rng) {
       rng.bernoulli(config_.frame_drop_p)) {
     ++frames_dropped_;
     ++staleness_;
+    MEDA_OBS_COUNT("sensor.frames_dropped", 1);
     return last_frame_;
   }
   std::vector<bool> stream = scan_out_health(truth, bits_);
+  std::uint64_t flips = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     if (stuck_[i] != 0) {
       stream[i] = stuck_[i] == 2;
@@ -54,8 +58,10 @@ IntMatrix SensorChannel::read(const IntMatrix& truth, Rng& rng) {
     if (config_.bit_flip_p > 0.0 && rng.bernoulli(config_.bit_flip_p)) {
       stream[i] = !stream[i];
       ++bits_flipped_;
+      ++flips;
     }
   }
+  if (flips > 0) MEDA_OBS_COUNT("sensor.bits_flipped", flips);
   last_frame_ = scan_in_health(stream, width_, height_, bits_);
   has_last_ = true;
   staleness_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda::core {
@@ -32,6 +33,8 @@ void HealthFilter::observe(const IntMatrix& scan) {
                    scan.height() == estimate_.height(),
                "health frame dimensions changed");
 
+  const std::uint64_t adopted_before = adopted_updates_;
+  const std::uint64_t rejected_before = rejected_updates_;
   const bool decay = config_.suspect_decay_frames > 0 &&
                      frames_ % static_cast<std::uint64_t>(
                                    config_.suspect_decay_frames) ==
@@ -74,6 +77,14 @@ void HealthFilter::observe(const IntMatrix& scan) {
         ++rejected_updates_;
       }
     }
+  }
+  if (MEDA_OBS_ACTIVE()) {
+    MEDA_OBS_COUNT("filter.frames", 1);
+    MEDA_OBS_COUNT("filter.adopted_updates",
+                   adopted_updates_ - adopted_before);
+    MEDA_OBS_COUNT("filter.rejected_updates",
+                   rejected_updates_ - rejected_before);
+    MEDA_OBS_GAUGE("filter.suspects", static_cast<double>(suspect_count_));
   }
 }
 

@@ -10,6 +10,7 @@ std::string_view to_string(RecoveryAction action) {
     case RecoveryAction::kSynthesisRetry: return "synthesis-retry";
     case RecoveryAction::kBackoff: return "backoff";
     case RecoveryAction::kQuarantine: return "quarantine";
+    case RecoveryAction::kContentionDetour: return "contention-detour";
     case RecoveryAction::kJobAbort: return "job-abort";
   }
   return "?";

@@ -28,11 +28,13 @@ namespace meda::core {
 
 /// Which rung of the ladder fired.
 enum class RecoveryAction : unsigned char {
-  kWatchdogResense,  ///< stuck droplet: forced re-sense, strategy dropped
-  kSynthesisRetry,   ///< infeasible synthesis: retry scheduled
-  kBackoff,          ///< exponential backoff wait entered
-  kQuarantine,       ///< cells quarantined out of the health view
-  kJobAbort,         ///< one MO aborted gracefully
+  kWatchdogResense,    ///< stuck droplet: forced re-sense, strategy dropped
+  kSynthesisRetry,     ///< infeasible synthesis: retry scheduled
+  kBackoff,            ///< exponential backoff wait entered
+  kQuarantine,         ///< cells quarantined out of the health view
+  kContentionDetour,   ///< droplet-blocked stall: re-route around the
+                       ///< blocker instead of quarantining healthy cells
+  kJobAbort,           ///< one MO aborted gracefully
 };
 
 std::string_view to_string(RecoveryAction action);
@@ -43,6 +45,9 @@ struct RecoveryEvent {
   std::uint64_t cycle = 0;  ///< relative to the start of the execution
   int mo = -1;              ///< affected MO (-1: execution-wide)
   std::string detail;
+
+  friend bool operator==(const RecoveryEvent&, const RecoveryEvent&) =
+      default;
 };
 
 /// Ladder tuning. `enabled = false` preserves the legacy behavior: any
@@ -61,6 +66,21 @@ struct RecoveryConfig {
   int quarantine_after_watchdogs = 2;
   /// Also quarantine cells the health filter flags as suspect.
   bool quarantine_suspects = true;
+  /// Ceiling on the quarantine set as a fraction of the chip area.
+  /// Quarantine targets a few persistently misbehaving cells; when the
+  /// filter floods the scheduler with suspects (a failing *sensing
+  /// channel*, not a failing substrate), quarantining them all would blind
+  /// the router to most of a still-routable chip. Past the budget the
+  /// ladder stops quarantining and trusts the filtered estimate instead.
+  double max_quarantine_fraction = 0.15;
+  /// Droplet-aware stall classification: when the watchdog fires, decide
+  /// whether the droplet is blocked by another droplet (contention) or by
+  /// dead/unresponsive cells. Contention stalls re-route around the
+  /// blocker's footprint instead of quarantining healthy cells.
+  bool classify_stalls = true;
+  /// Contention detours on the same stuck task (without progress) before
+  /// falling back to the quarantine escalation (livelock safety valve).
+  int max_contention_detours = 3;
   /// When > 0: after each quarantine, probe chip-wide routability with this
   /// many sampled jobs; abort the job early if the feasible fraction falls
   /// below min_routable_fraction (the chip is effectively unroutable).
@@ -75,13 +95,29 @@ struct RecoveryCounters {
   int synthesis_retries = 0;
   std::uint64_t backoff_cycles = 0;
   int quarantined_cells = 0;
+  int contention_detours = 0;
   int aborted_jobs = 0;
 
   bool any() const {
     return watchdog_fires > 0 || forced_resenses > 0 ||
            synthesis_retries > 0 || backoff_cycles > 0 ||
-           quarantined_cells > 0 || aborted_jobs > 0;
+           quarantined_cells > 0 || contention_detours > 0 ||
+           aborted_jobs > 0;
   }
+
+  /// Sums @p other into this (campaign roll-ups).
+  void accumulate(const RecoveryCounters& other) {
+    watchdog_fires += other.watchdog_fires;
+    forced_resenses += other.forced_resenses;
+    synthesis_retries += other.synthesis_retries;
+    backoff_cycles += other.backoff_cycles;
+    quarantined_cells += other.quarantined_cells;
+    contention_detours += other.contention_detours;
+    aborted_jobs += other.aborted_jobs;
+  }
+
+  friend bool operator==(const RecoveryCounters&, const RecoveryCounters&) =
+      default;
 };
 
 /// Renders events as one line each ("cycle 412 [quarantine] MO 3: ...").

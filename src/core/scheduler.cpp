@@ -5,6 +5,7 @@
 
 #include "core/routability.hpp"
 #include "model/outcomes.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda::core {
@@ -117,11 +118,33 @@ struct RouteTask {
   int watchdog_count = 0;     ///< watchdog firings since the last escalation
   Rect watch_pos = Rect::none();
   int no_progress = 0;        ///< commanded cycles without movement
+  // Stall-classifier bookkeeping: a contention-classified stall requests
+  // one droplet-avoiding re-synthesis instead of a quarantine.
+  bool avoid_droplets_once = false;
+  int contention_detours = 0;  ///< detours since the droplet last moved
   // Model-vs-reality bookkeeping.
   std::uint64_t created_cycle = 0;
   double first_expected_cycles = -1.0;
   bool recorded = false;
+  // Observability: nonzero while an async "job" span is open for this task.
+  std::uint64_t job_span_id = 0;
 };
+
+/// What a watchdog-confirmed stall is blocked by (satellite classifier).
+enum class StallKind : unsigned char {
+  kContention,  ///< another live droplet sits on / next to the target cells
+  kDeadCells,   ///< the target cells read dead in the controller's view
+  kUnknown,     ///< cells read healthy and no droplet nearby (lying cells)
+};
+
+const char* stall_name(StallKind kind) {
+  switch (kind) {
+    case StallKind::kContention: return "blocked-by-droplet";
+    case StallKind::kDeadCells: return "blocked-by-dead-cells";
+    case StallKind::kUnknown: return "blocked-unknown";
+  }
+  return "blocked-unknown";
+}
 
 /// Runtime state of one MO.
 struct MoRun {
@@ -161,6 +184,7 @@ class Runner {
   }
 
   ExecutionStats execute() {
+    MEDA_OBS_SPAN(run_span, "sched", "execute");
     const std::uint64_t start_cycle = chip_.cycle();
     start_cycle_ = start_cycle;
     stats_.mo_timings.resize(runs_.size());
@@ -171,17 +195,23 @@ class Runner {
         fail("cycle limit exceeded");
         break;
       }
-      refresh_health(/*forced=*/false);
-      std::vector<Command> commands;
-      for (MoRun& run : runs_) {
+      {
+        MEDA_OBS_SPAN(cycle_span, "sched", "cycle");
+        refresh_health(/*forced=*/false);
+        std::vector<Command> commands;
+        for (MoRun& run : runs_) {
+          if (failed_) break;
+          if (run.state == MoRun::State::kWaiting) try_activate(run);
+          if (run.state == MoRun::State::kActive) process(run, commands);
+        }
         if (failed_) break;
-        if (run.state == MoRun::State::kWaiting) try_activate(run);
-        if (run.state == MoRun::State::kActive) process(run, commands);
+        finalize_aborts(commands);
+        chip_.step(commands);
       }
-      if (failed_) break;
-      finalize_aborts(commands);
-      chip_.step(commands);
+      sample_cycle_counters();
     }
+    for (MoRun& run : runs_)  // cycle-limit / hard-fail leftovers
+      for (RouteTask& task : run.routes) close_job_span(task, "unfinished");
     stats_.cycles = chip_.cycle() - start_cycle;
     for (const MoRun& run : runs_)
       if (run.state == MoRun::State::kDone) ++stats_.completed_mos;
@@ -194,7 +224,67 @@ class Runner {
                            " job(s) aborted — first: " + abort_reasons_.front();
       stats_.failure_reason = std::move(reason);
     }
+    record_run_metrics(run_span);
     return stats_;
+  }
+
+  /// End-of-run roll-up into the metrics registry plus execute-span args.
+  template <typename Span>
+  void record_run_metrics(Span& span) {
+    if (!MEDA_OBS_ACTIVE()) return;
+    span.arg("cycles", static_cast<std::int64_t>(stats_.cycles));
+    span.arg("success", static_cast<std::int64_t>(stats_.success ? 1 : 0));
+    span.arg("synthesis_calls",
+             static_cast<std::int64_t>(stats_.synthesis_calls));
+    span.arg("resyntheses", static_cast<std::int64_t>(stats_.resyntheses));
+    MEDA_OBS_COUNT("sched.runs", 1);
+    if (stats_.success) MEDA_OBS_COUNT("sched.successes", 1);
+    MEDA_OBS_COUNT("sched.cycles", stats_.cycles);
+    MEDA_OBS_COUNT("sched.synthesis_calls",
+                   static_cast<std::uint64_t>(stats_.synthesis_calls));
+    MEDA_OBS_COUNT("sched.library_hits",
+                   static_cast<std::uint64_t>(stats_.library_hits));
+    MEDA_OBS_COUNT("sched.resyntheses",
+                   static_cast<std::uint64_t>(stats_.resyntheses));
+    MEDA_OBS_COUNT("sched.completed_mos",
+                   static_cast<std::uint64_t>(stats_.completed_mos));
+    MEDA_OBS_COUNT("sched.aborted_mos",
+                   static_cast<std::uint64_t>(stats_.aborted_mos));
+    MEDA_OBS_OBSERVE("sched.run_cycles", static_cast<double>(stats_.cycles),
+                     obs::kPow2Buckets);
+    const RecoveryCounters& rec = stats_.recovery;
+    MEDA_OBS_COUNT("recovery.watchdog_fires",
+                   static_cast<std::uint64_t>(rec.watchdog_fires));
+    MEDA_OBS_COUNT("recovery.forced_resenses",
+                   static_cast<std::uint64_t>(rec.forced_resenses));
+    MEDA_OBS_COUNT("recovery.synthesis_retries",
+                   static_cast<std::uint64_t>(rec.synthesis_retries));
+    MEDA_OBS_COUNT("recovery.backoff_cycles", rec.backoff_cycles);
+    MEDA_OBS_COUNT("recovery.quarantined_cells",
+                   static_cast<std::uint64_t>(rec.quarantined_cells));
+    MEDA_OBS_COUNT("recovery.contention_detours",
+                   static_cast<std::uint64_t>(rec.contention_detours));
+    MEDA_OBS_COUNT("recovery.aborted_jobs",
+                   static_cast<std::uint64_t>(rec.aborted_jobs));
+  }
+
+  /// Samples the cycle-domain counter tracks (droplets on chip, in-flight
+  /// syntheses) once per operational cycle while tracing is enabled.
+  void sample_cycle_counters() {
+    if (!MEDA_OBS_ACTIVE()) return;
+    obs::Tracer& tracer = obs::ctx().tracer();
+    if (!tracer.enabled()) return;
+    const std::uint64_t cycle = chip_.cycle() - start_cycle_;
+    std::int64_t droplets = 0;
+    std::int64_t pending = 0;
+    for (const MoRun& run : runs_) {
+      droplets += static_cast<std::int64_t>(run.live.size());
+      for (const RouteTask& task : run.routes)
+        if (task.pending) ++pending;
+    }
+    tracer.cycle_counter("droplets_on_chip", droplets, cycle);
+    tracer.cycle_counter("pending_syntheses", pending, cycle);
+    tracer.cycle_counter("health_changes", health_changes_total_, cycle);
   }
 
  private:
@@ -217,9 +307,23 @@ class Runner {
     failure_reason_ = std::move(reason);
   }
 
+  /// Appends one entry to the unified structured event log (and mirrors it
+  /// to the wall-clock trace as an instant marker when tracing is on).
+  void obs_event(std::string category, std::string name, int mo,
+                 std::string detail) {
+    MEDA_OBS_INSTANT("event", name, detail);
+    stats_.events.push_back(obs::Event{chip_.cycle() - start_cycle_,
+                                       std::move(category), std::move(name),
+                                       mo, std::move(detail)});
+  }
+
+  /// Recovery-ladder firing: one emit fills the unified event log plus the
+  /// legacy typed RecoveryEvent view (kept for existing consumers).
   void event(RecoveryAction action, int mo, std::string detail) {
-    stats_.recovery_events.push_back(RecoveryEvent{
-        action, chip_.cycle() - start_cycle_, mo, std::move(detail)});
+    const std::uint64_t cycle = chip_.cycle() - start_cycle_;
+    obs_event("recovery", std::string(to_string(action)), mo, detail);
+    stats_.recovery_events.push_back(
+        RecoveryEvent{action, cycle, mo, std::move(detail)});
   }
 
   /// Senses the chip and rebuilds the controller's health view: raw scan or
@@ -237,6 +341,21 @@ class Runner {
     }
     if (forced) ++stats_.recovery.forced_resenses;
     apply_quarantine();
+    note_health_change();
+  }
+
+  /// Tracks changes of the controller's whole health view (metrics counter +
+  /// cycle-domain instant) so the trace shows when the world shifted.
+  void note_health_change() {
+    if (!MEDA_OBS_ACTIVE() || health_.empty()) return;
+    const std::uint64_t digest = health_digest(health_, chip_bounds_);
+    if (has_health_digest_ && digest != last_health_digest_) {
+      ++health_changes_total_;
+      MEDA_OBS_COUNT("sched.health_changes", 1);
+      MEDA_OBS_CYCLE_INSTANT("health-change", chip_.cycle() - start_cycle_);
+    }
+    last_health_digest_ = digest;
+    has_health_digest_ = true;
   }
 
   /// Folds filter-suspect cells into the quarantine set and clamps every
@@ -245,20 +364,34 @@ class Runner {
     if (!config_.recovery.enabled) return;
     if (config_.recovery.quarantine_suspects && config_.filter.enabled &&
         filter_.suspect_count() > quarantined_suspects_seen_) {
+      // Budgeted: a suspect *flood* means the sensing channel is failing,
+      // not the substrate — quarantining it all would blind the router to a
+      // still-routable chip. Past the budget, trust the filtered estimate.
+      const int budget = static_cast<int>(
+          config_.recovery.max_quarantine_fraction *
+          static_cast<double>(quarantined_.width() * quarantined_.height()));
       const BoolMatrix& suspect = filter_.suspect();
       int added = 0;
       for (int y = 0; y < quarantined_.height(); ++y)
-        for (int x = 0; x < quarantined_.width(); ++x)
+        for (int x = 0; x < quarantined_.width(); ++x) {
+          if (quarantine_count_ + added >= budget) break;
           if (suspect(x, y) != 0 && quarantined_(x, y) == 0) {
             quarantined_(x, y) = 1;
             ++added;
           }
+        }
       quarantined_suspects_seen_ = filter_.suspect_count();
       if (added > 0) {
         quarantine_count_ += added;
         stats_.recovery.quarantined_cells += added;
         event(RecoveryAction::kQuarantine, -1,
               std::to_string(added) + " suspect cell(s)");
+      }
+      if (quarantine_count_ >= budget && !quarantine_budget_hit_) {
+        quarantine_budget_hit_ = true;
+        obs_event("recovery", "quarantine-budget", -1,
+                  "suspect flood: budget of " + std::to_string(budget) +
+                      " cell(s) exhausted; trusting the filter estimate");
       }
     }
     clamp_quarantined();
@@ -277,12 +410,7 @@ class Runner {
   /// them even though they may still *read* healthy.
   void quarantine_attempt_frontier(MoRun& run, RouteTask& task,
                                    const Rect& pos) {
-    Rect area = pos.inflated(1);
-    if (task.has_strategy) {
-      if (const std::optional<Action> a = task.strategy.action(pos))
-        area = apply(*a, pos);
-    }
-    area = area.intersection_with(chip_bounds_);
+    const Rect area = attempt_frontier(task, pos);
     int added = 0;
     for (int y = area.ya; y <= area.yb; ++y)
       for (int x = area.xa; x <= area.xb; ++x)
@@ -297,6 +425,78 @@ class Runner {
           std::to_string(added) + " cell(s) blocking " + pos.to_string());
     clamp_quarantined();
     routability_gate(run);
+  }
+
+  /// The cells a stuck task is trying (and failing) to enter: the commanded
+  /// action's target pattern (fallback: the one-cell ring around the
+  /// droplet), clamped to the chip. Shared by the quarantine escalation and
+  /// the stall classifier so both reason about the same frontier.
+  Rect attempt_frontier(const RouteTask& task, const Rect& pos) const {
+    Rect area = pos.inflated(1);
+    if (task.has_strategy) {
+      if (const std::optional<Action> a = task.strategy.action(pos))
+        area = apply(*a, pos);
+    }
+    return area.intersection_with(chip_bounds_);
+  }
+
+  /// Droplet-aware stall classification (on watchdog escalation): is the
+  /// droplet blocked by another live droplet parked on / next to its target
+  /// cells, by cells the controller's view already reads dead, or by cells
+  /// that read healthy but do not respond (lying cells)?
+  StallKind classify_stall(const RouteTask& task, const Rect& pos) const {
+    const Rect target = attempt_frontier(task, pos);
+    for (const MoRun& run : runs_) {
+      for (const DropletId other : run.live) {
+        if (other == task.droplet || other == task.partner) continue;
+        // The separation rule blocks entry when the other droplet is on the
+        // target cells or directly adjacent to them.
+        if (chip_.droplet_position(other).manhattan_gap(target) <= 1)
+          return StallKind::kContention;
+      }
+    }
+    if (!health_.empty()) {
+      for (int y = target.ya; y <= target.yb; ++y)
+        for (int x = target.xa; x <= target.xb; ++x)
+          if (!pos.contains(x, y) && health_(x, y) == 0)
+            return StallKind::kDeadCells;
+    }
+    return StallKind::kUnknown;
+  }
+
+  void record_stall_metric(StallKind kind) {
+    switch (kind) {
+      case StallKind::kContention:
+        MEDA_OBS_COUNT("sched.stalls_contention", 1);
+        break;
+      case StallKind::kDeadCells:
+        MEDA_OBS_COUNT("sched.stalls_dead_cells", 1);
+        break;
+      case StallKind::kUnknown:
+        MEDA_OBS_COUNT("sched.stalls_unknown", 1);
+        break;
+    }
+  }
+
+  /// The controller's health view with every *other* live droplet's
+  /// footprint (inflated by the separation margin) masked dead: a virtual
+  /// obstacle map for contention detours. The stuck droplet's own cells are
+  /// never masked.
+  IntMatrix droplet_masked_health(const RouteTask& task,
+                                  const Rect& pos) const {
+    IntMatrix masked = health_;
+    for (const MoRun& run : runs_) {
+      for (const DropletId other : run.live) {
+        if (other == task.droplet || other == task.partner) continue;
+        const Rect area = chip_.droplet_position(other)
+                              .inflated(1)
+                              .intersection_with(chip_bounds_);
+        for (int y = area.ya; y <= area.yb; ++y)
+          for (int x = area.xa; x <= area.xb; ++x)
+            if (!pos.contains(x, y)) masked(x, y) = 0;
+      }
+    }
+    return masked;
   }
 
   /// After a quarantine, optionally probes chip-wide routability; a chip
@@ -340,7 +540,10 @@ class Runner {
     for (const DropletId id : doomed_) chip_.discard(id);
     doomed_.clear();
     for (MoRun& run : runs_)
-      if (run.state == MoRun::State::kAborted) run.routes.clear();
+      if (run.state == MoRun::State::kAborted) {
+        for (RouteTask& task : run.routes) close_job_span(task, "aborted");
+        run.routes.clear();
+      }
   }
 
   /// Ladder stage: an infeasible synthesis. Bounded retries with
@@ -400,6 +603,7 @@ class Runner {
 
   void finish(MoRun& run, std::vector<DropletId> out) {
     run.out = std::move(out);
+    for (RouteTask& task : run.routes) close_job_span(task, "finished");
     run.routes.clear();
     run.live.clear();
     run.state = MoRun::State::kDone;
@@ -414,7 +618,7 @@ class Runner {
 
   /// Creates a routing job for @p droplet from its current position.
   RouteTask make_route(int mo_id, DropletId droplet, const Rect& goal,
-                       DropletId partner = -1) const {
+                       DropletId partner = -1) {
     RouteTask task;
     task.rj.start = chip_.droplet_position(droplet);
     task.rj.goal = goal;
@@ -424,7 +628,23 @@ class Runner {
     task.droplet = droplet;
     task.partner = partner;
     task.created_cycle = chip_.cycle();
+    if (MEDA_OBS_ACTIVE() && obs::ctx().tracer().enabled()) {
+      task.job_span_id = ++job_serial_;
+      obs::ctx().tracer().async_begin(
+          "job", "MO " + std::to_string(mo_id) + " route", task.job_span_id);
+    }
     return task;
+  }
+
+  /// Closes the task's async job span (idempotent; no-op when none is open).
+  void close_job_span(RouteTask& task, std::string_view outcome) {
+    if (task.job_span_id == 0) return;
+    obs::ctx().tracer().async_end(
+        "job", "MO " + std::to_string(task.rj.mo) + " route",
+        task.job_span_id,
+        {{"outcome", obs::json_quote(outcome)},
+         {"cycles", std::to_string(chip_.cycle() - task.created_cycle)}});
+    task.job_span_id = 0;
   }
 
   /// True once the task's droplet has arrived: inside the goal, or — for
@@ -448,6 +668,7 @@ class Runner {
                         chip_.cycle() - task.created_cycle});
         task.recorded = true;
       }
+      close_job_span(task, "arrived");
       return true;
     }
     const Rect pos = chip_.droplet_position(task.droplet);
@@ -467,7 +688,11 @@ class Runner {
 
     // Ladder watchdog: a commanded droplet that stops making progress
     // triggers a forced re-sense + strategy drop; repeated firings escalate
-    // to quarantining the cells it keeps failing to enter.
+    // to quarantining the cells it keeps failing to enter. With stall
+    // classification enabled, a stall attributable to another live droplet
+    // (contention) instead requests a droplet-avoiding re-synthesis —
+    // quarantining perfectly healthy cells just because a neighbour parked
+    // on them would permanently shrink the routable chip.
     if (config_.recovery.enabled && config_.recovery.stuck_cycles > 0) {
       if (task.has_strategy && pos == task.watch_pos) {
         if (++task.no_progress >= config_.recovery.stuck_cycles) {
@@ -477,8 +702,25 @@ class Runner {
           event(RecoveryAction::kWatchdogResense, task.rj.mo,
                 "droplet stuck at " + pos.to_string());
           refresh_health(/*forced=*/true);
-          if (task.watchdog_count >=
-              config_.recovery.quarantine_after_watchdogs) {
+          const StallKind kind = config_.recovery.classify_stalls
+                                     ? classify_stall(task, pos)
+                                     : StallKind::kUnknown;
+          if (config_.recovery.classify_stalls) {
+            obs_event("stall", stall_name(kind), task.rj.mo,
+                      "stuck at " + pos.to_string());
+            record_stall_metric(kind);
+          }
+          if (kind == StallKind::kContention &&
+              task.contention_detours <
+                  config_.recovery.max_contention_detours) {
+            ++task.contention_detours;
+            ++stats_.recovery.contention_detours;
+            task.watchdog_count = 0;  // contention must not reach quarantine
+            event(RecoveryAction::kContentionDetour, task.rj.mo,
+                  "re-routing around droplet near " + pos.to_string());
+            task.avoid_droplets_once = true;
+          } else if (task.watchdog_count >=
+                     config_.recovery.quarantine_after_watchdogs) {
             task.watchdog_count = 0;
             quarantine_attempt_frontier(run, task, pos);
             if (run.state != MoRun::State::kActive) return false;
@@ -489,6 +731,7 @@ class Runner {
       } else {
         task.watch_pos = pos;
         task.no_progress = 0;
+        task.contention_detours = 0;  // progress resets the detour budget
       }
     }
 
@@ -552,6 +795,8 @@ class Runner {
   /// retrial-recovery comparison mode; bypasses the adaptive digest logic).
   void recover_strategy(MoRun& run, RouteTask& task, const Rect& pos) {
     ++stats_.resyntheses;
+    if (!task.rj.hazard.contains(pos))
+      task.rj.hazard = task.rj.hazard.union_with(pos);
     RoutingJob rj = task.rj;
     rj.start = pos;
     const std::uint64_t digest = health_digest(health_, task.rj.hazard);
@@ -564,8 +809,7 @@ class Runner {
     } else {
       ++stats_.synthesis_calls;
       result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
-      stats_.synthesis_seconds +=
-          result.construction_seconds + result.solve_seconds;
+      stats_.synthesis_seconds += result.total_seconds;
       if (config_.use_library) library_.store(rj, digest, result);
     }
     if (!result.feasible) {
@@ -600,6 +844,12 @@ class Runner {
       }
     }
 
+    // A droplet can end up just outside its original zone (strategy swaps
+    // and sampled outcomes both move it between syntheses); widen the
+    // search bound so the re-anchored synthesis stays well-formed.
+    if (!task.rj.hazard.contains(pos))
+      task.rj.hazard = task.rj.hazard.union_with(pos);
+
     const std::uint64_t digest =
         config_.adaptive ? health_digest(health_, task.rj.hazard) : 0;
     if (task.has_strategy && digest == task.digest) return;
@@ -610,23 +860,32 @@ class Runner {
     rj.start = pos;  // re-anchor at the droplet's current location
 
     SynthesisResult result;
-    const SynthesisResult* cached =
-        config_.use_library ? library_.lookup(rj, digest) : nullptr;
+    const bool avoid_droplets = task.avoid_droplets_once && !health_.empty();
+    task.avoid_droplets_once = false;  // one-shot, success or not
+    const SynthesisResult* cached = (config_.use_library && !avoid_droplets)
+                                        ? library_.lookup(rj, digest)
+                                        : nullptr;
     if (cached != nullptr) {
       ++stats_.library_hits;
       result = *cached;
     } else {
       ++stats_.synthesis_calls;
-      if (config_.adaptive) {
+      if (avoid_droplets) {
+        // Contention detour: synthesize against the droplet-masked health
+        // view, bypassing the library — the virtual obstacles are transient
+        // and position-dependent, so caching the result would poison it.
+        result = synthesizer_.synthesize(rj, droplet_masked_health(task, pos),
+                                         chip_.health_bits());
+      } else if (config_.adaptive) {
         result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
       } else {
         result = synthesizer_.synthesize_with_force(
             rj,
             full_health_force(chip_bounds_.width(), chip_bounds_.height()));
       }
-      stats_.synthesis_seconds +=
-          result.construction_seconds + result.solve_seconds;
-      if (config_.use_library) library_.store(rj, digest, result);
+      stats_.synthesis_seconds += result.total_seconds;
+      if (config_.use_library && !avoid_droplets)
+        library_.store(rj, digest, result);
     }
 
     if (!result.feasible) {
@@ -691,6 +950,8 @@ class Runner {
     if (run.phase == 1) {
       if (chip_.droplet_position(run.in[0])
               .manhattan_gap(chip_.droplet_position(run.in[1])) <= 1) {
+        // The partnered routes end here (contact), not via advance_route.
+        for (RouteTask& task : run.routes) close_job_span(task, "merged");
         const int merged_area =
             droplet_area(run.in[0]) + droplet_area(run.in[1]);
         run.merged = chip_.merge(run.in[0], run.in[1],
@@ -870,8 +1131,14 @@ class Runner {
   BoolMatrix quarantined_;
   int quarantine_count_ = 0;
   int quarantined_suspects_seen_ = 0;
+  bool quarantine_budget_hit_ = false;
   std::vector<DropletId> doomed_;  ///< droplets to discard at cycle end
   std::vector<std::string> abort_reasons_;
+  // Observability bookkeeping.
+  std::uint64_t job_serial_ = 0;           ///< async job-span id source
+  std::int64_t health_changes_total_ = 0;  ///< health-view changes so far
+  std::uint64_t last_health_digest_ = 0;
+  bool has_health_digest_ = false;
 };
 
 }  // namespace
@@ -886,6 +1153,21 @@ ExecutionStats Scheduler::run(BiochipIo& chip, const MoList& assay_list) {
       shared_library_ != nullptr ? *shared_library_ : private_library;
   Runner runner(config_, library, chip, assay_list);
   return runner.execute();
+}
+
+void RunRollup::absorb(const ExecutionStats& stats) {
+  ++runs;
+  if (stats.success) {
+    ++successes;
+    cycles.add(static_cast<double>(stats.cycles));
+  }
+  completed_mos += stats.completed_mos;
+  aborted_mos += stats.aborted_mos;
+  synthesis_calls += stats.synthesis_calls;
+  library_hits += stats.library_hits;
+  resyntheses += stats.resyntheses;
+  synthesis_seconds += stats.synthesis_seconds;
+  recovery.accumulate(stats.recovery);
 }
 
 }  // namespace meda::core

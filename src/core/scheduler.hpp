@@ -11,6 +11,8 @@
 #include "core/library.hpp"
 #include "core/recovery.hpp"
 #include "core/synthesizer.hpp"
+#include "obs/events.hpp"
+#include "util/stats.hpp"
 
 /// @file scheduler.hpp
 /// The hybrid scheduler of Section VI-D (Algorithm 3): executes a planned
@@ -87,8 +89,40 @@ struct ExecutionStats {
   std::vector<RouteRecord> routes;    ///< per-route model-vs-reality data
   RecoveryCounters recovery;          ///< ladder counters (all zero if quiet)
   std::vector<RecoveryEvent> recovery_events;  ///< ladder firings, in order
+  /// The unified structured event log: recovery-ladder firings plus stall
+  /// classifications and other scheduler events, in emission order. The
+  /// typed `recovery_events` view above is kept as a compatibility lens on
+  /// the ladder subset; new consumers should read this log.
+  std::vector<obs::Event> events;
   int completed_mos = 0;              ///< MOs that finished
   int aborted_mos = 0;                ///< MOs gracefully aborted (== recovery.aborted_jobs)
+};
+
+/// Campaign-level roll-up of many ExecutionStats: the single accumulator the
+/// campaign drivers, chaos benches, and HTML report consume instead of
+/// hand-rolled private counters.
+struct RunRollup {
+  int runs = 0;
+  int successes = 0;
+  int completed_mos = 0;
+  int aborted_mos = 0;
+  int synthesis_calls = 0;
+  int library_hits = 0;
+  int resyntheses = 0;
+  double synthesis_seconds = 0.0;
+  stats::RunningStats cycles;       ///< completion cycles, successful runs only
+  RecoveryCounters recovery;        ///< ladder counters summed over all runs
+
+  /// Folds one execution's outcome into the roll-up.
+  void absorb(const ExecutionStats& stats);
+
+  double success_rate() const {
+    return runs > 0 ? static_cast<double>(successes) / runs : 0.0;
+  }
+  double library_hit_rate() const {
+    const int lookups = library_hits + synthesis_calls;
+    return lookups > 0 ? static_cast<double>(library_hits) / lookups : 0.0;
+  }
 };
 
 /// Executes planned bioassays on a biochip.

@@ -1,19 +1,14 @@
 #include "core/synthesizer.hpp"
 
-#include <chrono>
 #include <cmath>
 
 #include "model/outcomes.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda::core {
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Extracts the strategy recorded by a solver run.
 Strategy extract_strategy(const RoutingMdp& mdp, const Solution& sol) {
@@ -25,6 +20,15 @@ Strategy extract_strategy(const RoutingMdp& mdp, const Solution& sol) {
                                       .action);
   }
   return strategy;
+}
+
+void record_model_metrics(const ModelStats& stats) {
+  MEDA_OBS_COUNT("synth.calls", 1);
+  MEDA_OBS_OBSERVE("synth.mdp_states", static_cast<double>(stats.states),
+                   obs::kStateCountBuckets);
+  MEDA_OBS_OBSERVE("synth.mdp_transitions",
+                   static_cast<double>(stats.transitions),
+                   obs::kStateCountBuckets);
 }
 
 }  // namespace
@@ -47,15 +51,39 @@ SynthesisResult Synthesizer::synthesize(const assay::RoutingJob& rj,
 SynthesisResult Synthesizer::synthesize_with_force(
     const assay::RoutingJob& rj, const DoubleMatrix& force) const {
   SynthesisResult result;
+  MEDA_OBS_SPAN(span, "synth", "synthesize");
+  obs::Stopwatch watch;
 
-  const auto t_build = std::chrono::steady_clock::now();
-  const RoutingMdp mdp =
-      build_routing_mdp(rj, force, chip_bounds_, config_.rules,
-                        config_.wear_penalty_lambda);
-  result.construction_seconds = seconds_since(t_build);
-  result.stats = mdp.stats();
+  {
+    MEDA_OBS_SPAN(build_span, "synth", "mdp_build");
+    const RoutingMdp mdp =
+        build_routing_mdp(rj, force, chip_bounds_, config_.rules,
+                          config_.wear_penalty_lambda);
+    result.stats = mdp.stats();
+    build_span.arg("states", static_cast<std::int64_t>(result.stats.states));
+    build_span.arg("transitions",
+                   static_cast<std::int64_t>(result.stats.transitions));
+    build_span.arg("choices",
+                   static_cast<std::int64_t>(result.stats.choices));
+    result.construction_seconds = watch.lap_seconds();
 
-  const auto t_solve = std::chrono::steady_clock::now();
+    solve_and_extract(mdp, result);
+  }
+
+  result.total_seconds = watch.total_seconds();
+  record_model_metrics(result.stats);
+  MEDA_OBS_OBSERVE("synth.total_seconds", result.total_seconds,
+                   obs::kSecondsBuckets);
+  if (!result.feasible) MEDA_OBS_COUNT("synth.infeasible", 1);
+  span.arg("states", static_cast<std::int64_t>(result.stats.states));
+  span.arg("feasible", static_cast<std::int64_t>(result.feasible ? 1 : 0));
+  span.arg("reach_probability", result.reach_probability);
+  return result;
+}
+
+void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
+                                    SynthesisResult& result) const {
+  obs::Stopwatch watch;
   const Solution pmax = solve_pmax(mdp, config_.solver);
   result.reach_probability = pmax.values[mdp.start];
 
@@ -67,6 +95,7 @@ SynthesisResult Synthesizer::synthesize_with_force(
       // follow the Rmin strategy (fewest expected cycles among the
       // Pmax-optimal choices); elsewhere fall back to the Pmax argmax.
       const Solution rmin = solve_rmin(mdp, config_.solver);
+      MEDA_OBS_SPAN(extract_span, "synth", "extract");
       result.strategy = extract_strategy(mdp, pmax);
       for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
         if (rmin.chosen[s] >= 0) {
@@ -79,14 +108,15 @@ SynthesisResult Synthesizer::synthesize_with_force(
       result.expected_cycles = rmin.values[mdp.start];
       result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
     }
-    result.solve_seconds = seconds_since(t_solve);
-    return result;
+    result.solve_seconds = watch.total_seconds();
+    return;
   }
 
   const Solution rmin = solve_rmin(mdp, config_.solver);
-  result.solve_seconds = seconds_since(t_solve);
+  result.solve_seconds = watch.total_seconds();
   result.expected_cycles = rmin.values[mdp.start];
 
+  MEDA_OBS_SPAN(extract_span, "synth", "extract");
   if (std::isfinite(result.expected_cycles)) {
     result.strategy = extract_strategy(mdp, rmin);
     result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
@@ -96,7 +126,6 @@ SynthesisResult Synthesizer::synthesize_with_force(
     result.strategy = extract_strategy(mdp, pmax);
     result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
   }
-  return result;
 }
 
 }  // namespace meda::core

@@ -48,6 +48,11 @@ struct SynthesisResult {
   ModelStats stats;
   double construction_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// Wall time of the whole synthesize call, measured once around it (the
+  /// single source of truth for ExecutionStats::synthesis_seconds; covers
+  /// construction + solve + strategy extraction, so it is not exactly the
+  /// sum of the two phase fields above).
+  double total_seconds = 0.0;
   bool feasible = false;  ///< a usable strategy was produced
 };
 
@@ -71,6 +76,11 @@ class Synthesizer {
                                         const DoubleMatrix& force) const;
 
  private:
+  /// Runs the configured query's solver(s) on @p mdp and fills the
+  /// strategy/value/timing fields of @p result (construction fields are the
+  /// caller's).
+  void solve_and_extract(const RoutingMdp& mdp, SynthesisResult& result) const;
+
   Rect chip_bounds_;
   SynthesisConfig config_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda::core {
@@ -29,11 +31,28 @@ double off_state_value(const Choice& choice, std::uint32_t s,
   return acc;
 }
 
+/// Shared solver telemetry: sweeps/residual per query, both as span args
+/// and registry metrics.
+template <typename Span>
+void record_solve(Span& span, const Solution& sol, const char* query) {
+  if (!MEDA_OBS_ACTIVE()) return;  // skip the name formatting entirely
+  span.arg("sweeps", static_cast<std::int64_t>(sol.iterations));
+  span.arg("residual", sol.final_residual);
+  span.arg("converged", static_cast<std::int64_t>(sol.converged ? 1 : 0));
+  MEDA_OBS_COUNT(std::string("vi.") + query + ".solves", 1);
+  MEDA_OBS_COUNT(std::string("vi.") + query + ".sweeps",
+                 static_cast<std::uint64_t>(sol.iterations));
+  MEDA_OBS_OBSERVE(std::string("vi.") + query + ".sweeps_per_solve",
+                   static_cast<double>(sol.iterations), obs::kPow2Buckets);
+  if (!sol.converged) MEDA_OBS_COUNT("vi.nonconverged", 1);
+}
+
 }  // namespace
 
 Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
   MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
                "invalid solve configuration");
+  MEDA_OBS_SPAN(span, "vi", "pmax");
   const std::size_t n = mdp.droplets.size();
   Solution sol;
   sol.values.assign(mdp.state_count(), 0.0);
@@ -71,17 +90,20 @@ Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
       sol.chosen[s] = best_choice;
     }
     sol.iterations = iter + 1;
+    sol.final_residual = delta;
     if (delta < config.tolerance) {
       sol.converged = true;
       break;
     }
   }
+  record_solve(span, sol, "pmax");
   return sol;
 }
 
 Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
   MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
                "invalid solve configuration");
+  MEDA_OBS_SPAN(span, "vi", "rmin");
   const std::size_t n = mdp.droplets.size();
 
   // Almost-sure-winning region: with retry self-loops the maximum reach
@@ -135,11 +157,13 @@ Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
       sol.chosen[s] = best_choice;
     }
     sol.iterations = iter + 1;
+    sol.final_residual = delta;
     if (delta < config.tolerance) {
       sol.converged = true;
       break;
     }
   }
+  record_solve(span, sol, "rmin");
   return sol;
 }
 

@@ -31,7 +31,8 @@ struct SolveConfig {
 struct Solution {
   std::vector<double> values;  ///< indexed like the MDP (incl. hazard sink)
   std::vector<int> chosen;     ///< choice index per droplet state; -1 if none
-  int iterations = 0;
+  int iterations = 0;          ///< Bellman sweeps performed
+  double final_residual = 0.0; ///< max value change in the last sweep
   bool converged = false;
 };
 

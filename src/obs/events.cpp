@@ -1,0 +1,34 @@
+#include "obs/events.hpp"
+
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace meda::obs {
+
+std::string format_events(const std::vector<Event>& events) {
+  std::ostringstream os;
+  for (const Event& e : events) {
+    os << "cycle " << e.cycle << " [" << e.category << '/' << e.name << ']';
+    if (e.scope >= 0) os << " MO " << e.scope;
+    if (!e.detail.empty()) os << ": " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string events_json(const std::vector<Event>& events) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    os << (i ? ",\n " : "\n ") << "{\"cycle\": " << e.cycle
+       << ", \"category\": " << json_quote(e.category)
+       << ", \"name\": " << json_quote(e.name) << ", \"mo\": " << e.scope
+       << ", \"detail\": " << json_quote(e.detail) << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace meda::obs

@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace meda::obs {
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(upper_bounds.size(), 0) {
+  MEDA_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must ascend");
+}
+
+void Histogram::observe(double value) {
+  ++count_;
+  sum_ += value;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      // Cumulative buckets: every bound ≥ value counts the observation.
+      for (std::size_t j = i; j < bounds_.size(); ++j) ++counts_[j];
+      return;
+    }
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  if (!enabled_) return;
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  if (!enabled_) return;
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              std::span<const double> upper_bounds) {
+  if (!enabled_) return;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(upper_bounds))
+             .first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+/// Shortest round-trip double rendering (snapshots must be stable).
+std::string fmt_value(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  std::string s = os.str();
+  // Prefer the shorter fixed form when it round-trips.
+  std::ostringstream brief;
+  brief.precision(12);
+  brief << v;
+  if (std::stod(brief.str()) == v) s = brief.str();
+  return s;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_)
+    os << name << ' ' << value << '\n';
+  for (const auto& [name, value] : gauges_)
+    os << name << ' ' << fmt_value(value) << '\n';
+  for (const auto& [name, h] : histograms_) {
+    for (std::size_t i = 0; i < h.bounds().size(); ++i)
+      os << name << "{le=\"" << fmt_value(h.bounds()[i]) << "\"} "
+         << h.bucket_counts()[i] << '\n';
+    os << name << "{le=\"+Inf\"} " << h.count() << '\n';
+    os << name << "_sum " << fmt_value(h.sum()) << '\n';
+    os << name << "_count " << h.count() << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\n    " << json_quote(name) << ": "
+       << value;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "" : ",") << "\n    " << json_quote(name) << ": "
+       << fmt_value(value);
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    " << json_quote(name)
+       << ": {\"count\": " << h.count() << ", \"sum\": " << fmt_value(h.sum())
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      os << (i ? "," : "") << "{\"le\": " << fmt_value(h.bounds()[i])
+         << ", \"count\": " << h.bucket_counts()[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::write_snapshot(const std::string& path) const {
+  std::ofstream out(path);
+  MEDA_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  out << (path.size() >= 5 && path.substr(path.size() - 5) == ".json"
+              ? snapshot_json()
+              : snapshot_text());
+}
+
+}  // namespace meda::obs

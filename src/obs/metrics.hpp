@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// @file metrics.hpp
+/// Metrics registry: named counters, gauges, and fixed-bucket histograms
+/// with a stable text/JSON snapshot format.
+///
+/// Series are created on first use and iterate in name order, so two runs
+/// that record the same series produce byte-identical snapshots. Every
+/// instrumented quantity except wall-clock time is deterministic for a fixed
+/// seed; time-valued series are suffixed `_seconds` by convention so
+/// downstream consumers (and the determinism tests) can strip them.
+///
+/// Like the tracer, the registry is a null sink until enable() is called:
+/// record calls check one flag and return.
+
+namespace meda::obs {
+
+/// Fixed-bucket histogram: counts of observations ≤ each upper bound, plus
+/// an implicit +inf bucket, with sum/count for mean recovery.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Cumulative count of observations ≤ bounds()[i].
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;        ///< ascending upper bounds
+  std::vector<std::uint64_t> counts_; ///< cumulative, one per bound
+  std::uint64_t count_ = 0;           ///< incl. the +inf bucket
+  double sum_ = 0.0;
+};
+
+/// Shared bucket layouts for the library's instrumentation sites.
+inline constexpr double kPow2Buckets[] = {1,   2,   4,    8,    16,  32,
+                                          64,  128, 256,  512,  1024,
+                                          2048, 4096, 8192, 16384};
+inline constexpr double kStateCountBuckets[] = {
+    50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000};
+inline constexpr double kSecondsBuckets[] = {
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
+
+/// Name-addressed registry of counters, gauges, and histograms.
+class MetricsRegistry {
+ public:
+  bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  /// Drops every series (the enabled flag is unchanged).
+  void clear();
+
+  // Recording (no-ops while disabled) -------------------------------------
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void set(std::string_view name, double value);
+  void observe(std::string_view name, double value,
+               std::span<const double> upper_bounds);
+
+  // Inspection ------------------------------------------------------------
+  /// Counter value, or 0 when the counter does not exist.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value, or 0.0 when the gauge does not exist.
+  double gauge(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Snapshots -------------------------------------------------------------
+  /// Stable text snapshot: one `name value` line per series, name-sorted;
+  /// histograms render as `name{le="b"} n` cumulative-bucket lines.
+  std::string snapshot_text() const;
+  /// The same snapshot as a JSON object with "counters" / "gauges" /
+  /// "histograms" members.
+  std::string snapshot_json() const;
+  void write_snapshot(const std::string& path) const;  ///< JSON iff *.json
+
+ private:
+  bool enabled_ = false;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace meda::obs

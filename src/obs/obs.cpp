@@ -1,0 +1,10 @@
+#include "obs/obs.hpp"
+
+namespace meda::obs {
+
+Context& ctx() {
+  static Context instance;
+  return instance;
+}
+
+}  // namespace meda::obs

@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda::obs {
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::begin(std::string_view cat, std::string_view name) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'B';
+  e.ts = now_us();
+  e.name = name;
+  e.cat = cat;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::end(std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'E';
+  e.ts = now_us();
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::complete(std::string_view cat, std::string_view name,
+                      std::uint64_t start_us, std::uint64_t dur_us, int tid,
+                      std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'X';
+  e.ts = start_us;
+  e.dur = dur_us;
+  e.tid = tid;
+  e.name = name;
+  e.cat = cat;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::async_begin(std::string_view cat, std::string_view name,
+                         std::uint64_t id) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'b';
+  e.ts = now_us();
+  e.id = id;
+  e.tid = TraceTrack::kJobTid;
+  e.name = name;
+  e.cat = cat;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::async_end(std::string_view cat, std::string_view name,
+                       std::uint64_t id,
+                       std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'e';
+  e.ts = now_us();
+  e.id = id;
+  e.tid = TraceTrack::kJobTid;
+  e.name = name;
+  e.cat = cat;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string_view cat, std::string_view name,
+                     std::string_view detail) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'i';
+  e.ts = now_us();
+  e.name = name;
+  e.cat = cat;
+  if (!detail.empty())
+    e.args.emplace_back("detail", json_quote(detail));
+  events_.push_back(std::move(e));
+}
+
+void Tracer::cycle_counter(std::string_view name, double value,
+                           std::uint64_t cycle) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'C';
+  e.ts = cycle;
+  e.pid = TraceTrack::kCyclePid;
+  e.tid = TraceTrack::kMainTid;
+  e.name = name;
+  e.cat = "cycle";
+  std::ostringstream v;
+  v << value;
+  e.args.emplace_back("value", v.str());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::cycle_instant(std::string_view name, std::uint64_t cycle) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'i';
+  e.ts = cycle;
+  e.pid = TraceTrack::kCyclePid;
+  e.tid = TraceTrack::kMainTid;
+  e.name = name;
+  e.cat = "cycle";
+  events_.push_back(std::move(e));
+}
+
+namespace {
+
+void emit_args(std::ostringstream& os,
+               const std::vector<std::pair<std::string, std::string>>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    os << (i ? "," : "") << json_quote(args[i].first) << ":"
+       << args[i].second;
+  }
+  os << "}";
+}
+
+void emit_metadata(std::ostringstream& os, int pid, int tid,
+                   const char* kind, const char* label) {
+  os << ",\n{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"" << kind << "\",\"args\":{\"name\":"
+     << json_quote(label) << "}}";
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Track naming metadata so Perfetto labels the two time domains.
+  os << "{\"ph\":\"M\",\"pid\":" << TraceTrack::kWallPid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+     << json_quote("meda-routing (wall clock, ts = us)") << "}}";
+  emit_metadata(os, TraceTrack::kWallPid, TraceTrack::kMainTid,
+                "thread_name", "scheduler");
+  emit_metadata(os, TraceTrack::kWallPid, TraceTrack::kJobTid, "thread_name",
+                "routing jobs");
+  os << ",\n{\"ph\":\"M\",\"pid\":" << TraceTrack::kCyclePid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+     << json_quote("per-cycle telemetry (ts = operational cycle)") << "}}";
+  for (const TraceEvent& e : events_) {
+    os << ",\n{\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (!e.name.empty()) os << ",\"name\":" << json_quote(e.name);
+    if (!e.cat.empty()) os << ",\"cat\":" << json_quote(e.cat);
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur;
+    if (e.ph == 'b' || e.ph == 'e') os << ",\"id\":" << e.id;
+    if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      emit_args(os, e.args);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  MEDA_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  out << to_json();
+}
+
+void SpanScope::arg(std::string_view key, double value) {
+  if (!live_) return;
+  std::ostringstream os;
+  os << value;
+  args_.emplace_back(std::string(key), os.str());
+}
+
+}  // namespace meda::obs

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "core/library.hpp"
+#include "obs/obs.hpp"
 #include "sim/experiments.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
@@ -24,6 +25,7 @@ std::vector<CampaignCell> run_campaign(
       CampaignCell cell;
       cell.assay = assay_list.name;
       cell.router = router.name;
+      MEDA_OBS_SPAN(cell_span, "campaign", "cell");
       for (int chip_idx = 0; chip_idx < config.chips; ++chip_idx) {
         RepeatedRunsConfig runs_config;
         runs_config.chip = config.chip;
@@ -33,16 +35,15 @@ std::vector<CampaignCell> run_campaign(
             config.seed0 + static_cast<std::uint64_t>(chip_idx);
         for (const RunRecord& record :
              run_repeated(assay_list, runs_config)) {
-          ++cell.runs;
+          cell.rollup.absorb(record.stats);
           cell.resyntheses.add(record.stats.resyntheses);
-          if (record.success) {
-            ++cell.successes;
-            cell.cycles.add(static_cast<double>(record.cycles));
-          }
         }
       }
-      cell.success_rate =
-          static_cast<double>(cell.successes) / cell.runs;
+      cell_span.arg("assay", cell.assay);
+      cell_span.arg("router", cell.router);
+      cell_span.arg("runs", static_cast<std::int64_t>(cell.rollup.runs));
+      cell_span.arg("successes",
+                    static_cast<std::int64_t>(cell.rollup.successes));
       cells.push_back(std::move(cell));
     }
   }
@@ -54,15 +55,16 @@ void print_campaign(std::ostream& os,
   Table table({"bioassay", "router", "success rate (± SE)",
                "cycles (± 95% CI)", "mean re-syntheses/run"});
   for (const CampaignCell& cell : cells) {
-    const double p = cell.success_rate;
+    const core::RunRollup& r = cell.rollup;
+    const double p = r.success_rate();
     const double se =
-        cell.runs > 0 ? std::sqrt(p * (1.0 - p) / cell.runs) : 0.0;
+        r.runs > 0 ? std::sqrt(p * (1.0 - p) / r.runs) : 0.0;
     table.add_row(
         {cell.assay, cell.router,
          fmt_prob(p) + " ± " + fmt_prob(se),
-         cell.cycles.count() > 0
-             ? fmt_double(cell.cycles.mean(), 1) + " ± " +
-                   fmt_double(cell.cycles.ci95_halfwidth(), 1)
+         r.cycles.count() > 0
+             ? fmt_double(r.cycles.mean(), 1) + " ± " +
+                   fmt_double(r.cycles.ci95_halfwidth(), 1)
              : "-",
          fmt_double(cell.resyntheses.count() ? cell.resyntheses.mean() : 0.0,
                     1)});
@@ -82,16 +84,6 @@ std::unique_ptr<DegradationAdversary> make_adversary(
       return std::make_unique<FrontierAdversary>(budget);
   }
   return nullptr;
-}
-
-void accumulate_recovery(core::RecoveryCounters& into,
-                         const core::RecoveryCounters& from) {
-  into.watchdog_fires += from.watchdog_fires;
-  into.forced_resenses += from.forced_resenses;
-  into.synthesis_retries += from.synthesis_retries;
-  into.backoff_cycles += from.backoff_cycles;
-  into.quarantined_cells += from.quarantined_cells;
-  into.aborted_jobs += from.aborted_jobs;
 }
 
 }  // namespace
@@ -126,21 +118,24 @@ std::vector<ChaosCell> run_chaos_campaign(
           core::StrategyLibrary library;
           core::Scheduler scheduler(router.scheduler, &library);
           for (int run = 0; run < config.runs_per_chip; ++run) {
+            MEDA_OBS_SPAN(trial_span, "campaign", "trial");
             chip.clear_droplets();
             const core::ExecutionStats stats =
                 scheduler.run(chip, assay_list);
-            ++cell.runs;
-            accumulate_recovery(cell.recovery, stats.recovery);
-            if (stats.success) {
-              ++cell.successes;
-              cell.cycles.add(static_cast<double>(stats.cycles));
-            }
+            cell.rollup.absorb(stats);
+            trial_span.arg("assay", cell.assay);
+            trial_span.arg("router", cell.router);
+            trial_span.arg("level", cell.level);
+            trial_span.arg("chip", static_cast<std::int64_t>(chip_idx));
+            trial_span.arg("run", static_cast<std::int64_t>(run));
+            trial_span.arg("success",
+                           static_cast<std::int64_t>(stats.success ? 1 : 0));
+            trial_span.arg("cycles",
+                           static_cast<std::int64_t>(stats.cycles));
           }
           cell.frames_dropped += chip.sensor_channel().frames_dropped();
           cell.bits_flipped += chip.sensor_channel().bits_flipped();
         }
-        cell.success_rate =
-            static_cast<double>(cell.successes) / cell.runs;
         cells.push_back(std::move(cell));
       }
     }
@@ -151,16 +146,18 @@ std::vector<ChaosCell> run_chaos_campaign(
 void print_chaos_campaign(std::ostream& os,
                           const std::vector<ChaosCell>& cells) {
   Table table({"bioassay", "noise", "router", "success", "cycles",
-               "watchdog", "retries", "quarantined", "aborted"});
+               "watchdog", "retries", "quarantined", "detours", "aborted"});
   for (const ChaosCell& cell : cells) {
+    const core::RunRollup& r = cell.rollup;
     table.add_row(
         {cell.assay, cell.level, cell.router,
-         std::to_string(cell.successes) + "/" + std::to_string(cell.runs),
-         cell.cycles.count() > 0 ? fmt_double(cell.cycles.mean(), 1) : "-",
-         std::to_string(cell.recovery.watchdog_fires),
-         std::to_string(cell.recovery.synthesis_retries),
-         std::to_string(cell.recovery.quarantined_cells),
-         std::to_string(cell.recovery.aborted_jobs)});
+         std::to_string(r.successes) + "/" + std::to_string(r.runs),
+         r.cycles.count() > 0 ? fmt_double(r.cycles.mean(), 1) : "-",
+         std::to_string(r.recovery.watchdog_fires),
+         std::to_string(r.recovery.synthesis_retries),
+         std::to_string(r.recovery.quarantined_cells),
+         std::to_string(r.recovery.contention_detours),
+         std::to_string(r.recovery.aborted_jobs)});
   }
   table.print(os);
 }
@@ -172,22 +169,25 @@ void write_chaos_csv(const std::string& path,
                  "frame_drop_p", "runs", "successes", "success_rate",
                  "mean_cycles", "watchdog_fires", "forced_resenses",
                  "synthesis_retries", "backoff_cycles", "quarantined_cells",
-                 "aborted_jobs", "frames_dropped", "bits_flipped"});
+                 "contention_detours", "aborted_jobs", "frames_dropped",
+                 "bits_flipped"});
   for (const ChaosCell& cell : cells) {
+    const core::RunRollup& r = cell.rollup;
     csv.write_row(
         {cell.assay, cell.router, cell.level,
          fmt_double(cell.sensor.bit_flip_p, 6),
          fmt_double(cell.sensor.stuck_fraction, 6),
          fmt_double(cell.sensor.frame_drop_p, 6),
-         std::to_string(cell.runs), std::to_string(cell.successes),
-         fmt_double(cell.success_rate, 4),
-         cell.cycles.count() > 0 ? fmt_double(cell.cycles.mean(), 2) : "",
-         std::to_string(cell.recovery.watchdog_fires),
-         std::to_string(cell.recovery.forced_resenses),
-         std::to_string(cell.recovery.synthesis_retries),
-         std::to_string(cell.recovery.backoff_cycles),
-         std::to_string(cell.recovery.quarantined_cells),
-         std::to_string(cell.recovery.aborted_jobs),
+         std::to_string(r.runs), std::to_string(r.successes),
+         fmt_double(r.success_rate(), 4),
+         r.cycles.count() > 0 ? fmt_double(r.cycles.mean(), 2) : "",
+         std::to_string(r.recovery.watchdog_fires),
+         std::to_string(r.recovery.forced_resenses),
+         std::to_string(r.recovery.synthesis_retries),
+         std::to_string(r.recovery.backoff_cycles),
+         std::to_string(r.recovery.quarantined_cells),
+         std::to_string(r.recovery.contention_detours),
+         std::to_string(r.recovery.aborted_jobs),
          std::to_string(cell.frames_dropped),
          std::to_string(cell.bits_flipped)});
   }

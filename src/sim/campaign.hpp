@@ -33,15 +33,14 @@ struct CampaignConfig {
   std::uint64_t seed0 = 1; ///< chip i uses seed0 + i (identical across routers)
 };
 
-/// Aggregated results of one (assay, router) cell.
+/// Aggregated results of one (assay, router) cell. All execution outcomes
+/// live in the shared core::RunRollup (the same accumulator the benches and
+/// the HTML report consume).
 struct CampaignCell {
   std::string assay;
   std::string router;
-  int runs = 0;
-  int successes = 0;
-  double success_rate = 0.0;
-  stats::RunningStats cycles;       ///< over successful runs
-  stats::RunningStats resyntheses;  ///< over all runs
+  core::RunRollup rollup;
+  stats::RunningStats resyntheses;  ///< per-run distribution, all runs
 };
 
 /// Runs the full grid. Chips are seeded identically across routers, so the
@@ -91,13 +90,9 @@ struct ChaosCell {
   std::string router;
   std::string level;
   SensorNoiseConfig sensor{};
-  int runs = 0;
-  int successes = 0;
-  double success_rate = 0.0;
-  stats::RunningStats cycles;  ///< over successful runs
-  core::RecoveryCounters recovery;     ///< summed over all runs
-  std::uint64_t frames_dropped = 0;    ///< summed over all chips
-  std::uint64_t bits_flipped = 0;      ///< summed over all chips
+  core::RunRollup rollup;            ///< execution outcomes + ladder counters
+  std::uint64_t frames_dropped = 0;  ///< summed over all chips
+  std::uint64_t bits_flipped = 0;    ///< summed over all chips
 };
 
 /// Runs the (assay × level × router) grid. Substrate seeds are identical

@@ -45,17 +45,27 @@ void emit_summary(std::ostringstream& os, const assay::MoList& assay,
 
 void emit_recovery(std::ostringstream& os,
                    const core::ExecutionStats& stats) {
-  if (!stats.recovery.any() && stats.recovery_events.empty()) return;
+  if (!stats.recovery.any() && stats.events.empty() &&
+      stats.recovery_events.empty())
+    return;
   const core::RecoveryCounters& r = stats.recovery;
   os << "<h2>Recovery ladder</h2>\n<table class='kv'>"
      << "<tr><td>watchdog fires / forced re-senses</td><td>"
      << r.watchdog_fires << " / " << r.forced_resenses << "</td></tr>"
      << "<tr><td>synthesis retries / backoff cycles</td><td>"
      << r.synthesis_retries << " / " << r.backoff_cycles << "</td></tr>"
-     << "<tr><td>quarantined cells / aborted jobs</td><td>"
-     << r.quarantined_cells << " / " << r.aborted_jobs
+     << "<tr><td>quarantined cells / contention detours</td><td>"
+     << r.quarantined_cells << " / " << r.contention_detours << "</td></tr>"
+     << "<tr><td>aborted jobs</td><td>" << r.aborted_jobs
      << "</td></tr></table>\n";
-  if (!stats.recovery_events.empty()) {
+  // The unified structured event log (recovery firings, stall
+  // classifications, ...); fall back to the legacy recovery-only view for
+  // stats produced without it.
+  if (!stats.events.empty()) {
+    os << "<h3>Event log</h3>\n<pre style='background:#fafafa;border:1px "
+          "solid #ddd;padding:8px'>"
+       << obs::format_events(stats.events) << "</pre>\n";
+  } else if (!stats.recovery_events.empty()) {
     os << "<h3>Event log</h3>\n<pre style='background:#fafafa;border:1px "
           "solid #ddd;padding:8px'>"
        << core::format_events(stats.recovery_events) << "</pre>\n";

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "json_lint.hpp"
+
+namespace meda::obs {
+namespace {
+
+using meda::testing::JsonLint;
+
+TEST(MetricsRegistry, NullSinkUntilEnabled) {
+  MetricsRegistry registry;
+  registry.add("a");
+  registry.set("g", 1.0);
+  registry.observe("h", 2.0, kPow2Buckets);
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.counter("a"), 0u);
+  registry.enable();
+  registry.add("a");
+  EXPECT_EQ(registry.counter("a"), 1u);
+  registry.disable();
+  registry.add("a");
+  EXPECT_EQ(registry.counter("a"), 1u);
+}
+
+TEST(MetricsRegistry, CountersAccumulateWithDefaultAndExplicitDeltas) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("synth.calls");
+  registry.add("synth.calls");
+  registry.add("synth.states", 42);
+  EXPECT_EQ(registry.counter("synth.calls"), 2u);
+  EXPECT_EQ(registry.counter("synth.states"), 42u);
+  EXPECT_EQ(registry.counter("never.recorded"), 0u);
+}
+
+TEST(MetricsRegistry, GaugesKeepTheLastValue) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.set("filter.suspects", 3.0);
+  registry.set("filter.suspects", 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("filter.suspects"), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("never.recorded"), 0.0);
+}
+
+TEST(Histogram, CumulativeBucketsPlusInfAndMeanRecovery) {
+  MetricsRegistry registry;
+  registry.enable();
+  const double bounds[] = {1.0, 10.0, 100.0};
+  registry.observe("h", 0.5, bounds);
+  registry.observe("h", 5.0, bounds);
+  registry.observe("h", 50.0, bounds);
+  registry.observe("h", 5000.0, bounds);  // lands in the implicit +inf bucket
+  const Histogram* h = registry.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5055.5);
+  ASSERT_EQ(h->bucket_counts().size(), 3u);
+  EXPECT_EQ(h->bucket_counts()[0], 1u);  // ≤ 1
+  EXPECT_EQ(h->bucket_counts()[1], 2u);  // ≤ 10 (cumulative)
+  EXPECT_EQ(h->bucket_counts()[2], 3u);  // ≤ 100
+  EXPECT_EQ(registry.histogram("never.recorded"), nullptr);
+}
+
+TEST(MetricsRegistry, TextSnapshotIsNameSortedAndDeterministic) {
+  // Two registries fed the same series in different orders must produce
+  // byte-identical snapshots (map iteration is name-ordered).
+  MetricsRegistry a;
+  a.enable();
+  a.add("zeta", 2);
+  a.set("alpha", 0.5);
+  a.observe("mid", 3.0, kPow2Buckets);
+
+  MetricsRegistry b;
+  b.enable();
+  b.observe("mid", 3.0, kPow2Buckets);
+  b.add("zeta");
+  b.add("zeta");
+  b.set("alpha", 0.25);
+  b.set("alpha", 0.5);
+
+  EXPECT_EQ(a.snapshot_text(), b.snapshot_text());
+  EXPECT_EQ(a.snapshot_json(), b.snapshot_json());
+
+  // Within a series kind, lines come out name-sorted regardless of the
+  // order the counters were first touched.
+  a.add("beta");
+  const std::string text = a.snapshot_text();
+  const std::size_t beta = text.find("beta");
+  const std::size_t zeta = text.find("zeta");
+  ASSERT_NE(beta, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(beta, zeta);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsWellFormed) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("sched.cycles", 100);
+  registry.set("filter.suspects", 2.0);
+  registry.observe("synth.seconds", 0.02, kSecondsBuckets);
+  const std::string json = registry.snapshot_json();
+  EXPECT_TRUE(JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteSnapshotPicksFormatByExtension) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("a", 7);
+
+  const std::string json_path = ::testing::TempDir() + "obs_metrics.json";
+  const std::string text_path = ::testing::TempDir() + "obs_metrics.txt";
+  registry.write_snapshot(json_path);
+  registry.write_snapshot(text_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  EXPECT_EQ(slurp(json_path), registry.snapshot_json());
+  EXPECT_EQ(slurp(text_path), registry.snapshot_text());
+  std::remove(json_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(MetricsRegistry, ClearDropsSeriesButKeepsEnabledFlag) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("a");
+  registry.clear();
+  EXPECT_TRUE(registry.empty());
+  EXPECT_TRUE(registry.enabled());
+  registry.add("a");
+  EXPECT_EQ(registry.counter("a"), 1u);
+}
+
+}  // namespace
+}  // namespace meda::obs

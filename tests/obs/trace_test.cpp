@@ -1,0 +1,164 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/events.hpp"
+#include "json_lint.hpp"
+
+namespace meda::obs {
+namespace {
+
+using meda::testing::JsonLint;
+
+TEST(Stopwatch, TotalAndLapAreMonotonic) {
+  Stopwatch watch;
+  const double a = watch.total_seconds();
+  const double lap = watch.lap_seconds();
+  const double b = watch.total_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(lap, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(JsonQuote, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+  EXPECT_TRUE(JsonLint::valid(json_quote(std::string("\x01\x1f tab\t"))));
+}
+
+TEST(Tracer, NullSinkUntilEnabled) {
+  Tracer tracer;
+  tracer.begin("cat", "span");
+  tracer.end();
+  tracer.instant("cat", "marker");
+  tracer.cycle_counter("droplets", 3, 17);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.enable();
+  tracer.instant("cat", "marker");
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.disable();
+  tracer.instant("cat", "marker");
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, SpansNestAndBalance) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    SpanScope outer(tracer, "sched", "execute");
+    {
+      SpanScope inner(tracer, "synth", "synthesize");
+      inner.arg("states", std::int64_t{42});
+    }
+  }
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].ph, 'B');
+  EXPECT_EQ(events[0].name, "execute");
+  EXPECT_EQ(events[1].ph, 'B');
+  EXPECT_EQ(events[1].name, "synthesize");
+  EXPECT_EQ(events[2].ph, 'E');  // inner closes first (proper nesting)
+  EXPECT_EQ(events[3].ph, 'E');
+  // Timestamps are monotone within the track.
+  EXPECT_LE(events[0].ts, events[1].ts);
+  EXPECT_LE(events[1].ts, events[2].ts);
+  EXPECT_LE(events[2].ts, events[3].ts);
+  // The inner span's args rode along on its closing event.
+  ASSERT_EQ(events[2].args.size(), 1u);
+  EXPECT_EQ(events[2].args[0].first, "states");
+  EXPECT_EQ(events[2].args[0].second, "42");
+}
+
+TEST(Tracer, AsyncSpansCarryPairingIds) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.async_begin("job", "MO 1 route", 7);
+  tracer.async_end("job", "MO 1 route", 7, {{"outcome", "\"arrived\""}});
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'b');
+  EXPECT_EQ(events[1].ph, 'e');
+  EXPECT_EQ(events[0].id, 7u);
+  EXPECT_EQ(events[1].id, 7u);
+  EXPECT_EQ(events[0].tid, TraceTrack::kJobTid);
+}
+
+TEST(Tracer, CycleDomainEventsLandOnTheCyclePid) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.cycle_counter("droplets_on_chip", 4, 123);
+  tracer.cycle_instant("health-change", 124);
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'C');
+  EXPECT_EQ(events[0].pid, TraceTrack::kCyclePid);
+  EXPECT_EQ(events[0].ts, 123u);  // ts IS the operational cycle
+  EXPECT_EQ(events[1].ph, 'i');
+  EXPECT_EQ(events[1].ts, 124u);
+}
+
+TEST(Tracer, ExportsSyntacticallyValidChromeTraceJson) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    SpanScope span(tracer, "sched", "execute");
+    span.arg("label", "quote\"me\n");
+    span.arg("ratio", 0.25);
+    tracer.instant("event", "watchdog-resense", "stuck at (3,4)");
+  }
+  tracer.async_begin("job", "MO 0 route", 1);
+  tracer.async_end("job", "MO 0 route", 1);
+  tracer.cycle_counter("droplets_on_chip", 2, 9);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Metadata names both time domains for the trace viewer.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(Tracer, WriteJsonRoundTripsThroughAFile) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.instant("cat", "marker");
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  tracer.write_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonLint::valid(buffer.str()));
+  EXPECT_EQ(buffer.str(), tracer.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, ClearDropsEventsButKeepsEnabledFlag) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.instant("cat", "marker");
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(Events, FormatAndJson) {
+  const std::vector<Event> events = {
+      {412, "recovery", "quarantine", 3, "5 cell(s) blocking (7,8)"},
+      {500, "stall", "blocked-by-droplet", -1, ""},
+  };
+  const std::string text = format_events(events);
+  EXPECT_NE(text.find("cycle 412"), std::string::npos);
+  EXPECT_NE(text.find("[recovery/quarantine]"), std::string::npos);
+  EXPECT_NE(text.find("MO 3"), std::string::npos);
+  EXPECT_NE(text.find("blocked-by-droplet"), std::string::npos);
+  EXPECT_TRUE(JsonLint::valid(events_json(events)));
+}
+
+}  // namespace
+}  // namespace meda::obs

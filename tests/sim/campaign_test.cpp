@@ -35,10 +35,11 @@ TEST(Campaign, GridShapeAndAccounting) {
   const auto cells = run_campaign(assays, two_routers(), small_campaign());
   ASSERT_EQ(cells.size(), 4u);  // 2 assays × 2 routers
   for (const CampaignCell& cell : cells) {
-    EXPECT_EQ(cell.runs, 4);  // 2 chips × 2 runs
-    EXPECT_EQ(cell.successes, 4);  // healthy chips: everything succeeds
-    EXPECT_DOUBLE_EQ(cell.success_rate, 1.0);
-    EXPECT_EQ(cell.cycles.count(), 4u);
+    EXPECT_EQ(cell.rollup.runs, 4);  // 2 chips × 2 runs
+    EXPECT_EQ(cell.rollup.successes, 4);  // healthy chips: all succeed
+    EXPECT_DOUBLE_EQ(cell.rollup.success_rate(), 1.0);
+    EXPECT_EQ(cell.rollup.cycles.count(), 4u);
+    EXPECT_GT(cell.rollup.synthesis_calls + cell.rollup.library_hits, 0);
   }
   EXPECT_EQ(cells[0].assay, "COVID-RAT");
   EXPECT_EQ(cells[0].router, "baseline");
@@ -52,7 +53,8 @@ TEST(Campaign, PairedSeedingMakesRoutersComparable) {
   const std::vector<assay::MoList> assays = {assay::covid_rat()};
   const auto cells = run_campaign(assays, two_routers(), small_campaign());
   ASSERT_EQ(cells.size(), 2u);
-  EXPECT_DOUBLE_EQ(cells[0].cycles.mean(), cells[1].cycles.mean());
+  EXPECT_DOUBLE_EQ(cells[0].rollup.cycles.mean(),
+                   cells[1].rollup.cycles.mean());
 }
 
 TEST(Campaign, PrintsEveryCell) {
@@ -99,7 +101,7 @@ TEST(ChaosCampaign, GridShapeAndNoiseAccounting) {
   ASSERT_EQ(cells.size(), 2u);  // 1 assay × 2 levels × 1 router
   EXPECT_EQ(cells[0].level, "clean");
   EXPECT_EQ(cells[1].level, "p=0.02");
-  for (const ChaosCell& cell : cells) EXPECT_EQ(cell.runs, 2);
+  for (const ChaosCell& cell : cells) EXPECT_EQ(cell.rollup.runs, 2);
   // Channel accounting: the clean level never corrupts a bit; the noisy
   // level (2% of thousands of bits per frame) essentially always does.
   EXPECT_EQ(cells[0].bits_flipped, 0u);
@@ -114,14 +116,14 @@ TEST(ChaosCampaign, ReproducibleFromTheMasterSeed) {
   const auto b = run_chaos_campaign(assays, robust_router(), small_chaos());
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].successes, b[i].successes);
-    EXPECT_EQ(a[i].cycles.count(), b[i].cycles.count());
-    if (a[i].cycles.count() > 0)
-      EXPECT_DOUBLE_EQ(a[i].cycles.mean(), b[i].cycles.mean());
-    EXPECT_EQ(a[i].recovery.watchdog_fires, b[i].recovery.watchdog_fires);
-    EXPECT_EQ(a[i].recovery.synthesis_retries,
-              b[i].recovery.synthesis_retries);
-    EXPECT_EQ(a[i].recovery.aborted_jobs, b[i].recovery.aborted_jobs);
+    const core::RunRollup& ra = a[i].rollup;
+    const core::RunRollup& rb = b[i].rollup;
+    EXPECT_EQ(ra.successes, rb.successes);
+    EXPECT_EQ(ra.cycles.count(), rb.cycles.count());
+    if (ra.cycles.count() > 0) {
+      EXPECT_DOUBLE_EQ(ra.cycles.mean(), rb.cycles.mean());
+    }
+    EXPECT_EQ(ra.recovery, rb.recovery);
     EXPECT_EQ(a[i].bits_flipped, b[i].bits_flipped);
     EXPECT_EQ(a[i].frames_dropped, b[i].frames_dropped);
   }
