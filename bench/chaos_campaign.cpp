@@ -14,16 +14,22 @@
 // infeasible plans from phantom-dead cells) while the robust router's curve
 // degrades gracefully.
 
+// Pass `--jobs N` to spread the (cell, chip) grid over N worker threads
+// (0 = all hardware threads); the table and CSV are byte-identical at any
+// job count.
+
 #include <iostream>
 
 #include "assay/benchmarks.hpp"
 #include "sim/campaign.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace meda;
 
-int main() {
+int main(int argc, char** argv) {
   sim::ChaosCampaignConfig config;
+  config.jobs = util::parse_jobs_flag(argc, argv);
   config.chip.chip.width = assay::kChipWidth;
   config.chip.chip.height = assay::kChipHeight;
   // End-of-life chips: fast degradation, heavy pre-wear, a dense clustered

@@ -9,13 +9,20 @@
 // baseline can fail as early as the first execution, while the adaptive
 // router's mean executions-to-first-failure exceeds the five-success target.
 
+// Pass `--jobs N` to run the trials of each configuration on N worker
+// threads (0 = all hardware threads); trial seeds are index-derived and the
+// per-trial results are folded in trial order, so the table and CSV are
+// byte-identical at any job count.
+
 #include <iostream>
+#include <vector>
 
 #include "assay/benchmarks.hpp"
 #include "sim/experiments.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace meda;
 
@@ -33,10 +40,9 @@ struct Summary {
 };
 
 Summary run_config(const assay::MoList& assay_list, bool adaptive,
-                   FaultMode mode) {
-  stats::RunningStats cycles, successes, first_failure;
-  int aborted = 0;
-  for (int t = 0; t < kTrials; ++t) {
+                   FaultMode mode, int jobs) {
+  std::vector<sim::TrialResult> results(kTrials);
+  util::parallel_for(jobs, results.size(), [&](std::size_t t) {
     sim::TrialConfig config;
     config.chip.chip.width = assay::kChipWidth;
     config.chip.chip.height = assay::kChipHeight;
@@ -53,7 +59,11 @@ Summary run_config(const assay::MoList& assay_list, bool adaptive,
     config.successes_target = 5;
     config.kmax_total = kBudget;
     config.seed = 7000 + static_cast<std::uint64_t>(t);  // same chips/faults
-    const sim::TrialResult r = sim::run_trial(assay_list, config);
+    results[t] = sim::run_trial(assay_list, config);
+  });
+  stats::RunningStats cycles, successes, first_failure;
+  int aborted = 0;
+  for (const sim::TrialResult& r : results) {
     cycles.add(static_cast<double>(r.total_cycles));
     successes.add(static_cast<double>(r.successes));
     first_failure.add(r.first_failure_execution == 0
@@ -67,7 +77,8 @@ Summary run_config(const assay::MoList& assay_list, bool adaptive,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = util::parse_jobs_flag(argc, argv);
   std::cout << "=== Fig. 16 — trial cycles under fault injection ===\n("
             << kTrials << " trials; 5 successes or " << kBudget
             << "-cycle abort)\n\n";
@@ -83,7 +94,7 @@ int main() {
                  "aborted trials", "mean execs before 1st failure"});
     for (const assay::MoList& assay_list : assay::evaluation_suite()) {
       for (const bool adaptive : {false, true}) {
-        const Summary s = run_config(assay_list, adaptive, mode);
+        const Summary s = run_config(assay_list, adaptive, mode, jobs);
         table.add_row({assay_list.name, adaptive ? "adaptive" : "baseline",
                        fmt_double(s.mean_cycles, 1),
                        fmt_double(s.sd_cycles, 1),

@@ -1,16 +1,25 @@
 // Google-benchmark microbenchmarks of the synthesis engine's hot kernels:
-// model construction, the two value-iteration queries, outcome-distribution
-// evaluation, and health sensing. Complements Table V's end-to-end timings
-// with per-kernel numbers.
+// model construction, MDP compilation, the two value-iteration queries on
+// both the compiled and the legacy path, outcome-distribution evaluation,
+// campaign-cell throughput, and health sensing. Complements Table V's
+// end-to-end timings with per-kernel numbers.
+//
+// Refresh the committed perf record with:
+//   ./build/bench/microbench --benchmark_out=BENCH_synthesis.json
+//       --benchmark_out_format=json
+// (see docs/performance.md for how to read the file).
 
 #include <benchmark/benchmark.h>
 
+#include "assay/benchmarks.hpp"
 #include "assay/helper.hpp"
 #include "chip/biochip.hpp"
+#include "core/compiled_mdp.hpp"
 #include "core/mdp.hpp"
 #include "core/synthesizer.hpp"
 #include "core/value_iteration.hpp"
 #include "model/outcomes.hpp"
+#include "sim/campaign.hpp"
 
 namespace {
 
@@ -44,6 +53,20 @@ void BM_BuildRoutingMdp(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildRoutingMdp)->Arg(10)->Arg(20)->Arg(30);
 
+void BM_CompileMdp(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_mdp(mdp));
+  }
+  state.SetLabel(std::to_string(mdp.state_count()) + " states");
+}
+BENCHMARK(BM_CompileMdp)->Arg(10)->Arg(20)->Arg(30);
+
 void BM_SolveRmin(benchmark::State& state) {
   const int area = static_cast<int>(state.range(0));
   const assay::RoutingJob rj = corner_job(area, 4);
@@ -58,6 +81,22 @@ void BM_SolveRmin(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveRmin)->Arg(10)->Arg(20)->Arg(30);
 
+// Legacy reference solvers at the same sizes: the compiled-vs-legacy ratio
+// (BM_SolveRmin/N vs BM_SolveRminLegacy/N) is the speedup this PR claims.
+void BM_SolveRminLegacy(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_rmin_legacy(mdp));
+  }
+  state.SetLabel(std::to_string(mdp.state_count()) + " states");
+}
+BENCHMARK(BM_SolveRminLegacy)->Arg(10)->Arg(20)->Arg(30);
+
 void BM_SolvePmax(benchmark::State& state) {
   const int area = static_cast<int>(state.range(0));
   const assay::RoutingJob rj = corner_job(area, 4);
@@ -71,6 +110,35 @@ void BM_SolvePmax(benchmark::State& state) {
 }
 BENCHMARK(BM_SolvePmax)->Arg(20);
 
+void BM_SolvePmaxLegacy(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_pmax_legacy(mdp));
+  }
+}
+BENCHMARK(BM_SolvePmaxLegacy)->Arg(20);
+
+// The scheduler's actual query: compile once, answer both φ_p and φ_r with a
+// single pmax pass shared as rmin's winning region.
+void BM_SolveReachAvoid(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_reach_avoid(mdp));
+  }
+  state.SetLabel(std::to_string(mdp.state_count()) + " states");
+}
+BENCHMARK(BM_SolveReachAvoid)->Arg(10)->Arg(20)->Arg(30);
+
 void BM_FullSynthesis(benchmark::State& state) {
   const int area = static_cast<int>(state.range(0));
   core::SynthesisConfig config;
@@ -83,6 +151,26 @@ void BM_FullSynthesis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSynthesis)->Arg(10)->Arg(20)->Arg(30);
+
+// One campaign cell end to end (COVID-RAT assay, adaptive router, one chip,
+// one run): the unit of work the parallel campaign drivers distribute.
+void BM_CampaignCell(benchmark::State& state) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  std::vector<sim::RouterConfig> routers(1);
+  routers[0].name = "adaptive";
+  sim::CampaignConfig config;
+  config.chip.chip.width = assay::kChipWidth;
+  config.chip.chip.height = assay::kChipHeight;
+  config.chips = 1;
+  config.runs_per_chip = 1;
+  config.seed0 = 11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(assays, routers, config));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("COVID-RAT, 1 chip x 1 run");
+}
+BENCHMARK(BM_CampaignCell);
 
 void BM_ActionOutcomes(benchmark::State& state) {
   const Rect droplet{8, 8, 12, 11};

@@ -1,0 +1,118 @@
+#include "core/compiled_mdp.hpp"
+
+#include <cstddef>
+
+#include "obs/obs.hpp"
+
+namespace meda::core {
+
+CompiledMdp compile_mdp(const RoutingMdp& mdp) {
+  MEDA_OBS_SPAN(span, "vi", "compile");
+  CompiledMdp out;
+  const std::size_t n = mdp.droplets.size();
+  out.num_droplet_states = static_cast<std::uint32_t>(n);
+  out.start = mdp.start;
+
+  std::size_t total_choices = 0;
+  std::size_t total_transitions = 0;
+  for (const auto& state_choices : mdp.choices) {
+    total_choices += state_choices.size();
+    for (const Choice& c : state_choices)
+      total_transitions += c.transitions.size();
+  }
+
+  out.choice_offset.reserve(n + 1);
+  out.trans_offset.reserve(total_choices + 1);
+  out.cost.reserve(total_choices);
+  out.inv_one_minus_q.reserve(total_choices);
+  out.target.reserve(total_transitions);
+  out.probability.reserve(total_transitions);
+  out.is_goal.resize(n);
+
+  out.choice_offset.push_back(0);
+  out.trans_offset.push_back(0);
+  for (std::size_t s = 0; s < n; ++s) {
+    out.is_goal[s] = mdp.is_goal[s] ? 1 : 0;
+    for (const Choice& choice : mdp.choices[s]) {
+      // Factor the self-loop branch out of the transition list: sum its
+      // mass q exactly as the legacy solver does (in transition order) and
+      // keep only the off-state branches.
+      double q = 0.0;
+      for (const Transition& t : choice.transitions)
+        if (t.target == s) q += t.probability;
+      for (const Transition& t : choice.transitions) {
+        if (t.target == static_cast<std::uint32_t>(s)) continue;
+        out.target.push_back(t.target);
+        out.probability.push_back(t.probability);
+      }
+      out.cost.push_back(choice.cost);
+      out.inv_one_minus_q.push_back(q >= 1.0 - 1e-12 ? 0.0 : 1.0 / (1.0 - q));
+      out.trans_offset.push_back(
+          static_cast<std::uint32_t>(out.target.size()));
+    }
+    out.choice_offset.push_back(
+        static_cast<std::uint32_t>(out.trans_offset.size() - 1));
+  }
+
+  // Goal-anchored sweep order: reverse BFS from the goal set over the
+  // off-state edges. Predecessor lists are built CSR-style as well (counting
+  // pass + placement pass) to stay allocation-light.
+  std::vector<std::uint32_t> pred_count(n, 0);
+  for (std::size_t i = 0; i < out.target.size(); ++i) {
+    const std::uint32_t t = out.target[i];
+    if (t < n) ++pred_count[t];
+  }
+  std::vector<std::uint32_t> pred_offset(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s)
+    pred_offset[s + 1] = pred_offset[s] + pred_count[s];
+  std::vector<std::uint32_t> pred(pred_offset[n]);
+  std::vector<std::uint32_t> fill(pred_offset.begin(), pred_offset.end() - 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t tb = out.trans_offset[out.choice_offset[s]];
+    const std::uint32_t te = out.trans_offset[out.choice_offset[s + 1]];
+    for (std::uint32_t i = tb; i < te; ++i) {
+      const std::uint32_t t = out.target[i];
+      if (t < n) pred[fill[t]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  out.sweep_order.reserve(n);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (out.is_goal[s]) {
+      seen[s] = 1;
+      out.sweep_order.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  for (std::size_t head = 0; head < out.sweep_order.size(); ++head) {
+    const std::uint32_t s = out.sweep_order[head];
+    for (std::uint32_t i = pred_offset[s]; i < pred_offset[s + 1]; ++i) {
+      const std::uint32_t p = pred[i];
+      if (!seen[p]) {
+        seen[p] = 1;
+        out.sweep_order.push_back(p);
+      }
+    }
+  }
+  out.goal_reachable = static_cast<std::uint32_t>(out.sweep_order.size());
+  for (std::size_t s = 0; s < n; ++s)
+    if (!seen[s]) out.sweep_order.push_back(static_cast<std::uint32_t>(s));
+
+  if (MEDA_OBS_ACTIVE()) {
+    span.arg("states", static_cast<std::int64_t>(out.state_count()));
+    span.arg("choices", static_cast<std::int64_t>(out.choice_count()));
+    span.arg("transitions", static_cast<std::int64_t>(out.target.size()));
+    span.arg("goal_reachable", static_cast<std::int64_t>(out.goal_reachable));
+    MEDA_OBS_COUNT("vi.compile.calls", 1);
+    MEDA_OBS_OBSERVE("vi.compile.states",
+                     static_cast<double>(out.state_count()),
+                     obs::kStateCountBuckets);
+    // States the reverse BFS could not anchor to a goal (they keep their
+    // initial value, so an increase here flags degenerate models).
+    MEDA_OBS_COUNT("vi.compile.unanchored_states",
+                   static_cast<std::uint64_t>(n) - out.goal_reachable);
+  }
+  return out;
+}
+
+}  // namespace meda::core

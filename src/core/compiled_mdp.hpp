@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mdp.hpp"
+
+/// @file compiled_mdp.hpp
+/// Compiled sparse form of a RoutingMdp: the solver-facing representation
+/// behind the synthesis fast path.
+///
+/// The explicit RoutingMdp is a pointer-chasing `vector<vector<Choice>>`
+/// whose per-choice self-loop mass is recomputed on every Bellman sweep.
+/// Compiling flattens it once into CSR-style contiguous arrays:
+///
+///  - per-state choice ranges (`choice_offset`),
+///  - per-choice transition ranges (`trans_offset`) over flat
+///    `target`/`probability` arrays with the self-loop branch *factored
+///    out* — a choice with stay-probability q keeps only its off-state
+///    branches and carries the precomputed committed-value scale
+///    `1/(1−q)` (0 marks a pure self-loop),
+///  - a goal-anchored sweep order: droplet states in reverse-BFS distance
+///    from the goal set, so Gauss-Seidel value updates propagate from the
+///    goal outward and converge in a near-constant number of sweeps
+///    instead of O(diameter).
+///
+/// The flat layout preserves the RoutingMdp's state and per-state choice
+/// order, so a choice's local index (`c - choice_offset[s]`) is exactly the
+/// RoutingMdp choice index — Solution::chosen stays interchangeable between
+/// the legacy and compiled solvers.
+
+namespace meda::core {
+
+/// Flattened CSR view of one routing-job MDP (see file comment).
+struct CompiledMdp {
+  /// Droplet-state count (states 0..n-1; the hazard sink is index n).
+  std::uint32_t num_droplet_states = 0;
+  std::uint32_t start = 0;
+
+  // CSR ranges: choices of state s are [choice_offset[s], choice_offset[s+1]),
+  // off-state transitions of choice c are [trans_offset[c], trans_offset[c+1]).
+  std::vector<std::uint32_t> choice_offset;  ///< size n+1
+  std::vector<std::uint32_t> trans_offset;   ///< size choices+1
+
+  // Per-choice precomputations.
+  std::vector<double> cost;             ///< reward charged per attempt
+  std::vector<double> inv_one_minus_q;  ///< 1/(1−q); 0.0 ⇒ pure self-loop
+
+  // Per-transition flat arrays (self-loop branches removed).
+  std::vector<std::uint32_t> target;
+  std::vector<double> probability;
+
+  std::vector<std::uint8_t> is_goal;  ///< per droplet state
+
+  /// Goal-anchored Gauss-Seidel sweep order over the droplet states:
+  /// reverse-BFS layers from the goal set first, then any states the goal
+  /// cannot be reached from (in index order; they keep value 0/∞ anyway).
+  std::vector<std::uint32_t> sweep_order;
+  /// Number of leading sweep_order entries reached by the reverse BFS.
+  std::uint32_t goal_reachable = 0;
+
+  std::uint32_t hazard_sink() const { return num_droplet_states; }
+  std::size_t state_count() const { return num_droplet_states + 1u; }
+  std::size_t choice_count() const { return cost.size(); }
+};
+
+/// Flattens @p mdp into the compiled form (one pass over the graph plus one
+/// reverse BFS). Emits a `vi.compile` span and compile-shape metrics when
+/// observability is enabled.
+CompiledMdp compile_mdp(const RoutingMdp& mdp);
+
+}  // namespace meda::core

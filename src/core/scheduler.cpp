@@ -862,19 +862,32 @@ class Runner {
     SynthesisResult result;
     const bool avoid_droplets = task.avoid_droplets_once && !health_.empty();
     task.avoid_droplets_once = false;  // one-shot, success or not
-    const SynthesisResult* cached = (config_.use_library && !avoid_droplets)
-                                        ? library_.lookup(rj, digest)
-                                        : nullptr;
+    // Contention detours synthesize against the droplet-masked health view.
+    // They are cached under a position-keyed digest: hashing the *masked*
+    // view folds the avoid-rectangles (the other droplets' inflated
+    // footprints) into the key, so a detour entry can only be served when
+    // the same obstacles sit in the same places — no poisoning of the
+    // unmasked entries, which stay under the plain health digest. The salt
+    // separates the two key families when the matrices coincide.
+    constexpr std::uint64_t kDetourSalt = 0xDE70C2C41E5ull;
+    IntMatrix masked_health;
+    std::uint64_t lookup_digest = digest;
+    if (avoid_droplets) {
+      masked_health = droplet_masked_health(task, pos);
+      lookup_digest = health_digest(masked_health, task.rj.hazard) ^
+                      kDetourSalt;
+    }
+    const SynthesisResult* cached =
+        config_.use_library ? library_.lookup(rj, lookup_digest) : nullptr;
     if (cached != nullptr) {
       ++stats_.library_hits;
+      if (avoid_droplets) MEDA_OBS_COUNT("sched.detour_library_hits", 1);
       result = *cached;
     } else {
       ++stats_.synthesis_calls;
       if (avoid_droplets) {
-        // Contention detour: synthesize against the droplet-masked health
-        // view, bypassing the library — the virtual obstacles are transient
-        // and position-dependent, so caching the result would poison it.
-        result = synthesizer_.synthesize(rj, droplet_masked_health(task, pos),
+        MEDA_OBS_COUNT("sched.detour_library_misses", 1);
+        result = synthesizer_.synthesize(rj, masked_health,
                                          chip_.health_bits());
       } else if (config_.adaptive) {
         result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
@@ -884,8 +897,7 @@ class Runner {
             full_health_force(chip_bounds_.width(), chip_bounds_.height()));
       }
       stats_.synthesis_seconds += result.total_seconds;
-      if (config_.use_library && !avoid_droplets)
-        library_.store(rj, digest, result);
+      if (config_.use_library) library_.store(rj, lookup_digest, result);
     }
 
     if (!result.feasible) {

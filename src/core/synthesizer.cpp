@@ -84,7 +84,12 @@ SynthesisResult Synthesizer::synthesize_with_force(
 void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
                                     SynthesisResult& result) const {
   obs::Stopwatch watch;
-  const Solution pmax = solve_pmax(mdp, config_.solver);
+  // Compile once and answer both queries from the shared model: the pmax
+  // pass doubles as rmin's winning-region computation, so every synthesis
+  // runs exactly one pmax and one rmin (the legacy path ran pmax twice).
+  const ReachAvoidSolution sol = solve_reach_avoid(mdp, config_.solver);
+  const Solution& pmax = sol.pmax;
+  const Solution& rmin = sol.rmin;
   result.reach_probability = pmax.values[mdp.start];
 
   if (config_.query == Query::kPmaxReachability) {
@@ -94,7 +99,6 @@ void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
       // extract lexicographically: inside the almost-sure-winning region
       // follow the Rmin strategy (fewest expected cycles among the
       // Pmax-optimal choices); elsewhere fall back to the Pmax argmax.
-      const Solution rmin = solve_rmin(mdp, config_.solver);
       MEDA_OBS_SPAN(extract_span, "synth", "extract");
       result.strategy = extract_strategy(mdp, pmax);
       for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
@@ -112,7 +116,6 @@ void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
     return;
   }
 
-  const Solution rmin = solve_rmin(mdp, config_.solver);
   result.solve_seconds = watch.total_seconds();
   result.expected_cycles = rmin.values[mdp.start];
 

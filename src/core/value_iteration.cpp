@@ -47,12 +47,174 @@ void record_solve(Span& span, const Solution& sol, const char* query) {
   if (!sol.converged) MEDA_OBS_COUNT("vi.nonconverged", 1);
 }
 
-}  // namespace
-
-Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
+void require_valid(const SolveConfig& config) {
   MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
                "invalid solve configuration");
+}
+
+// Compiled kernels ----------------------------------------------------------
+
+Solution run_pmax(const CompiledMdp& m, const SolveConfig& config) {
+  const std::size_t n = m.num_droplet_states;
+  Solution sol;
+  sol.values.assign(m.state_count(), 0.0);
+  sol.chosen.assign(n, -1);
+  for (std::size_t s = 0; s < n; ++s)
+    if (m.is_goal[s]) sol.values[s] = 1.0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (const std::uint32_t s : m.sweep_order) {
+      if (m.is_goal[s]) continue;
+      const std::uint32_t cb = m.choice_offset[s];
+      const std::uint32_t ce = m.choice_offset[s + 1];
+      if (cb == ce) continue;
+      double best = 0.0;
+      int best_choice = -1;
+      for (std::uint32_t c = cb; c < ce; ++c) {
+        double rest = 0.0;
+        const std::uint32_t te = m.trans_offset[c + 1];
+        for (std::uint32_t i = m.trans_offset[c]; i < te; ++i)
+          rest += m.probability[i] * sol.values[m.target[i]];
+        // Pure self-loops carry inv_one_minus_q == 0 (and no off-state
+        // branches), so their committed value is 0: never reaches goal.
+        const double value = rest * m.inv_one_minus_q[c];
+        if (value > best + kTieEps || best_choice < 0) {
+          best = value;
+          best_choice = static_cast<int>(c - cb);
+        }
+      }
+      best = std::min(best, 1.0);  // numeric slack
+      delta = std::max(delta, std::abs(best - sol.values[s]));
+      sol.values[s] = best;
+      sol.chosen[s] = best_choice;
+    }
+    sol.iterations = iter + 1;
+    sol.final_residual = delta;
+    if (delta < config.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+Solution run_rmin(const CompiledMdp& m, const SolveConfig& config,
+                  const std::vector<std::uint8_t>& winning) {
+  const std::size_t n = m.num_droplet_states;
+  Solution sol;
+  sol.values.assign(m.state_count(), kInf);
+  sol.chosen.assign(n, -1);
+  for (std::size_t s = 0; s < n; ++s)
+    if (m.is_goal[s] && winning[s]) sol.values[s] = 0.0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (const std::uint32_t s : m.sweep_order) {
+      if (m.is_goal[s] || !winning[s]) continue;
+      const std::uint32_t cb = m.choice_offset[s];
+      const std::uint32_t ce = m.choice_offset[s + 1];
+      double best = kInf;
+      int best_choice = -1;
+      for (std::uint32_t c = cb; c < ce; ++c) {
+        const double inv = m.inv_one_minus_q[c];
+        if (inv == 0.0) continue;  // pure self-loop: no progress possible
+        // Admissible only if every off-state branch stays inside the
+        // winning region (the self-loop stays in s, which is winning).
+        bool safe = true;
+        double rest = 0.0;
+        const std::uint32_t te = m.trans_offset[c + 1];
+        for (std::uint32_t i = m.trans_offset[c]; i < te; ++i) {
+          const std::uint32_t t = m.target[i];
+          if (m.probability[i] > 0.0 && !winning[t]) {
+            safe = false;
+            break;
+          }
+          rest += m.probability[i] * sol.values[t];
+        }
+        if (!safe) continue;
+        const double value = (m.cost[c] + rest) * inv;
+        if (value < best - kTieEps) {
+          best = value;
+          best_choice = static_cast<int>(c - cb);
+        }
+      }
+      if (best_choice < 0) continue;  // keep ∞ (should not happen in S1)
+      const double prev = sol.values[s];
+      const double diff = std::isinf(prev) ? 1.0 : std::abs(best - prev);
+      delta = std::max(delta, diff);
+      sol.values[s] = best;
+      sol.chosen[s] = best_choice;
+    }
+    sol.iterations = iter + 1;
+    sol.final_residual = delta;
+    if (delta < config.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+/// Almost-sure-winning region: with retry self-loops the maximum reach
+/// probability is 1 exactly on the states that admit an a.s. strategy. The
+/// hazard sink (pmax 0) stays outside.
+std::vector<std::uint8_t> winning_region(const CompiledMdp& m,
+                                         const Solution& pmax) {
+  std::vector<std::uint8_t> winning(m.state_count(), 0);
+  for (std::size_t s = 0; s < m.state_count(); ++s)
+    winning[s] = pmax.values[s] >= 1.0 - 1e-6 ? 1 : 0;
+  return winning;
+}
+
+}  // namespace
+
+// Compiled fast path --------------------------------------------------------
+
+Solution solve_pmax(const CompiledMdp& mdp, const SolveConfig& config) {
+  require_valid(config);
   MEDA_OBS_SPAN(span, "vi", "pmax");
+  Solution sol = run_pmax(mdp, config);
+  record_solve(span, sol, "pmax");
+  return sol;
+}
+
+ReachAvoidSolution solve_reach_avoid(const CompiledMdp& mdp,
+                                     const SolveConfig& config) {
+  require_valid(config);
+  ReachAvoidSolution out;
+  out.pmax = solve_pmax(mdp, config);
+  {
+    MEDA_OBS_SPAN(span, "vi", "rmin");
+    out.rmin = run_rmin(mdp, config, winning_region(mdp, out.pmax));
+    record_solve(span, out.rmin, "rmin");
+  }
+  return out;
+}
+
+ReachAvoidSolution solve_reach_avoid(const RoutingMdp& mdp,
+                                     const SolveConfig& config) {
+  require_valid(config);
+  return solve_reach_avoid(compile_mdp(mdp), config);
+}
+
+// RoutingMdp wrappers -------------------------------------------------------
+
+Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
+  require_valid(config);
+  return solve_pmax(compile_mdp(mdp), config);
+}
+
+Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
+  require_valid(config);
+  return solve_reach_avoid(compile_mdp(mdp), config).rmin;
+}
+
+// Legacy reference path -----------------------------------------------------
+
+Solution solve_pmax_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
+  require_valid(config);
+  MEDA_OBS_SPAN(span, "vi", "pmax_legacy");
   const std::size_t n = mdp.droplets.size();
   Solution sol;
   sol.values.assign(mdp.state_count(), 0.0);
@@ -79,7 +241,7 @@ Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
                                   sol.values) /
                   (1.0 - q);
         }
-        if (value > best + 1e-15 || best_choice < 0) {
+        if (value > best + kTieEps || best_choice < 0) {
           best = value;
           best_choice = static_cast<int>(c);
         }
@@ -96,19 +258,18 @@ Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config) {
       break;
     }
   }
-  record_solve(span, sol, "pmax");
+  record_solve(span, sol, "pmax_legacy");
   return sol;
 }
 
-Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
-  MEDA_REQUIRE(config.tolerance > 0.0 && config.max_iterations > 0,
-               "invalid solve configuration");
-  MEDA_OBS_SPAN(span, "vi", "rmin");
+Solution solve_rmin_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
+  require_valid(config);
+  MEDA_OBS_SPAN(span, "vi", "rmin_legacy");
   const std::size_t n = mdp.droplets.size();
 
-  // Almost-sure-winning region: with retry self-loops the maximum reach
-  // probability is 1 exactly on the states that admit an a.s. strategy.
-  const Solution pmax = solve_pmax(mdp, config);
+  // The legacy path's known double-solve: a full pmax from scratch just for
+  // the winning region (solve_reach_avoid shares it instead).
+  const Solution pmax = solve_pmax_legacy(mdp, config);
   std::vector<bool> winning(mdp.state_count(), false);
   for (std::size_t s = 0; s < mdp.state_count(); ++s)
     winning[s] = pmax.values[s] >= 1.0 - 1e-6;
@@ -144,7 +305,7 @@ Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
         const double rest = off_state_value(
             choice, static_cast<std::uint32_t>(s), sol.values);
         const double value = (choice.cost + rest) / (1.0 - q);
-        if (value < best - 1e-15) {
+        if (value < best - kTieEps) {
           best = value;
           best_choice = static_cast<int>(c);
         }
@@ -163,7 +324,7 @@ Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config) {
       break;
     }
   }
-  record_solve(span, sol, "rmin");
+  record_solve(span, sol, "rmin_legacy");
   return sol;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/compiled_mdp.hpp"
 #include "core/mdp.hpp"
 
 /// @file value_iteration.hpp
@@ -18,8 +19,27 @@
 /// slowly; both solvers therefore eliminate per-choice self-loops
 /// algebraically (a choice with stay-probability q and off-state mass rest
 /// has committed value rest/(1−q), or (cost + rest)/(1−q) for rewards).
+///
+/// Two solver paths share this interface:
+///
+///  - the **compiled fast path** (the default): Gauss-Seidel sweeps over a
+///    CompiledMdp's flat CSR arrays in goal-anchored order, with the
+///    self-loop scale 1/(1−q) precomputed per choice (see compiled_mdp.hpp);
+///  - the **legacy reference path** (`solve_*_legacy`): the original sweeps
+///    over the pointer-based RoutingMdp in state-index order, kept as the
+///    equivalence oracle for tests and the baseline for microbenchmarks.
+///
+/// Both paths break value ties identically: among choices within `kTieEps`
+/// of the optimum, the lowest choice index — i.e. the lowest action index,
+/// since build_routing_mdp enumerates kAllActions in order — wins. Policies
+/// are therefore stable across the two paths and across sweep orders.
 
 namespace meda::core {
+
+/// Tie-break window shared by every solver path: a choice must beat the
+/// incumbent by more than this to replace it, so exact ties (and sub-noise
+/// differences) resolve to the lowest action index in pmax and rmin alike.
+inline constexpr double kTieEps = 1e-15;
 
 /// Iteration controls.
 struct SolveConfig {
@@ -36,13 +56,51 @@ struct Solution {
   bool converged = false;
 };
 
-/// Maximum reach-avoid probability. Goal states have value 1, the hazard
-/// sink 0; other values are the least fixed point of the Bellman maximum.
+/// Both synthesis queries answered from one compiled model: the pmax pass
+/// doubles as the almost-sure winning-region computation rmin needs, so a
+/// combined solve runs exactly one pmax and one rmin.
+struct ReachAvoidSolution {
+  Solution pmax;
+  Solution rmin;
+};
+
+// Compiled fast path --------------------------------------------------------
+
+/// Maximum reach-avoid probability on the compiled form (Gauss-Seidel in
+/// goal-anchored sweep order). Goal states have value 1, the hazard sink 0.
+Solution solve_pmax(const CompiledMdp& mdp, const SolveConfig& config = {});
+
+/// Both queries from one compiled model: pmax once, then rmin restricted to
+/// the almost-sure winning region pmax just identified.
+ReachAvoidSolution solve_reach_avoid(const CompiledMdp& mdp,
+                                     const SolveConfig& config = {});
+
+/// Compiles @p mdp once and runs the combined solve on it.
+ReachAvoidSolution solve_reach_avoid(const RoutingMdp& mdp,
+                                     const SolveConfig& config = {});
+
+// RoutingMdp entry points (thin wrappers over the compiled path) ------------
+
+/// Maximum reach-avoid probability. Compiles the model and runs the fast
+/// path; values and the chosen policy match the legacy solver.
 Solution solve_pmax(const RoutingMdp& mdp, const SolveConfig& config = {});
 
 /// Minimum expected cycles to goal under the almost-sure-reachability
-/// restriction. States (and choices) that cannot keep the reach probability
-/// at 1 are excluded; excluded states get value +∞.
+/// restriction; excluded states get +∞. Compiles once and reuses the pmax
+/// winning region (one pmax pass total, not two).
 Solution solve_rmin(const RoutingMdp& mdp, const SolveConfig& config = {});
+
+// Legacy reference path -----------------------------------------------------
+
+/// Original state-index-order Jacobi/Gauss-Seidel pmax on the pointer-based
+/// representation. Reference implementation for equivalence tests and the
+/// compiled-vs-legacy microbenchmarks.
+Solution solve_pmax_legacy(const RoutingMdp& mdp,
+                           const SolveConfig& config = {});
+
+/// Original rmin (internally re-runs a full legacy pmax for the winning
+/// region — the double-solve the compiled path eliminates).
+Solution solve_rmin_legacy(const RoutingMdp& mdp,
+                           const SolveConfig& config = {});
 
 }  // namespace meda::core

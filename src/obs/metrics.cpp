@@ -29,13 +29,15 @@ void Histogram::observe(double value) {
 }
 
 void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) {
     it->second += delta;
@@ -45,7 +47,8 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
 }
 
 void MetricsRegistry::set(std::string_view name, double value) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -56,7 +59,8 @@ void MetricsRegistry::set(std::string_view name, double value) {
 
 void MetricsRegistry::observe(std::string_view name, double value,
                               std::span<const double> upper_bounds) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram(upper_bounds))
@@ -66,16 +70,19 @@ void MetricsRegistry::observe(std::string_view name, double value,
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second : 0.0;
 }
 
 const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? &it->second : nullptr;
 }
@@ -99,6 +106,7 @@ std::string fmt_value(double v) {
 }  // namespace
 
 std::string MetricsRegistry::snapshot_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, value] : counters_)
     os << name << ' ' << value << '\n';
@@ -116,6 +124,7 @@ std::string MetricsRegistry::snapshot_text() const {
 }
 
 std::string MetricsRegistry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;

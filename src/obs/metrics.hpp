@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,6 +21,12 @@
 ///
 /// Like the tracer, the registry is a null sink until enable() is called:
 /// record calls check one flag and return.
+///
+/// Thread safety: record and read calls are mutex-protected so campaign
+/// worker threads (util::ThreadPool) can share the process-global registry.
+/// Counters and histograms are commutative — their totals are identical at
+/// any job count — but gauges are last-write-wins, so a gauge set from
+/// concurrent workers keeps an arbitrary thread's value.
 
 namespace meda::obs {
 
@@ -56,9 +64,9 @@ inline constexpr double kSecondsBuckets[] = {
 /// Name-addressed registry of counters, gauges, and histograms.
 class MetricsRegistry {
  public:
-  bool enabled() const { return enabled_; }
-  void enable() { enabled_ = true; }
-  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   /// Drops every series (the enabled flag is unchanged).
   void clear();
@@ -74,8 +82,11 @@ class MetricsRegistry {
   std::uint64_t counter(std::string_view name) const;
   /// Gauge value, or 0.0 when the gauge does not exist.
   double gauge(std::string_view name) const;
+  /// Pointer into the registry (stable across later inserts); dereference
+  /// only while no other thread is recording.
   const Histogram* histogram(std::string_view name) const;
   bool empty() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
@@ -89,7 +100,8 @@ class MetricsRegistry {
   void write_snapshot(const std::string& path) const;  ///< JSON iff *.json
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

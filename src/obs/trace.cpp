@@ -39,29 +39,62 @@ std::uint64_t Tracer::now_us() const {
           .count());
 }
 
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  // Drop worker tid assignments too: pool threads are gone by the time a
+  // test resets the context, and their ids may be recycled.
+  thread_tids_.clear();
+  next_worker_tid_ = TraceTrack::kFirstWorkerTid;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int Tracer::thread_tid_locked() {
+  const std::thread::id self = std::this_thread::get_id();
+  if (self == main_thread_) return TraceTrack::kMainTid;
+  const auto it = thread_tids_.find(self);
+  if (it != thread_tids_.end()) return it->second;
+  const int tid = next_worker_tid_++;
+  thread_tids_.emplace(self, tid);
+  return tid;
+}
+
+void Tracer::push(TraceEvent e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
 void Tracer::begin(std::string_view cat, std::string_view name) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'B';
   e.ts = now_us();
   e.name = name;
   e.cat = cat;
+  const std::lock_guard<std::mutex> lock(mu_);
+  e.tid = thread_tid_locked();
   events_.push_back(std::move(e));
 }
 
 void Tracer::end(std::vector<std::pair<std::string, std::string>> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'E';
   e.ts = now_us();
   e.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mu_);
+  e.tid = thread_tid_locked();
   events_.push_back(std::move(e));
 }
 
 void Tracer::complete(std::string_view cat, std::string_view name,
                       std::uint64_t start_us, std::uint64_t dur_us, int tid,
                       std::vector<std::pair<std::string, std::string>> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'X';
   e.ts = start_us;
@@ -70,12 +103,12 @@ void Tracer::complete(std::string_view cat, std::string_view name,
   e.name = name;
   e.cat = cat;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::async_begin(std::string_view cat, std::string_view name,
                          std::uint64_t id) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'b';
   e.ts = now_us();
@@ -83,13 +116,13 @@ void Tracer::async_begin(std::string_view cat, std::string_view name,
   e.tid = TraceTrack::kJobTid;
   e.name = name;
   e.cat = cat;
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::async_end(std::string_view cat, std::string_view name,
                        std::uint64_t id,
                        std::vector<std::pair<std::string, std::string>> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'e';
   e.ts = now_us();
@@ -98,12 +131,12 @@ void Tracer::async_end(std::string_view cat, std::string_view name,
   e.name = name;
   e.cat = cat;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::instant(std::string_view cat, std::string_view name,
                      std::string_view detail) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'i';
   e.ts = now_us();
@@ -111,12 +144,12 @@ void Tracer::instant(std::string_view cat, std::string_view name,
   e.cat = cat;
   if (!detail.empty())
     e.args.emplace_back("detail", json_quote(detail));
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::cycle_counter(std::string_view name, double value,
                            std::uint64_t cycle) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'C';
   e.ts = cycle;
@@ -127,11 +160,11 @@ void Tracer::cycle_counter(std::string_view name, double value,
   std::ostringstream v;
   v << value;
   e.args.emplace_back("value", v.str());
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::cycle_instant(std::string_view name, std::uint64_t cycle) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.ph = 'i';
   e.ts = cycle;
@@ -139,7 +172,7 @@ void Tracer::cycle_instant(std::string_view name, std::uint64_t cycle) {
   e.tid = TraceTrack::kMainTid;
   e.name = name;
   e.cat = "cycle";
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 namespace {
@@ -164,6 +197,7 @@ void emit_metadata(std::ostringstream& os, int pid, int tid,
 }  // namespace
 
 std::string Tracer::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   // Track naming metadata so Perfetto labels the two time domains.
@@ -174,6 +208,13 @@ std::string Tracer::to_json() const {
                 "thread_name", "scheduler");
   emit_metadata(os, TraceTrack::kWallPid, TraceTrack::kJobTid, "thread_name",
                 "routing jobs");
+  // Label every pool worker that recorded spans (campaign --jobs > 1).
+  for (int tid = TraceTrack::kFirstWorkerTid; tid < next_worker_tid_; ++tid) {
+    const std::string label =
+        "worker-" + std::to_string(tid - TraceTrack::kFirstWorkerTid + 1);
+    emit_metadata(os, TraceTrack::kWallPid, tid, "thread_name",
+                  label.c_str());
+  }
   os << ",\n{\"ph\":\"M\",\"pid\":" << TraceTrack::kCyclePid
      << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
      << json_quote("per-cycle telemetry (ts = operational cycle)") << "}}";

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +31,18 @@
 /// or https://ui.perfetto.dev. The tracer is a null sink until enable() is
 /// called: every record call first checks one flag and returns, so an
 /// instrumented hot path costs a predicted branch when tracing is off.
+///
+/// Thread safety: record calls may come from campaign worker threads
+/// (util::ThreadPool), so the event buffer is mutex-protected and each
+/// recording thread gets its own tid — the construction thread is the
+/// scheduler track (kMainTid), workers are assigned kFirstWorkerTid,
+/// kFirstWorkerTid+1, … on first use and labelled "worker-N" in the export.
+/// Duration spans therefore nest correctly per thread; events from
+/// different threads interleave in wall-clock order, which is
+/// nondeterministic — run with jobs = 1 when a reproducible trace matters
+/// (metrics and campaign results stay deterministic either way).
+/// enable()/disable()/clear() and the accessors are meant for the quiet
+/// phases before and after a parallel section.
 
 namespace meda::obs {
 
@@ -80,19 +96,21 @@ struct TraceTrack {
   static constexpr int kCyclePid = 2;   ///< cycle domain (ts = op. cycle)
   static constexpr int kMainTid = 1;    ///< nested scheduler/synthesis spans
   static constexpr int kJobTid = 2;     ///< async per-job lifetime spans
+  static constexpr int kFirstWorkerTid = 3;  ///< pool workers count up from here
 };
 
 /// Event recorder. All record methods are no-ops until enable().
 class Tracer {
  public:
-  bool enabled() const { return enabled_; }
-  void enable() { enabled_ = true; }
-  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   /// Drops every recorded event (the enabled flag is unchanged).
-  void clear() { events_.clear(); }
+  void clear();
 
-  std::size_t event_count() const { return events_.size(); }
+  std::size_t event_count() const;
+  /// Direct buffer access; only valid while no other thread records.
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Microseconds since the tracer's epoch (process start of the tracer).
@@ -125,9 +143,19 @@ class Tracer {
   void write_json(const std::string& path) const;
 
  private:
-  bool enabled_ = false;
+  /// The calling thread's track id under mu_: the construction thread maps
+  /// to TraceTrack::kMainTid, every other thread gets the next worker tid
+  /// on first use.
+  int thread_tid_locked();
+  void push(TraceEvent e);
+
+  std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  std::thread::id main_thread_ = std::this_thread::get_id();
+  std::map<std::thread::id, int> thread_tids_;  ///< assigned worker tids
+  int next_worker_tid_ = TraceTrack::kFirstWorkerTid;
   std::vector<TraceEvent> events_;
 };
 

@@ -9,8 +9,18 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meda::sim {
+
+// Both campaigns share the same parallel structure: the (cell, chip) grid
+// is flattened into independent tasks, each task derives everything random
+// from the chip index alone (seed0 + chip_idx) and writes into its own
+// preallocated slot, and the slots are reduced serially in the original
+// grid order afterwards. Because no floating-point accumulation happens
+// concurrently and no seed depends on execution order, the cells — and any
+// CSV written from them — are byte-identical at every job count, including
+// the serial jobs = 1 path.
 
 std::vector<CampaignCell> run_campaign(
     const std::vector<assay::MoList>& assays,
@@ -19,33 +29,48 @@ std::vector<CampaignCell> run_campaign(
                "campaign needs at least one assay and one router");
   MEDA_REQUIRE(config.chips >= 1 && config.runs_per_chip >= 1,
                "campaign needs positive chip/run counts");
-  std::vector<CampaignCell> cells;
-  for (const assay::MoList& assay_list : assays) {
-    for (const RouterConfig& router : routers) {
-      CampaignCell cell;
-      cell.assay = assay_list.name;
-      cell.router = router.name;
-      MEDA_OBS_SPAN(cell_span, "campaign", "cell");
-      for (int chip_idx = 0; chip_idx < config.chips; ++chip_idx) {
-        RepeatedRunsConfig runs_config;
-        runs_config.chip = config.chip;
-        runs_config.scheduler = router.scheduler;
-        runs_config.runs = config.runs_per_chip;
-        runs_config.seed =
-            config.seed0 + static_cast<std::uint64_t>(chip_idx);
-        for (const RunRecord& record :
-             run_repeated(assay_list, runs_config)) {
-          cell.rollup.absorb(record.stats);
-          cell.resyntheses.add(record.stats.resyntheses);
-        }
-      }
-      cell_span.arg("assay", cell.assay);
-      cell_span.arg("router", cell.router);
-      cell_span.arg("runs", static_cast<std::int64_t>(cell.rollup.runs));
-      cell_span.arg("successes",
-                    static_cast<std::int64_t>(cell.rollup.successes));
-      cells.push_back(std::move(cell));
+  std::vector<CampaignCell> cells(assays.size() * routers.size());
+  for (std::size_t a = 0; a < assays.size(); ++a) {
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      CampaignCell& cell = cells[a * routers.size() + r];
+      cell.assay = assays[a].name;
+      cell.router = routers[r].name;
     }
+  }
+
+  const std::size_t chips = static_cast<std::size_t>(config.chips);
+  std::vector<std::vector<RunRecord>> slots(cells.size() * chips);
+  util::parallel_for(config.jobs, slots.size(), [&](std::size_t t) {
+    const std::size_t cell_idx = t / chips;
+    const int chip_idx = static_cast<int>(t % chips);
+    const assay::MoList& assay_list = assays[cell_idx / routers.size()];
+    const RouterConfig& router = routers[cell_idx % routers.size()];
+    MEDA_OBS_SPAN(chip_span, "campaign", "chip");
+    chip_span.arg("assay", assay_list.name);
+    chip_span.arg("router", router.name);
+    chip_span.arg("chip", static_cast<std::int64_t>(chip_idx));
+    RepeatedRunsConfig runs_config;
+    runs_config.chip = config.chip;
+    runs_config.scheduler = router.scheduler;
+    runs_config.runs = config.runs_per_chip;
+    runs_config.seed = config.seed0 + static_cast<std::uint64_t>(chip_idx);
+    slots[t] = run_repeated(assay_list, runs_config);
+  });
+
+  for (std::size_t cell_idx = 0; cell_idx < cells.size(); ++cell_idx) {
+    CampaignCell& cell = cells[cell_idx];
+    MEDA_OBS_SPAN(cell_span, "campaign", "cell");
+    for (std::size_t chip_idx = 0; chip_idx < chips; ++chip_idx) {
+      for (const RunRecord& record : slots[cell_idx * chips + chip_idx]) {
+        cell.rollup.absorb(record.stats);
+        cell.resyntheses.add(record.stats.resyntheses);
+      }
+    }
+    cell_span.arg("assay", cell.assay);
+    cell_span.arg("router", cell.router);
+    cell_span.arg("runs", static_cast<std::int64_t>(cell.rollup.runs));
+    cell_span.arg("successes",
+                  static_cast<std::int64_t>(cell.rollup.successes));
   }
   return cells;
 }
@@ -86,6 +111,14 @@ std::unique_ptr<DegradationAdversary> make_adversary(
   return nullptr;
 }
 
+/// One (cell, chip) task's output: per-run stats in execution order plus
+/// the chip's sensing-channel tallies.
+struct ChaosChipSlot {
+  std::vector<core::ExecutionStats> stats;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
 }  // namespace
 
 std::vector<ChaosCell> run_chaos_campaign(
@@ -96,48 +129,69 @@ std::vector<ChaosCell> run_chaos_campaign(
                "chaos campaign needs an assay, a router, and a level");
   MEDA_REQUIRE(config.chips >= 1 && config.runs_per_chip >= 1,
                "chaos campaign needs positive chip/run counts");
-  std::vector<ChaosCell> cells;
-  for (const assay::MoList& assay_list : assays) {
-    for (const ChaosLevel& level : config.levels) {
-      for (const RouterConfig& router : routers) {
-        ChaosCell cell;
-        cell.assay = assay_list.name;
-        cell.router = router.name;
-        cell.level = level.name;
-        cell.sensor = level.sensor;
-        for (int chip_idx = 0; chip_idx < config.chips; ++chip_idx) {
-          // The substrate seed depends only on chip_idx: the same chip (same
-          // degradation constants, same injected faults) underlies every
-          // level and router — only the sensing channel differs.
-          Rng rng(config.seed0 + static_cast<std::uint64_t>(chip_idx));
-          SimulatedChipConfig chip_config = config.chip;
-          chip_config.sensor = level.sensor;
-          SimulatedChip chip(chip_config, rng.fork(0xC41));
-          chip.set_adversary(
-              make_adversary(config.adversary, config.adversary_budget));
-          core::StrategyLibrary library;
-          core::Scheduler scheduler(router.scheduler, &library);
-          for (int run = 0; run < config.runs_per_chip; ++run) {
-            MEDA_OBS_SPAN(trial_span, "campaign", "trial");
-            chip.clear_droplets();
-            const core::ExecutionStats stats =
-                scheduler.run(chip, assay_list);
-            cell.rollup.absorb(stats);
-            trial_span.arg("assay", cell.assay);
-            trial_span.arg("router", cell.router);
-            trial_span.arg("level", cell.level);
-            trial_span.arg("chip", static_cast<std::int64_t>(chip_idx));
-            trial_span.arg("run", static_cast<std::int64_t>(run));
-            trial_span.arg("success",
-                           static_cast<std::int64_t>(stats.success ? 1 : 0));
-            trial_span.arg("cycles",
-                           static_cast<std::int64_t>(stats.cycles));
-          }
-          cell.frames_dropped += chip.sensor_channel().frames_dropped();
-          cell.bits_flipped += chip.sensor_channel().bits_flipped();
-        }
-        cells.push_back(std::move(cell));
+  const std::size_t n_routers = routers.size();
+  const std::size_t n_levels = config.levels.size();
+  std::vector<ChaosCell> cells(assays.size() * n_levels * n_routers);
+  for (std::size_t a = 0; a < assays.size(); ++a) {
+    for (std::size_t l = 0; l < n_levels; ++l) {
+      for (std::size_t r = 0; r < n_routers; ++r) {
+        ChaosCell& cell = cells[(a * n_levels + l) * n_routers + r];
+        cell.assay = assays[a].name;
+        cell.router = routers[r].name;
+        cell.level = config.levels[l].name;
+        cell.sensor = config.levels[l].sensor;
       }
+    }
+  }
+
+  const std::size_t chips = static_cast<std::size_t>(config.chips);
+  std::vector<ChaosChipSlot> slots(cells.size() * chips);
+  util::parallel_for(config.jobs, slots.size(), [&](std::size_t t) {
+    const std::size_t cell_idx = t / chips;
+    const int chip_idx = static_cast<int>(t % chips);
+    const ChaosCell& cell = cells[cell_idx];
+    const assay::MoList& assay_list =
+        assays[cell_idx / (n_levels * n_routers)];
+    const RouterConfig& router = routers[cell_idx % n_routers];
+    // The substrate seed depends only on chip_idx: the same chip (same
+    // degradation constants, same injected faults) underlies every
+    // level and router — only the sensing channel differs.
+    Rng rng(config.seed0 + static_cast<std::uint64_t>(chip_idx));
+    SimulatedChipConfig chip_config = config.chip;
+    chip_config.sensor = cell.sensor;
+    SimulatedChip chip(chip_config, rng.fork(0xC41));
+    chip.set_adversary(
+        make_adversary(config.adversary, config.adversary_budget));
+    core::StrategyLibrary library;
+    core::Scheduler scheduler(router.scheduler, &library);
+    ChaosChipSlot& slot = slots[t];
+    slot.stats.reserve(static_cast<std::size_t>(config.runs_per_chip));
+    for (int run = 0; run < config.runs_per_chip; ++run) {
+      MEDA_OBS_SPAN(trial_span, "campaign", "trial");
+      chip.clear_droplets();
+      const core::ExecutionStats stats = scheduler.run(chip, assay_list);
+      trial_span.arg("assay", cell.assay);
+      trial_span.arg("router", cell.router);
+      trial_span.arg("level", cell.level);
+      trial_span.arg("chip", static_cast<std::int64_t>(chip_idx));
+      trial_span.arg("run", static_cast<std::int64_t>(run));
+      trial_span.arg("success",
+                     static_cast<std::int64_t>(stats.success ? 1 : 0));
+      trial_span.arg("cycles", static_cast<std::int64_t>(stats.cycles));
+      slot.stats.push_back(stats);
+    }
+    slot.frames_dropped = chip.sensor_channel().frames_dropped();
+    slot.bits_flipped = chip.sensor_channel().bits_flipped();
+  });
+
+  for (std::size_t cell_idx = 0; cell_idx < cells.size(); ++cell_idx) {
+    ChaosCell& cell = cells[cell_idx];
+    for (std::size_t chip_idx = 0; chip_idx < chips; ++chip_idx) {
+      const ChaosChipSlot& slot = slots[cell_idx * chips + chip_idx];
+      for (const core::ExecutionStats& stats : slot.stats)
+        cell.rollup.absorb(stats);
+      cell.frames_dropped += slot.frames_dropped;
+      cell.bits_flipped += slot.bits_flipped;
     }
   }
   return cells;

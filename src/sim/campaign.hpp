@@ -31,6 +31,11 @@ struct CampaignConfig {
   int chips = 5;           ///< chip instances per (assay, router) cell
   int runs_per_chip = 10;  ///< repeated executions per chip (reuse)
   std::uint64_t seed0 = 1; ///< chip i uses seed0 + i (identical across routers)
+  /// Worker threads for the (cell, chip) grid; <= 0 means one per hardware
+  /// thread. Every chip's seed depends only on its index, and results are
+  /// reduced serially in grid order, so the output is identical at any
+  /// job count (see docs/performance.md).
+  int jobs = 1;
 };
 
 /// Aggregated results of one (assay, router) cell. All execution outcomes
@@ -82,6 +87,11 @@ struct ChaosCampaignConfig {
   int runs_per_chip = 5;    ///< repeated executions per chip (reuse)
   std::uint64_t seed0 = 1;  ///< chip i uses seed0 + i (paired across
                             ///< routers and levels: same substrate)
+  /// Worker threads for the (cell, chip) grid; <= 0 means one per hardware
+  /// thread. Per-chip seeding is index-derived and reduction is serial in
+  /// grid order, so cells (and the CSV) are byte-identical at any job
+  /// count (see docs/performance.md).
+  int jobs = 1;
 };
 
 /// Aggregated results of one (assay, level, router) cell.

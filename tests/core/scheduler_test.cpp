@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "assay/benchmarks.hpp"
+#include "core/library.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulated_chip.hpp"
 #include "util/check.hpp"
 
@@ -341,6 +343,43 @@ TEST(Scheduler, RejectsAssayThatDoesNotFitTheChip) {
   sim::SimulatedChip chip(small, Rng(5));
   Scheduler scheduler(SchedulerConfig{});
   EXPECT_THROW(scheduler.run(chip, assay::master_mix()), PreconditionError);
+}
+
+TEST(Scheduler, ContentionDetoursGoThroughTheStrategyLibrary) {
+  // Droplet-avoiding re-syntheses are cached under a position-keyed digest
+  // (the masked health view folds the avoid-rectangles into the key), so
+  // every detour request must resolve to exactly one library lookup: a hit
+  // or a miss, never a bypass. This end-of-life clustered-fault scenario
+  // (seed 5) deterministically produces contention detours.
+#ifdef MEDA_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (MEDA_OBS=OFF)";
+#endif
+  obs::ctx().reset();
+  obs::ctx().metrics().enable();
+  sim::SimulatedChipConfig cc = chip_config();
+  cc.chip.degradation = DegradationRange{0.5, 0.9, 40.0, 100.0};
+  cc.pre_wear_max = 250;
+  cc.faults.mode = FaultMode::kClustered;
+  cc.faults.faulty_fraction = 0.08;
+  cc.faults.fail_at_lo = 10;
+  cc.faults.fail_at_hi = 100;
+  sim::SimulatedChip chip(cc, Rng(5));
+  SchedulerConfig config;
+  config.adaptive = true;
+  config.max_cycles = 2500;
+  config.filter.enabled = true;
+  config.recovery.enabled = true;
+  config.recovery.stuck_cycles = 12;
+  config.recovery.quarantine_after_watchdogs = 3;
+  StrategyLibrary library;
+  Scheduler scheduler(config, &library);
+  const ExecutionStats stats = scheduler.run(chip, assay::cep());
+  ASSERT_GE(stats.recovery.contention_detours, 1);
+  const obs::MetricsRegistry& m = obs::ctx().metrics();
+  EXPECT_EQ(m.counter("sched.detour_library_hits") +
+                m.counter("sched.detour_library_misses"),
+            static_cast<std::uint64_t>(stats.recovery.contention_detours));
+  obs::ctx().reset();
 }
 
 }  // namespace

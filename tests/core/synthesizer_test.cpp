@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "model/outcomes.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace meda::core {
@@ -258,6 +259,30 @@ TEST(Synthesizer, RejectsWrongSizedHealthMatrix) {
   const Synthesizer synth(Rect{0, 0, 29, 29});
   EXPECT_THROW(synth.synthesize(straight_east(8), IntMatrix(10, 10, 3), 2),
                PreconditionError);
+}
+
+TEST(Synthesizer, OneCompileOnePmaxOneRminPerSynthesis) {
+  // Regression pin for the double-solve fix: the legacy Rmin query ran a
+  // full pmax inside solve_rmin on top of its own pmax pass (two pmax
+  // solves per synthesis). The combined solve_reach_avoid compiles once and
+  // answers both queries from it.
+#ifdef MEDA_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (MEDA_OBS=OFF)";
+#endif
+  obs::ctx().reset();
+  obs::ctx().metrics().enable();
+  const Synthesizer synth(Rect{0, 0, 29, 29}, no_morph_config());
+  const SynthesisResult r = synth.synthesize_with_force(
+      straight_east(8), full_health_force(30, 30));
+  EXPECT_TRUE(r.feasible);
+  const obs::MetricsRegistry& m = obs::ctx().metrics();
+  EXPECT_EQ(m.counter("vi.compile.calls"), 1u);
+  EXPECT_EQ(m.counter("vi.pmax.solves"), 1u);
+  EXPECT_EQ(m.counter("vi.rmin.solves"), 1u);
+  // The legacy reference path must stay out of the production pipeline.
+  EXPECT_EQ(m.counter("vi.pmax_legacy.solves"), 0u);
+  EXPECT_EQ(m.counter("vi.rmin_legacy.solves"), 0u);
+  obs::ctx().reset();
 }
 
 }  // namespace

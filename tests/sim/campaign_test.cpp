@@ -161,6 +161,53 @@ TEST(ChaosCampaign, PrintsRecoveryColumns) {
   EXPECT_NE(text.find("p=0.02"), std::string::npos);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ChaosCampaign, CsvIsByteIdenticalAtAnyJobCount) {
+  // The parallel path derives every seed from the chip index and reduces
+  // serially in grid order, so the CSV must match the serial one byte for
+  // byte — the determinism contract of docs/performance.md.
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  ChaosCampaignConfig serial = small_chaos();
+  serial.jobs = 1;
+  ChaosCampaignConfig parallel = small_chaos();
+  parallel.jobs = 8;
+  const std::string serial_path =
+      ::testing::TempDir() + "chaos_jobs1.csv";
+  const std::string parallel_path =
+      ::testing::TempDir() + "chaos_jobs8.csv";
+  write_chaos_csv(serial_path,
+                  run_chaos_campaign(assays, robust_router(), serial));
+  write_chaos_csv(parallel_path,
+                  run_chaos_campaign(assays, robust_router(), parallel));
+  const std::string serial_csv = read_file(serial_path);
+  ASSERT_FALSE(serial_csv.empty());
+  EXPECT_EQ(serial_csv, read_file(parallel_path));
+}
+
+TEST(Campaign, ParallelCellsMatchTheSerialPath) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  CampaignConfig parallel = small_campaign();
+  parallel.jobs = 4;
+  const auto serial = run_campaign(assays, two_routers(), small_campaign());
+  const auto cells = run_campaign(assays, two_routers(), parallel);
+  ASSERT_EQ(cells.size(), serial.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].assay, serial[i].assay);
+    EXPECT_EQ(cells[i].router, serial[i].router);
+    EXPECT_EQ(cells[i].rollup.runs, serial[i].rollup.runs);
+    EXPECT_EQ(cells[i].rollup.successes, serial[i].rollup.successes);
+    // Bit-identical accumulation, not merely statistically equal.
+    EXPECT_EQ(cells[i].rollup.cycles.mean(), serial[i].rollup.cycles.mean());
+    EXPECT_EQ(cells[i].resyntheses.mean(), serial[i].resyntheses.mean());
+  }
+}
+
 TEST(ChaosCampaign, RejectsEmptyLevels) {
   ChaosCampaignConfig config = small_chaos();
   config.levels.clear();
