@@ -14,22 +14,34 @@
 // infeasible plans from phantom-dead cells) while the robust router's curve
 // degrades gracefully.
 
-// Pass `--jobs N` to spread the (cell, chip) grid over N worker threads
-// (0 = all hardware threads); the table and CSV are byte-identical at any
-// job count.
+// Flags:
+//   --jobs N           spread the (cell, chip) grid over N worker threads
+//                      (0 = all hardware threads); table and CSV are
+//                      byte-identical at any job count.
+//   --full             add a NuIP assay row next to CEP (slower).
+//   --smoke            tiny grid (1 chip x 1 run, 2 levels) for CI.
+//   --metrics          also write chaos_campaign_metrics.csv (per-cell
+//                      roll-up, one name-sorted column per metric).
+//   --checkpoint PATH  persist completed (cell, chip) slots to PATH.
+//   --resume           reload compatible completed slots from PATH.
 
 #include <iostream>
 
 #include "assay/benchmarks.hpp"
 #include "sim/campaign.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace meda;
 
 int main(int argc, char** argv) {
+  const bool full = util::has_flag(argc, argv, "--full");
+  const bool smoke = util::has_flag(argc, argv, "--smoke");
   sim::ChaosCampaignConfig config;
   config.jobs = util::parse_jobs_flag(argc, argv);
+  config.checkpoint.path = util::flag_value(argc, argv, "--checkpoint", "");
+  config.checkpoint.resume = util::has_flag(argc, argv, "--resume");
   config.chip.chip.width = assay::kChipWidth;
   config.chip.chip.height = assay::kChipHeight;
   // End-of-life chips: fast degradation, heavy pre-wear, a dense clustered
@@ -42,14 +54,16 @@ int main(int argc, char** argv) {
   config.chip.faults.faulty_fraction = 0.08;
   config.chip.faults.fail_at_lo = 10;
   config.chip.faults.fail_at_hi = 100;
-  config.chips = 3;
-  config.runs_per_chip = 4;
+  config.chips = smoke ? 1 : 3;
+  config.runs_per_chip = smoke ? 1 : 4;
   config.seed0 = 4200;
 
   // The noise axis now reaches deep into the failure regime: at the top
   // levels 5% of the scan chain's DFFs are stuck and a fifth of all health
   // frames never arrive, so the controller flies mostly blind.
-  for (const double p : {0.0, 0.01, 0.02, 0.05, 0.1}) {
+  for (const double p : smoke ? std::vector<double>{0.0, 0.05}
+                              : std::vector<double>{0.0, 0.01, 0.02, 0.05,
+                                                    0.1}) {
     sim::ChaosLevel level;
     level.name = "p=" + fmt_double(p, 3);
     level.sensor.bit_flip_p = p;
@@ -57,6 +71,10 @@ int main(int argc, char** argv) {
     level.sensor.frame_drop_p = p >= 0.05 ? 0.2 : (p > 0.0 ? 0.02 : 0.0);
     config.levels.push_back(level);
   }
+  // Grid-shape flags feed the checkpoint digest via the salt so a smoke
+  // checkpoint can never be resumed into a full campaign (or vice versa).
+  config.checkpoint.salt =
+      (full ? 1ull : 0ull) | (smoke ? 2ull : 0ull);
 
   // Longer assays than the smoke-test default: on a collapsing chip the
   // extra routing distance is exactly what exposes the late-life failures.
@@ -70,22 +88,28 @@ int main(int argc, char** argv) {
   robust.scheduler.filter.enabled = true;
   robust.scheduler.recovery.enabled = true;
   // End-of-life cells succeed with low probability rather than failing
-  // outright, so droplets crawl: give the watchdog more patience before it
-  // reads slow progress as a stall and starts quarantining live cells.
-  robust.scheduler.recovery.stuck_cycles = 24;
+  // outright, so droplets crawl. The progress-rate watchdog (EWMA of
+  // Manhattan progress per cycle, on by default) gives them that patience
+  // adaptively — no hand-tuned stuck_cycles override needed.
   robust.scheduler.recovery.quarantine_after_watchdogs = 3;
 
-  std::cout << "=== Chaos campaign — success vs sensor noise ===\n(CEP, "
-            << config.chips << " end-of-life faulty chips x "
-            << config.runs_per_chip
+  std::cout << "=== Chaos campaign — success vs sensor noise ===\n("
+            << (full ? "CEP + NuIP" : "CEP") << ", " << config.chips
+            << " end-of-life faulty chips x " << config.runs_per_chip
             << " runs; stuck DFFs + frame drops at every p > 0,\n"
                " 5% stuck / 20% dropped frames at the harshest levels)\n\n";
-  const std::vector<sim::ChaosCell> cells = sim::run_chaos_campaign(
-      {assay::cep()}, {adaptive, robust}, config);
+  std::vector<assay::MoList> assays{assay::cep()};
+  if (full) assays.push_back(assay::nuip());
+  const std::vector<sim::ChaosCell> cells =
+      sim::run_chaos_campaign(assays, {adaptive, robust}, config);
   sim::print_chaos_campaign(std::cout, cells);
   sim::write_chaos_csv("chaos_campaign.csv", cells);
-  std::cout << "\n(Series also written to chaos_campaign.csv.)\n"
-               "Expected: the routers tie on a clean channel; the robust\n"
+  std::cout << "\n(Series also written to chaos_campaign.csv.)\n";
+  if (util::has_flag(argc, argv, "--metrics")) {
+    sim::write_chaos_metrics_csv("chaos_campaign_metrics.csv", cells);
+    std::cout << "(Per-cell metrics written to chaos_campaign_metrics.csv.)\n";
+  }
+  std::cout << "Expected: the routers tie on a clean channel; the robust\n"
                "router leads through the mid-noise band (the filter absorbs\n"
                "phantom health changes the raw router chases), and both\n"
                "curves collapse at the harshest level — with the chip this\n"

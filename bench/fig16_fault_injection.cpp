@@ -13,12 +13,16 @@
 // threads (0 = all hardware threads); trial seeds are index-derived and the
 // per-trial results are folded in trial order, so the table and CSV are
 // byte-identical at any job count.
+// `--checkpoint PATH` persists completed trials; `--resume` reloads them.
 
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "assay/benchmarks.hpp"
 #include "sim/experiments.hpp"
+#include "util/checkpoint.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -39,10 +43,33 @@ struct Summary {
   double mean_first_failure = 0.0;  // executions before the first failure
 };
 
+std::string encode_trial(const sim::TrialResult& r) {
+  std::ostringstream os;
+  os << r.total_cycles << ' ' << r.successes << ' ' << r.executions << ' '
+     << r.first_failure_execution << ' ' << (r.aborted ? 1 : 0);
+  return os.str();
+}
+
+bool decode_trial(const std::string& payload, sim::TrialResult& out) {
+  std::istringstream is(payload);
+  sim::TrialResult r;
+  int aborted = 0;
+  if (!(is >> r.total_cycles >> r.successes >> r.executions >>
+        r.first_failure_execution >> aborted))
+    return false;
+  r.aborted = aborted != 0;
+  out = r;
+  return true;
+}
+
 Summary run_config(const assay::MoList& assay_list, bool adaptive,
-                   FaultMode mode, int jobs) {
+                   FaultMode mode, int jobs,
+                   util::SlotCheckpoint& checkpoint, std::size_t slot_base) {
   std::vector<sim::TrialResult> results(kTrials);
   util::parallel_for(jobs, results.size(), [&](std::size_t t) {
+    const std::size_t slot = slot_base + t;
+    if (const std::string* payload = checkpoint.restored(slot))
+      if (decode_trial(*payload, results[t])) return;
     sim::TrialConfig config;
     config.chip.chip.width = assay::kChipWidth;
     config.chip.chip.height = assay::kChipHeight;
@@ -60,6 +87,7 @@ Summary run_config(const assay::MoList& assay_list, bool adaptive,
     config.kmax_total = kBudget;
     config.seed = 7000 + static_cast<std::uint64_t>(t);  // same chips/faults
     results[t] = sim::run_trial(assay_list, config);
+    if (checkpoint.active()) checkpoint.record(slot, encode_trial(results[t]));
   });
   stats::RunningStats cycles, successes, first_failure;
   int aborted = 0;
@@ -86,15 +114,33 @@ int main(int argc, char** argv) {
                 {"fault_mode", "assay", "router", "mean_cycles", "sd_cycles",
                  "mean_successes", "aborted_trials",
                  "mean_execs_before_first_failure"});
+  // Global slot grid: (mode, assay, router) configurations in iteration
+  // order, kTrials slots each.
+  const std::vector<assay::MoList> suite = assay::evaluation_suite();
+  util::SlotCheckpoint checkpoint;
+  const std::string checkpoint_path =
+      util::flag_value(argc, argv, "--checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    util::DigestBuilder digest;
+    digest.mix(std::string("fig16-v1"));
+    digest.mix(kTrials).mix(static_cast<std::uint64_t>(kBudget)).mix(7000);
+    for (const assay::MoList& assay_list : suite) digest.mix(assay_list.name);
+    checkpoint.open(checkpoint_path, digest.value(),
+                    util::has_flag(argc, argv, "--resume"),
+                    2 * suite.size() * 2 * kTrials);
+  }
+  std::size_t slot_base = 0;
   for (const FaultMode mode :
        {FaultMode::kUniform, FaultMode::kClustered}) {
     std::cout << (mode == FaultMode::kUniform ? "Uniform" : "Clustered")
               << " fault injection:\n";
     Table table({"bioassay", "router", "mean cycles", "SD", "mean successes",
                  "aborted trials", "mean execs before 1st failure"});
-    for (const assay::MoList& assay_list : assay::evaluation_suite()) {
+    for (const assay::MoList& assay_list : suite) {
       for (const bool adaptive : {false, true}) {
-        const Summary s = run_config(assay_list, adaptive, mode, jobs);
+        const Summary s = run_config(assay_list, adaptive, mode, jobs,
+                                     checkpoint, slot_base);
+        slot_base += kTrials;
         table.add_row({assay_list.name, adaptive ? "adaptive" : "baseline",
                        fmt_double(s.mean_cycles, 1),
                        fmt_double(s.sd_cycles, 1),
@@ -113,6 +159,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << '\n';
   }
+  checkpoint.flush();
   std::cout << "Expected: adaptive rows complete the five executions in\n"
                "fewer cycles with smaller SD; baseline aborts dominate under\n"
                "clustered faults.\n";

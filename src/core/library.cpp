@@ -17,6 +17,10 @@ std::uint64_t health_digest(const IntMatrix& health, const Rect& area) {
   return h;
 }
 
+std::uint64_t detour_digest(const IntMatrix& masked_health, const Rect& area) {
+  return health_digest(masked_health, area) ^ kDetourDigestSalt;
+}
+
 std::size_t StrategyLibrary::KeyHash::operator()(const Key& k) const noexcept {
   std::size_t h = std::hash<Rect>{}(k.start);
   auto mixin = [&h](std::size_t v) {

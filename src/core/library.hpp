@@ -22,6 +22,19 @@ namespace meda::core {
 /// routing job's synthesized strategy.
 std::uint64_t health_digest(const IntMatrix& health, const Rect& area);
 
+/// Salt separating detour-digest keys from plain health-digest keys in the
+/// same library. Contention detours synthesize against a droplet-masked
+/// health view; without the salt, a plain health matrix that happens to
+/// equal some masked view would collide with the detour entry and the two
+/// key families could serve each other's strategies.
+inline constexpr std::uint64_t kDetourDigestSalt = 0xDE70C2C41E5ull;
+
+/// Library key for a contention-detour entry: the digest of the
+/// droplet-*masked* health view (folding the obstacle rectangles into the
+/// key position by position) xor kDetourDigestSalt. See
+/// Runner::ensure_strategy for the caching rationale.
+std::uint64_t detour_digest(const IntMatrix& masked_health, const Rect& area);
+
 /// Cache of synthesized strategies keyed by (δ_s, δ_g, δ_h, health digest).
 class StrategyLibrary {
  public:

@@ -35,6 +35,10 @@ enum class RecoveryAction : unsigned char {
   kContentionDetour,   ///< droplet-blocked stall: re-route around the
                        ///< blocker instead of quarantining healthy cells
   kJobAbort,           ///< one MO aborted gracefully
+  kSynthesisDeadline,  ///< synthesis blew its deadline: fallback route
+                       ///< installed, full re-synthesis backed off
+  kQuarantineParole,   ///< budget pressure: oldest quarantined cells that
+                       ///< re-sensed alive were released back to the router
 };
 
 std::string_view to_string(RecoveryAction action);
@@ -86,6 +90,34 @@ struct RecoveryConfig {
   /// below min_routable_fraction (the chip is effectively unroutable).
   int routability_probe_jobs = 0;
   double min_routable_fraction = 0.25;
+  /// Progress-rate watchdog (the default): instead of "exactly stuck_cycles
+  /// commanded cycles at the same position", track an EWMA of Manhattan
+  /// progress toward the goal frontier per commanded cycle and fire when it
+  /// decays below min_progress_rate. End-of-life chips where pulls land
+  /// every few cycles keep a healthy rate and are left to crawl; true
+  /// stalls decay to zero and still fire. `false` restores the fixed
+  /// stuck_cycles counter (the equivalence-test behavior).
+  bool progress_watchdog = true;
+  /// EWMA smoothing factor α for the progress rate (weight of the newest
+  /// cycle's progress). With the defaults a pure stall entered from a full
+  /// rate fires in ~50 cycles and from an end-of-life crawl (~0.3
+  /// cells/cycle) in ~39 — deliberately more patient than the legacy
+  /// stuck_cycles=12, because a premature firing escalates toward
+  /// quarantining cells that were merely slow.
+  double progress_alpha = 0.10;
+  /// Watchdog threshold on the smoothed progress rate (cells/cycle).
+  double min_progress_rate = 0.005;
+  /// Deadline-expired synthesis degrades to the bounded fallback router
+  /// instead of the infeasible-synthesis retry ladder.
+  bool fallback_on_deadline = true;
+  /// Expansion budget handed to the fallback router.
+  int fallback_max_expansions = 20000;
+  /// While a fallback route is active, full re-synthesis is retried only
+  /// after an exponential backoff on health changes: attempt i waits
+  /// fallback_backoff_base_cycles << (i-1) cycles (capped below) after the
+  /// deadline expiry before the next full attempt.
+  int fallback_backoff_base_cycles = 16;
+  int fallback_backoff_max_cycles = 256;
 };
 
 /// Aggregated ladder counters for one execution.
@@ -97,12 +129,16 @@ struct RecoveryCounters {
   int quarantined_cells = 0;
   int contention_detours = 0;
   int aborted_jobs = 0;
+  int synthesis_deadlines = 0;  ///< deadline-expired synthesis calls
+  int fallback_routes = 0;      ///< fallback routes installed
+  int paroled_cells = 0;        ///< quarantined cells released on re-sense
 
   bool any() const {
     return watchdog_fires > 0 || forced_resenses > 0 ||
            synthesis_retries > 0 || backoff_cycles > 0 ||
            quarantined_cells > 0 || contention_detours > 0 ||
-           aborted_jobs > 0;
+           aborted_jobs > 0 || synthesis_deadlines > 0 ||
+           fallback_routes > 0 || paroled_cells > 0;
   }
 
   /// Sums @p other into this (campaign roll-ups).
@@ -114,6 +150,9 @@ struct RecoveryCounters {
     quarantined_cells += other.quarantined_cells;
     contention_detours += other.contention_detours;
     aborted_jobs += other.aborted_jobs;
+    synthesis_deadlines += other.synthesis_deadlines;
+    fallback_routes += other.fallback_routes;
+    paroled_cells += other.paroled_cells;
   }
 
   friend bool operator==(const RecoveryCounters&, const RecoveryCounters&) =

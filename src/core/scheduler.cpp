@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/fallback_router.hpp"
 #include "core/routability.hpp"
 #include "model/outcomes.hpp"
 #include "obs/obs.hpp"
@@ -122,6 +123,15 @@ struct RouteTask {
   // one droplet-avoiding re-synthesis instead of a quarantine.
   bool avoid_droplets_once = false;
   int contention_detours = 0;  ///< detours since the droplet last moved
+  // Progress-rate watchdog bookkeeping (recovery.progress_watchdog): EWMA
+  // of Manhattan progress toward the goal frontier per commanded cycle.
+  double progress_rate = 1.0;
+  int last_goal_gap = -1;  ///< gap at the previous commanded cycle; -1 = none
+  // Deadline-fallback bookkeeping: a deadline-expired synthesis installs a
+  // fallback route and backs off full re-synthesis exponentially.
+  bool fallback_active = false;
+  int deadline_strikes = 0;             ///< consecutive deadline expiries
+  std::uint64_t fallback_retry_at = 0;  ///< chip cycle to retry full synthesis
   // Model-vs-reality bookkeeping.
   std::uint64_t created_cycle = 0;
   double first_expected_cycles = -1.0;
@@ -266,6 +276,12 @@ class Runner {
                    static_cast<std::uint64_t>(rec.contention_detours));
     MEDA_OBS_COUNT("recovery.aborted_jobs",
                    static_cast<std::uint64_t>(rec.aborted_jobs));
+    MEDA_OBS_COUNT("recovery.synthesis_deadlines",
+                   static_cast<std::uint64_t>(rec.synthesis_deadlines));
+    MEDA_OBS_COUNT("recovery.fallback_routes",
+                   static_cast<std::uint64_t>(rec.fallback_routes));
+    MEDA_OBS_COUNT("recovery.paroled_cells",
+                   static_cast<std::uint64_t>(rec.paroled_cells));
   }
 
   /// Samples the cycle-domain counter tracks (droplets on chip, in-flight
@@ -339,9 +355,62 @@ class Runner {
     } else {
       health_ = std::move(scan);
     }
-    if (forced) ++stats_.recovery.forced_resenses;
+    if (forced) {
+      ++stats_.recovery.forced_resenses;
+      // The fresh (pre-clamp) estimate is the parole evidence: a cell the
+      // re-sense reads alive may leave the quarantine set under budget
+      // pressure before the clamp below re-kills the remaining inmates.
+      parole_quarantined();
+    }
     apply_quarantine();
     note_health_change();
+  }
+
+  /// Ceiling on the quarantine set (cells), shared by the suspect budget
+  /// and the parole trigger.
+  int quarantine_budget() const {
+    return static_cast<int>(
+        config_.recovery.max_quarantine_fraction *
+        static_cast<double>(quarantined_.width() * quarantined_.height()));
+  }
+
+  /// Budget-pressure parole: once the quarantine budget is exhausted, a
+  /// forced re-sense releases the *oldest* quarantined cells whose fresh
+  /// estimate reads alive, until the set is back at 3/4 of the budget.
+  /// Without this, early (possibly sensing-noise-driven) quarantines stay
+  /// blacklisted forever while genuinely dead cells compete for the budget.
+  void parole_quarantined() {
+    if (!config_.recovery.enabled || quarantine_count_ == 0 ||
+        health_.empty())
+      return;
+    const int budget = quarantine_budget();
+    if (quarantine_count_ < budget) return;
+    const int target = (budget * 3) / 4;
+    int released = 0;
+    auto it = quarantine_order_.begin();
+    while (it != quarantine_order_.end() && quarantine_count_ > target) {
+      const int x = it->x;
+      const int y = it->y;
+      if (quarantined_(x, y) == 0) {
+        it = quarantine_order_.erase(it);  // stale entry (already released)
+      } else if (health_(x, y) > 1) {
+        // Parole demands more than the weakest alive reading: under heavy
+        // sensing noise a dead cell's level-0 word often corrupts into
+        // level 1, and releasing on that would churn the same cells through
+        // quarantine → parole → re-quarantine.
+        quarantined_(x, y) = 0;
+        --quarantine_count_;
+        ++released;
+        it = quarantine_order_.erase(it);
+      } else {
+        ++it;  // still reads dead: stays quarantined
+      }
+    }
+    if (released == 0) return;
+    stats_.recovery.paroled_cells += released;
+    event(RecoveryAction::kQuarantineParole, -1,
+          std::to_string(released) + " cell(s) re-sensed alive; released");
+    if (quarantine_count_ < budget) quarantine_budget_hit_ = false;
   }
 
   /// Tracks changes of the controller's whole health view (metrics counter +
@@ -367,9 +436,7 @@ class Runner {
       // Budgeted: a suspect *flood* means the sensing channel is failing,
       // not the substrate — quarantining it all would blind the router to a
       // still-routable chip. Past the budget, trust the filtered estimate.
-      const int budget = static_cast<int>(
-          config_.recovery.max_quarantine_fraction *
-          static_cast<double>(quarantined_.width() * quarantined_.height()));
+      const int budget = quarantine_budget();
       const BoolMatrix& suspect = filter_.suspect();
       int added = 0;
       for (int y = 0; y < quarantined_.height(); ++y)
@@ -377,6 +444,7 @@ class Runner {
           if (quarantine_count_ + added >= budget) break;
           if (suspect(x, y) != 0 && quarantined_(x, y) == 0) {
             quarantined_(x, y) = 1;
+            quarantine_order_.push_back({x, y});
             ++added;
           }
         }
@@ -416,6 +484,7 @@ class Runner {
       for (int x = area.xa; x <= area.xb; ++x)
         if (!pos.contains(x, y) && quarantined_(x, y) == 0) {
           quarantined_(x, y) = 1;
+          quarantine_order_.push_back({x, y});
           ++added;
         }
     if (added == 0) return;
@@ -546,6 +615,63 @@ class Runner {
       }
   }
 
+  /// Ladder stage: a deadline-expired synthesis. Instead of burning the
+  /// retry budget on a solve that just proved too expensive, degrade to the
+  /// bounded fallback router and back off full re-synthesis exponentially:
+  /// strike i waits fallback_backoff_base_cycles << (i-1) cycles (capped)
+  /// before the next health change may retry the real thing.
+  void on_synthesis_deadline(MoRun& run, RouteTask& task, const RoutingJob& rj,
+                             std::uint64_t digest, const IntMatrix* masked) {
+    ++stats_.recovery.synthesis_deadlines;
+    ++task.deadline_strikes;
+    event(RecoveryAction::kSynthesisDeadline, task.rj.mo,
+          "synthesis deadline expired (strike " +
+              std::to_string(task.deadline_strikes) + ")");
+    if (!config_.recovery.enabled) {
+      fail("synthesis deadline expired for MO " + std::to_string(task.rj.mo));
+      return;
+    }
+    if (!config_.recovery.fallback_on_deadline) {
+      on_synthesis_failure(run, task);  // plain infeasible-synthesis ladder
+      return;
+    }
+    const int base = std::max(1, config_.recovery.fallback_backoff_base_cycles);
+    const int cap = std::max(base, config_.recovery.fallback_backoff_max_cycles);
+    const int shift = std::min(task.deadline_strikes - 1, 16);
+    const int wait = std::min(base << shift, cap);
+    task.fallback_retry_at = chip_.cycle() + static_cast<std::uint64_t>(wait);
+    install_fallback(run, task, rj, digest, masked);
+  }
+
+  /// Computes and installs a bounded fallback route over the current health
+  /// view (droplet-masked when a contention detour requested it). An
+  /// infeasible fallback falls through to the retry/abort ladder.
+  void install_fallback(MoRun& run, RouteTask& task, const RoutingJob& rj,
+                        std::uint64_t digest, const IntMatrix* masked) {
+    FallbackConfig fallback_config;
+    fallback_config.rules = config_.synthesis.rules;
+    fallback_config.max_expansions = config_.recovery.fallback_max_expansions;
+    const IntMatrix& view = masked != nullptr ? *masked : health_;
+    FallbackResult fallback =
+        fallback_route(rj, view, chip_bounds_, fallback_config);
+    if (!fallback.feasible) {
+      on_synthesis_failure(run, task);
+      return;
+    }
+    ++stats_.recovery.fallback_routes;
+    obs_event("recovery", "fallback-route", task.rj.mo,
+              "fallback route of " + std::to_string(fallback.path_length) +
+                  " action(s) installed");
+    task.strategy = std::move(fallback.strategy);
+    task.digest = digest;
+    task.has_strategy = true;
+    task.pending = false;
+    task.fallback_active = true;
+    task.retries = 0;
+    if (task.first_expected_cycles < 0.0)
+      task.first_expected_cycles = static_cast<double>(fallback.path_length);
+  }
+
   /// Ladder stage: an infeasible synthesis. Bounded retries with
   /// exponential backoff and a forced re-sense; then graceful job abort.
   void on_synthesis_failure(MoRun& run, RouteTask& task) {
@@ -647,6 +773,15 @@ class Runner {
     task.job_span_id = 0;
   }
 
+  /// Manhattan gap from the droplet to its arrival frontier: contact with
+  /// the merge partner for partnered routes, the goal rectangle otherwise.
+  /// The progress-rate watchdog measures its EWMA over this quantity.
+  int goal_gap(const RouteTask& task, const Rect& pos) const {
+    if (task.partner >= 0)
+      return pos.manhattan_gap(chip_.droplet_position(task.partner));
+    return pos.manhattan_gap(task.rj.goal);
+  }
+
   /// True once the task's droplet has arrived: inside the goal, or — for
   /// merge-partnered routes — in contact with the partner.
   bool route_arrived(const RouteTask& task) const {
@@ -693,45 +828,92 @@ class Runner {
     // (contention) instead requests a droplet-avoiding re-synthesis —
     // quarantining perfectly healthy cells just because a neighbour parked
     // on them would permanently shrink the routable chip.
-    if (config_.recovery.enabled && config_.recovery.stuck_cycles > 0) {
-      if (task.has_strategy && pos == task.watch_pos) {
-        if (++task.no_progress >= config_.recovery.stuck_cycles) {
-          task.no_progress = 0;
-          ++task.watchdog_count;
-          ++stats_.recovery.watchdog_fires;
-          event(RecoveryAction::kWatchdogResense, task.rj.mo,
-                "droplet stuck at " + pos.to_string());
-          refresh_health(/*forced=*/true);
-          const StallKind kind = config_.recovery.classify_stalls
-                                     ? classify_stall(task, pos)
-                                     : StallKind::kUnknown;
-          if (config_.recovery.classify_stalls) {
-            obs_event("stall", stall_name(kind), task.rj.mo,
-                      "stuck at " + pos.to_string());
-            record_stall_metric(kind);
+    //
+    // Two stall detectors share the escalation: the progress-rate watchdog
+    // (the default) fires when an EWMA of Manhattan progress toward the
+    // goal frontier decays below min_progress_rate — an end-of-life chip
+    // where pulls still land every few cycles keeps a healthy rate and is
+    // left to crawl, while a true stall decays to zero; the fixed
+    // stuck_cycles counter (progress_watchdog = false) fires after exactly
+    // stuck_cycles commanded cycles at the same position (the
+    // equivalence-test behavior).
+    if (config_.recovery.enabled) {
+      bool watchdog_fired = false;
+      if (config_.recovery.progress_watchdog) {
+        if (task.has_strategy) {
+          const int gap = goal_gap(task, pos);
+          if (task.last_goal_gap >= 0) {
+            // Movement that does not approach the goal (a detour leg, a
+            // morph) still proves the droplet responds; credit it so only
+            // genuine unresponsiveness decays the rate.
+            constexpr double kMovementCredit = 0.25;
+            double observed =
+                std::max(0.0, static_cast<double>(task.last_goal_gap - gap));
+            if (pos != task.watch_pos)
+              observed = std::max(observed, kMovementCredit);
+            const double alpha = config_.recovery.progress_alpha;
+            task.progress_rate =
+                (1.0 - alpha) * task.progress_rate + alpha * observed;
+            if (task.progress_rate < config_.recovery.min_progress_rate) {
+              watchdog_fired = true;
+              task.progress_rate = 1.0;  // fresh grace period after firing
+              task.last_goal_gap = -1;
+            } else {
+              task.last_goal_gap = gap;
+            }
+          } else {
+            task.last_goal_gap = gap;
+            task.progress_rate = 1.0;
           }
-          if (kind == StallKind::kContention &&
-              task.contention_detours <
-                  config_.recovery.max_contention_detours) {
-            ++task.contention_detours;
-            ++stats_.recovery.contention_detours;
-            task.watchdog_count = 0;  // contention must not reach quarantine
-            event(RecoveryAction::kContentionDetour, task.rj.mo,
-                  "re-routing around droplet near " + pos.to_string());
-            task.avoid_droplets_once = true;
-          } else if (task.watchdog_count >=
-                     config_.recovery.quarantine_after_watchdogs) {
-            task.watchdog_count = 0;
-            quarantine_attempt_frontier(run, task, pos);
-            if (run.state != MoRun::State::kActive) return false;
-          }
-          task.has_strategy = false;
-          task.pending = false;
+          if (pos != task.watch_pos)
+            task.contention_detours = 0;  // movement resets the detour budget
+          task.watch_pos = pos;
+        } else {
+          task.last_goal_gap = -1;  // no commanded strategy: not stalling
         }
-      } else {
-        task.watch_pos = pos;
-        task.no_progress = 0;
-        task.contention_detours = 0;  // progress resets the detour budget
+      } else if (config_.recovery.stuck_cycles > 0) {
+        if (task.has_strategy && pos == task.watch_pos) {
+          if (++task.no_progress >= config_.recovery.stuck_cycles) {
+            task.no_progress = 0;
+            watchdog_fired = true;
+          }
+        } else {
+          task.watch_pos = pos;
+          task.no_progress = 0;
+          task.contention_detours = 0;  // progress resets the detour budget
+        }
+      }
+      if (watchdog_fired) {
+        ++task.watchdog_count;
+        ++stats_.recovery.watchdog_fires;
+        event(RecoveryAction::kWatchdogResense, task.rj.mo,
+              "droplet stuck at " + pos.to_string());
+        refresh_health(/*forced=*/true);
+        const StallKind kind = config_.recovery.classify_stalls
+                                   ? classify_stall(task, pos)
+                                   : StallKind::kUnknown;
+        if (config_.recovery.classify_stalls) {
+          obs_event("stall", stall_name(kind), task.rj.mo,
+                    "stuck at " + pos.to_string());
+          record_stall_metric(kind);
+        }
+        if (kind == StallKind::kContention &&
+            task.contention_detours <
+                config_.recovery.max_contention_detours) {
+          ++task.contention_detours;
+          ++stats_.recovery.contention_detours;
+          task.watchdog_count = 0;  // contention must not reach quarantine
+          event(RecoveryAction::kContentionDetour, task.rj.mo,
+                "re-routing around droplet near " + pos.to_string());
+          task.avoid_droplets_once = true;
+        } else if (task.watchdog_count >=
+                   config_.recovery.quarantine_after_watchdogs) {
+          task.watchdog_count = 0;
+          quarantine_attempt_frontier(run, task, pos);
+          if (run.state != MoRun::State::kActive) return false;
+        }
+        task.has_strategy = false;
+        task.pending = false;
       }
     }
 
@@ -810,7 +992,13 @@ class Runner {
       ++stats_.synthesis_calls;
       result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
       stats_.synthesis_seconds += result.total_seconds;
-      if (config_.use_library) library_.store(rj, digest, result);
+      if (config_.use_library && !result.deadline_expired)
+        library_.store(rj, digest, result);
+    }
+    if (result.deadline_expired) {
+      ++stats_.recovery.synthesis_deadlines;
+      event(RecoveryAction::kSynthesisDeadline, task.rj.mo,
+            "synthesis deadline expired during reactive recovery");
     }
     if (!result.feasible) {
       if (config_.recovery.enabled) {
@@ -867,16 +1055,29 @@ class Runner {
     // view folds the avoid-rectangles (the other droplets' inflated
     // footprints) into the key, so a detour entry can only be served when
     // the same obstacles sit in the same places — no poisoning of the
-    // unmasked entries, which stay under the plain health digest. The salt
-    // separates the two key families when the matrices coincide.
-    constexpr std::uint64_t kDetourSalt = 0xDE70C2C41E5ull;
+    // unmasked entries, which stay under the plain health digest.
+    // kDetourDigestSalt separates the two key families when the matrices
+    // coincide (see core/library.hpp).
     IntMatrix masked_health;
     std::uint64_t lookup_digest = digest;
     if (avoid_droplets) {
       masked_health = droplet_masked_health(task, pos);
-      lookup_digest = health_digest(masked_health, task.rj.hazard) ^
-                      kDetourSalt;
+      lookup_digest = detour_digest(masked_health, task.rj.hazard);
     }
+
+    // While a fallback route is active, full re-synthesis is under backoff:
+    // a health change inside the window re-runs only the cheap fallback
+    // router; the first change after the window retries the real synthesis.
+    if (task.fallback_active && config_.recovery.enabled &&
+        chip_.cycle() < task.fallback_retry_at) {
+      install_fallback(run, task, rj, digest,
+                       avoid_droplets ? &masked_health : nullptr);
+      return;
+    }
+    if (task.fallback_active)
+      obs_event("recovery", "deadline-retry", task.rj.mo,
+                "backoff elapsed: retrying full synthesis");
+
     const SynthesisResult* cached =
         config_.use_library ? library_.lookup(rj, lookup_digest) : nullptr;
     if (cached != nullptr) {
@@ -897,7 +1098,16 @@ class Runner {
             full_health_force(chip_bounds_.width(), chip_bounds_.height()));
       }
       stats_.synthesis_seconds += result.total_seconds;
-      if (config_.use_library) library_.store(rj, lookup_digest, result);
+      // Deadline-expired results carry no strategy and describe a solver
+      // budget, not the health state — caching them would poison the key.
+      if (config_.use_library && !result.deadline_expired)
+        library_.store(rj, lookup_digest, result);
+    }
+
+    if (result.deadline_expired) {
+      on_synthesis_deadline(run, task, rj, digest,
+                            avoid_droplets ? &masked_health : nullptr);
+      return;
     }
 
     if (!result.feasible) {
@@ -910,6 +1120,12 @@ class Runner {
       return;
     }
     task.retries = 0;
+    if (task.fallback_active) {
+      task.fallback_active = false;
+      task.deadline_strikes = 0;
+      obs_event("recovery", "fallback-retired", task.rj.mo,
+                "full synthesis recovered; fallback route retired");
+    }
     if (task.first_expected_cycles < 0.0 &&
         std::isfinite(result.expected_cycles))
       task.first_expected_cycles = result.expected_cycles;
@@ -1144,6 +1360,7 @@ class Runner {
   int quarantine_count_ = 0;
   int quarantined_suspects_seen_ = 0;
   bool quarantine_budget_hit_ = false;
+  std::vector<Vec2i> quarantine_order_;  ///< FIFO for budget-pressure parole
   std::vector<DropletId> doomed_;  ///< droplets to discard at cycle end
   std::vector<std::string> abort_reasons_;
   // Observability bookkeeping.

@@ -54,6 +54,15 @@ SynthesisResult Synthesizer::synthesize_with_force(
   MEDA_OBS_SPAN(span, "synth", "synthesize");
   obs::Stopwatch watch;
 
+  // A fresh token per call: each synthesis gets the full budget, and an
+  // expired token from one job can never starve the next. The sweep budget
+  // wins over the wall-clock budget because it is deterministic.
+  SolveConfig solver = config_.solver;
+  if (config_.deadline_sweeps > 0)
+    solver.deadline = util::Deadline::after_checks(config_.deadline_sweeps);
+  else if (config_.deadline_seconds > 0.0)
+    solver.deadline = util::Deadline::after_seconds(config_.deadline_seconds);
+
   {
     MEDA_OBS_SPAN(build_span, "synth", "mdp_build");
     const RoutingMdp mdp =
@@ -67,7 +76,7 @@ SynthesisResult Synthesizer::synthesize_with_force(
                    static_cast<std::int64_t>(result.stats.choices));
     result.construction_seconds = watch.lap_seconds();
 
-    solve_and_extract(mdp, result);
+    solve_and_extract(mdp, solver, result);
   }
 
   result.total_seconds = watch.total_seconds();
@@ -75,21 +84,33 @@ SynthesisResult Synthesizer::synthesize_with_force(
   MEDA_OBS_OBSERVE("synth.total_seconds", result.total_seconds,
                    obs::kSecondsBuckets);
   if (!result.feasible) MEDA_OBS_COUNT("synth.infeasible", 1);
+  if (result.deadline_expired) MEDA_OBS_COUNT("synth.deadline_expired", 1);
   span.arg("states", static_cast<std::int64_t>(result.stats.states));
   span.arg("feasible", static_cast<std::int64_t>(result.feasible ? 1 : 0));
+  span.arg("deadline_expired",
+           static_cast<std::int64_t>(result.deadline_expired ? 1 : 0));
   span.arg("reach_probability", result.reach_probability);
   return result;
 }
 
 void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
+                                    const SolveConfig& solver,
                                     SynthesisResult& result) const {
   obs::Stopwatch watch;
   // Compile once and answer both queries from the shared model: the pmax
   // pass doubles as rmin's winning-region computation, so every synthesis
   // runs exactly one pmax and one rmin (the legacy path ran pmax twice).
-  const ReachAvoidSolution sol = solve_reach_avoid(mdp, config_.solver);
+  const ReachAvoidSolution sol = solve_reach_avoid(mdp, solver);
   const Solution& pmax = sol.pmax;
   const Solution& rmin = sol.rmin;
+  if (pmax.deadline_expired || rmin.deadline_expired) {
+    // Partial sweeps give untrustworthy values and policies: report the
+    // expiry and leave the result infeasible so callers route around it
+    // (fallback router) rather than executing a half-converged strategy.
+    result.deadline_expired = true;
+    result.solve_seconds = watch.total_seconds();
+    return;
+  }
   result.reach_probability = pmax.values[mdp.start];
 
   if (config_.query == Query::kPmaxReachability) {

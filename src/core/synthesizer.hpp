@@ -37,6 +37,17 @@ struct SynthesisConfig {
   /// default) is the paper's r_k reward; positive values make routes spread
   /// wear proactively (see bench/wear_leveling).
   double wear_penalty_lambda = 0.0;
+  /// Wall-clock budget per synthesize call (0 = unbounded). A fresh
+  /// util::Deadline is armed per call and polled once per Gauss-Seidel
+  /// sweep; on expiry the result comes back infeasible with
+  /// deadline_expired set, and the scheduler degrades to the fallback
+  /// router (see core/fallback_router.hpp) instead of aborting the job.
+  double deadline_seconds = 0.0;
+  /// Deterministic budget: total solver sweeps allowed per synthesize call
+  /// (0 = unbounded). Takes precedence over deadline_seconds when both are
+  /// set — it expires identically on every machine, which is what the
+  /// deadline tests and reproducible campaigns need.
+  std::uint64_t deadline_sweeps = 0;
 };
 
 /// Result of one synthesis call.
@@ -54,6 +65,10 @@ struct SynthesisResult {
   /// sum of the two phase fields above).
   double total_seconds = 0.0;
   bool feasible = false;  ///< a usable strategy was produced
+  /// The call was cut short by the synthesis deadline. Implies !feasible;
+  /// partial solver values are discarded, no strategy is extracted, and the
+  /// result must not be cached in a StrategyLibrary.
+  bool deadline_expired = false;
 };
 
 /// The routing-strategy synthesizer for a fixed chip.
@@ -76,10 +91,11 @@ class Synthesizer {
                                         const DoubleMatrix& force) const;
 
  private:
-  /// Runs the configured query's solver(s) on @p mdp and fills the
-  /// strategy/value/timing fields of @p result (construction fields are the
-  /// caller's).
-  void solve_and_extract(const RoutingMdp& mdp, SynthesisResult& result) const;
+  /// Runs the configured query's solver(s) on @p mdp under @p solver and
+  /// fills the strategy/value/timing fields of @p result (construction
+  /// fields are the caller's).
+  void solve_and_extract(const RoutingMdp& mdp, const SolveConfig& solver,
+                         SynthesisResult& result) const;
 
   Rect chip_bounds_;
   SynthesisConfig config_;

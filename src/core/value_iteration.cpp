@@ -45,6 +45,7 @@ void record_solve(Span& span, const Solution& sol, const char* query) {
   MEDA_OBS_OBSERVE(std::string("vi.") + query + ".sweeps_per_solve",
                    static_cast<double>(sol.iterations), obs::kPow2Buckets);
   if (!sol.converged) MEDA_OBS_COUNT("vi.nonconverged", 1);
+  if (sol.deadline_expired) MEDA_OBS_COUNT("vi.deadline_expired", 1);
 }
 
 void require_valid(const SolveConfig& config) {
@@ -63,6 +64,12 @@ Solution run_pmax(const CompiledMdp& m, const SolveConfig& config) {
     if (m.is_goal[s]) sol.values[s] = 1.0;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Deadline poll once per sweep: coarse enough to be free, fine enough
+    // that a stuck solve stops within one sweep of the budget.
+    if (config.deadline.expired()) {
+      sol.deadline_expired = true;
+      break;
+    }
     double delta = 0.0;
     for (const std::uint32_t s : m.sweep_order) {
       if (m.is_goal[s]) continue;
@@ -109,6 +116,10 @@ Solution run_rmin(const CompiledMdp& m, const SolveConfig& config,
     if (m.is_goal[s] && winning[s]) sol.values[s] = 0.0;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (config.deadline.expired()) {
+      sol.deadline_expired = true;
+      break;
+    }
     double delta = 0.0;
     for (const std::uint32_t s : m.sweep_order) {
       if (m.is_goal[s] || !winning[s]) continue;
@@ -223,6 +234,10 @@ Solution solve_pmax_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
     if (mdp.is_goal[s]) sol.values[s] = 1.0;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (config.deadline.expired()) {
+      sol.deadline_expired = true;
+      break;
+    }
     double delta = 0.0;
     for (std::size_t s = 0; s < n; ++s) {
       if (mdp.is_goal[s] || mdp.choices[s].empty()) continue;
@@ -282,6 +297,10 @@ Solution solve_rmin_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
     if (mdp.is_goal[s] && winning[s]) sol.values[s] = 0.0;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (config.deadline.expired()) {
+      sol.deadline_expired = true;
+      break;
+    }
     double delta = 0.0;
     for (std::size_t s = 0; s < n; ++s) {
       if (mdp.is_goal[s] || !winning[s] || mdp.choices[s].empty()) continue;

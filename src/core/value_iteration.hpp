@@ -4,6 +4,7 @@
 
 #include "core/compiled_mdp.hpp"
 #include "core/mdp.hpp"
+#include "util/deadline.hpp"
 
 /// @file value_iteration.hpp
 /// The model-checking engine standing in for PRISM-games (Section VI-C).
@@ -45,6 +46,11 @@ inline constexpr double kTieEps = 1e-15;
 struct SolveConfig {
   double tolerance = 1e-9;
   int max_iterations = 200000;
+  /// Cooperative deadline polled once per Gauss-Seidel sweep (never per
+  /// state). On expiry the solver stops early with converged = false and
+  /// deadline_expired = true; partial values are still returned but must
+  /// not be used for strategy extraction. A default token never expires.
+  util::Deadline deadline{};
 };
 
 /// Solver output: per-state values and the optimizing choice per state.
@@ -54,6 +60,7 @@ struct Solution {
   int iterations = 0;          ///< Bellman sweeps performed
   double final_residual = 0.0; ///< max value change in the last sweep
   bool converged = false;
+  bool deadline_expired = false;  ///< stopped by SolveConfig::deadline
 };
 
 /// Both synthesis queries answered from one compiled model: the pmax pass

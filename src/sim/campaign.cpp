@@ -1,17 +1,92 @@
 #include "sim/campaign.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <sstream>
 
 #include "core/library.hpp"
 #include "obs/obs.hpp"
 #include "sim/experiments.hpp"
 #include "util/check.hpp"
+#include "util/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meda::sim {
+
+namespace {
+
+// Checkpoint payload codec. A slot serializes exactly the ExecutionStats
+// subset the reductions consume (RunRollup::absorb inputs plus the chaos
+// channel tallies); synthesis_seconds round-trips exactly via the C99 %a
+// hexfloat form so a resumed campaign reproduces the straight-through CSV
+// byte for byte.
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+void encode_stats(std::ostream& os, const core::ExecutionStats& s) {
+  const core::RecoveryCounters& r = s.recovery;
+  os << (s.success ? 1 : 0) << ' ' << s.cycles << ' ' << s.completed_mos
+     << ' ' << s.aborted_mos << ' ' << s.synthesis_calls << ' '
+     << s.library_hits << ' ' << s.resyntheses << ' '
+     << hex_double(s.synthesis_seconds) << ' ' << r.watchdog_fires << ' '
+     << r.forced_resenses << ' ' << r.synthesis_retries << ' '
+     << r.backoff_cycles << ' ' << r.quarantined_cells << ' '
+     << r.contention_detours << ' ' << r.aborted_jobs << ' '
+     << r.synthesis_deadlines << ' ' << r.fallback_routes << ' '
+     << r.paroled_cells;
+}
+
+bool decode_stats(std::istream& is, core::ExecutionStats& s) {
+  int success = 0;
+  std::string seconds;
+  core::RecoveryCounters& r = s.recovery;
+  if (!(is >> success >> s.cycles >> s.completed_mos >> s.aborted_mos >>
+        s.synthesis_calls >> s.library_hits >> s.resyntheses >> seconds >>
+        r.watchdog_fires >> r.forced_resenses >> r.synthesis_retries >>
+        r.backoff_cycles >> r.quarantined_cells >> r.contention_detours >>
+        r.aborted_jobs >> r.synthesis_deadlines >> r.fallback_routes >>
+        r.paroled_cells))
+    return false;
+  s.success = success != 0;
+  char* end = nullptr;
+  s.synthesis_seconds = std::strtod(seconds.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string encode_run_records(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  os << records.size();
+  for (const RunRecord& record : records) {
+    os << ' ';
+    encode_stats(os, record.stats);
+  }
+  return os.str();
+}
+
+bool decode_run_records(const std::string& payload,
+                        std::vector<RunRecord>& out) {
+  std::istringstream is(payload);
+  std::size_t n = 0;
+  if (!(is >> n) || n > 1u << 20) return false;
+  std::vector<RunRecord> records(n);
+  for (RunRecord& record : records) {
+    if (!decode_stats(is, record.stats)) return false;
+    record.success = record.stats.success;
+    record.cycles = record.stats.cycles;
+  }
+  out = std::move(records);
+  return true;
+}
+
+}  // namespace
 
 // Both campaigns share the same parallel structure: the (cell, chip) grid
 // is flattened into independent tasks, each task derives everything random
@@ -40,7 +115,23 @@ std::vector<CampaignCell> run_campaign(
 
   const std::size_t chips = static_cast<std::size_t>(config.chips);
   std::vector<std::vector<RunRecord>> slots(cells.size() * chips);
+  util::SlotCheckpoint checkpoint;
+  if (!config.checkpoint.path.empty()) {
+    util::DigestBuilder digest;
+    digest.mix(std::string("meda-campaign-v1"));
+    digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
+    digest.mix(config.checkpoint.salt);
+    digest.mix(static_cast<std::uint64_t>(assays.size()));
+    for (const assay::MoList& assay_list : assays) digest.mix(assay_list.name);
+    digest.mix(static_cast<std::uint64_t>(routers.size()));
+    for (const RouterConfig& router : routers) digest.mix(router.name);
+    checkpoint.open(config.checkpoint.path, digest.value(),
+                    config.checkpoint.resume, slots.size(),
+                    config.checkpoint.flush_every);
+  }
   util::parallel_for(config.jobs, slots.size(), [&](std::size_t t) {
+    if (const std::string* payload = checkpoint.restored(t))
+      if (decode_run_records(*payload, slots[t])) return;
     const std::size_t cell_idx = t / chips;
     const int chip_idx = static_cast<int>(t % chips);
     const assay::MoList& assay_list = assays[cell_idx / routers.size()];
@@ -55,7 +146,10 @@ std::vector<CampaignCell> run_campaign(
     runs_config.runs = config.runs_per_chip;
     runs_config.seed = config.seed0 + static_cast<std::uint64_t>(chip_idx);
     slots[t] = run_repeated(assay_list, runs_config);
+    if (checkpoint.active())
+      checkpoint.record(t, encode_run_records(slots[t]));
   });
+  checkpoint.flush();
 
   for (std::size_t cell_idx = 0; cell_idx < cells.size(); ++cell_idx) {
     CampaignCell& cell = cells[cell_idx];
@@ -119,6 +213,30 @@ struct ChaosChipSlot {
   std::uint64_t bits_flipped = 0;
 };
 
+std::string encode_chaos_slot(const ChaosChipSlot& slot) {
+  std::ostringstream os;
+  os << slot.frames_dropped << ' ' << slot.bits_flipped << ' '
+     << slot.stats.size();
+  for (const core::ExecutionStats& stats : slot.stats) {
+    os << ' ';
+    encode_stats(os, stats);
+  }
+  return os.str();
+}
+
+bool decode_chaos_slot(const std::string& payload, ChaosChipSlot& out) {
+  std::istringstream is(payload);
+  ChaosChipSlot slot;
+  std::size_t n = 0;
+  if (!(is >> slot.frames_dropped >> slot.bits_flipped >> n) || n > 1u << 20)
+    return false;
+  slot.stats.resize(n);
+  for (core::ExecutionStats& stats : slot.stats)
+    if (!decode_stats(is, stats)) return false;
+  out = std::move(slot);
+  return true;
+}
+
 }  // namespace
 
 std::vector<ChaosCell> run_chaos_campaign(
@@ -146,7 +264,31 @@ std::vector<ChaosCell> run_chaos_campaign(
 
   const std::size_t chips = static_cast<std::size_t>(config.chips);
   std::vector<ChaosChipSlot> slots(cells.size() * chips);
+  util::SlotCheckpoint checkpoint;
+  if (!config.checkpoint.path.empty()) {
+    util::DigestBuilder digest;
+    digest.mix(std::string("meda-chaos-v1"));
+    digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
+    digest.mix(config.checkpoint.salt);
+    digest.mix(static_cast<int>(config.adversary));
+    digest.mix(static_cast<std::uint64_t>(assays.size()));
+    for (const assay::MoList& assay_list : assays) digest.mix(assay_list.name);
+    digest.mix(static_cast<std::uint64_t>(routers.size()));
+    for (const RouterConfig& router : routers) digest.mix(router.name);
+    digest.mix(static_cast<std::uint64_t>(config.levels.size()));
+    for (const ChaosLevel& level : config.levels) {
+      digest.mix(level.name);
+      digest.mix(level.sensor.bit_flip_p);
+      digest.mix(level.sensor.stuck_fraction);
+      digest.mix(level.sensor.frame_drop_p);
+    }
+    checkpoint.open(config.checkpoint.path, digest.value(),
+                    config.checkpoint.resume, slots.size(),
+                    config.checkpoint.flush_every);
+  }
   util::parallel_for(config.jobs, slots.size(), [&](std::size_t t) {
+    if (const std::string* payload = checkpoint.restored(t))
+      if (decode_chaos_slot(*payload, slots[t])) return;
     const std::size_t cell_idx = t / chips;
     const int chip_idx = static_cast<int>(t % chips);
     const ChaosCell& cell = cells[cell_idx];
@@ -182,7 +324,9 @@ std::vector<ChaosCell> run_chaos_campaign(
     }
     slot.frames_dropped = chip.sensor_channel().frames_dropped();
     slot.bits_flipped = chip.sensor_channel().bits_flipped();
+    if (checkpoint.active()) checkpoint.record(t, encode_chaos_slot(slot));
   });
+  checkpoint.flush();
 
   for (std::size_t cell_idx = 0; cell_idx < cells.size(); ++cell_idx) {
     ChaosCell& cell = cells[cell_idx];
@@ -223,7 +367,8 @@ void write_chaos_csv(const std::string& path,
                  "frame_drop_p", "runs", "successes", "success_rate",
                  "mean_cycles", "watchdog_fires", "forced_resenses",
                  "synthesis_retries", "backoff_cycles", "quarantined_cells",
-                 "contention_detours", "aborted_jobs", "frames_dropped",
+                 "contention_detours", "aborted_jobs", "synthesis_deadlines",
+                 "fallback_routes", "paroled_cells", "frames_dropped",
                  "bits_flipped"});
   for (const ChaosCell& cell : cells) {
     const core::RunRollup& r = cell.rollup;
@@ -242,8 +387,115 @@ void write_chaos_csv(const std::string& path,
          std::to_string(r.recovery.quarantined_cells),
          std::to_string(r.recovery.contention_detours),
          std::to_string(r.recovery.aborted_jobs),
+         std::to_string(r.recovery.synthesis_deadlines),
+         std::to_string(r.recovery.fallback_routes),
+         std::to_string(r.recovery.paroled_cells),
          std::to_string(cell.frames_dropped),
          std::to_string(cell.bits_flipped)});
+  }
+}
+
+void write_chaos_metrics_csv(const std::string& path,
+                             const std::vector<ChaosCell>& cells) {
+  // One named extractor per metric, listed in column (name-sorted) order so
+  // downstream diffing tools see a stable schema as metrics are added.
+  struct Metric {
+    const char* name;
+    std::string (*value)(const ChaosCell&);
+  };
+  static constexpr Metric kMetrics[] = {
+      {"chaos.bits_flipped",
+       [](const ChaosCell& c) { return std::to_string(c.bits_flipped); }},
+      {"chaos.frames_dropped",
+       [](const ChaosCell& c) { return std::to_string(c.frames_dropped); }},
+      {"recovery.aborted_jobs",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.aborted_jobs);
+       }},
+      {"recovery.backoff_cycles",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.backoff_cycles);
+       }},
+      {"recovery.contention_detours",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.contention_detours);
+       }},
+      {"recovery.fallback_routes",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.fallback_routes);
+       }},
+      {"recovery.forced_resenses",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.forced_resenses);
+       }},
+      {"recovery.paroled_cells",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.paroled_cells);
+       }},
+      {"recovery.quarantined_cells",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.quarantined_cells);
+       }},
+      {"recovery.synthesis_deadlines",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.synthesis_deadlines);
+       }},
+      {"recovery.synthesis_retries",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.synthesis_retries);
+       }},
+      {"recovery.watchdog_fires",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.recovery.watchdog_fires);
+       }},
+      {"sched.aborted_mos",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.aborted_mos);
+       }},
+      {"sched.completed_mos",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.completed_mos);
+       }},
+      {"sched.library_hit_rate",
+       [](const ChaosCell& c) {
+         return fmt_double(c.rollup.library_hit_rate(), 4);
+       }},
+      {"sched.library_hits",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.library_hits);
+       }},
+      {"sched.mean_cycles",
+       [](const ChaosCell& c) {
+         return c.rollup.cycles.count() > 0
+                    ? fmt_double(c.rollup.cycles.mean(), 2)
+                    : std::string();
+       }},
+      {"sched.resyntheses",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.resyntheses);
+       }},
+      {"sched.runs",
+       [](const ChaosCell& c) { return std::to_string(c.rollup.runs); }},
+      {"sched.success_rate",
+       [](const ChaosCell& c) {
+         return fmt_double(c.rollup.success_rate(), 4);
+       }},
+      {"sched.successes",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.successes);
+       }},
+      {"sched.synthesis_calls",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.synthesis_calls);
+       }},
+  };
+  std::vector<std::string> header{"assay", "router", "level"};
+  for (const Metric& metric : kMetrics) header.push_back(metric.name);
+  CsvWriter csv(path, header);
+  for (const ChaosCell& cell : cells) {
+    std::vector<std::string> row{cell.assay, cell.router, cell.level};
+    for (const Metric& metric : kMetrics) row.push_back(metric.value(cell));
+    csv.write_row(row);
   }
 }
 

@@ -25,6 +25,22 @@ struct RouterConfig {
   core::SchedulerConfig scheduler;
 };
 
+/// Crash-safe checkpointing of the flattened (cell, chip) grid (see
+/// util/checkpoint.hpp): completed slots are persisted with atomic
+/// write-temp-then-rename, and a resumed run replays only the missing
+/// slots. Results are identical — byte-for-byte in any CSV written from
+/// the cells — whether the campaign ran straight through, was killed and
+/// resumed, or resumed at a different jobs count, because each slot's
+/// content depends only on its index. The file is keyed by a digest of the
+/// grid identity (seeds, counts, assay/router/level names plus a
+/// driver-supplied salt); a mismatch discards the stale file.
+struct CampaignCheckpoint {
+  std::string path;     ///< empty = checkpointing disabled
+  bool resume = false;  ///< load compatible completed slots from the file
+  int flush_every = 4;  ///< atomic rewrite cadence (newly completed slots)
+  std::uint64_t salt = 0;  ///< extra driver-config digest material
+};
+
 /// Campaign-wide controls.
 struct CampaignConfig {
   SimulatedChipConfig chip{};
@@ -36,6 +52,7 @@ struct CampaignConfig {
   /// reduced serially in grid order, so the output is identical at any
   /// job count (see docs/performance.md).
   int jobs = 1;
+  CampaignCheckpoint checkpoint{};  ///< crash-safe slot persistence
 };
 
 /// Aggregated results of one (assay, router) cell. All execution outcomes
@@ -92,6 +109,7 @@ struct ChaosCampaignConfig {
   /// grid order, so cells (and the CSV) are byte-identical at any job
   /// count (see docs/performance.md).
   int jobs = 1;
+  CampaignCheckpoint checkpoint{};  ///< crash-safe slot persistence
 };
 
 /// Aggregated results of one (assay, level, router) cell.
@@ -121,5 +139,12 @@ void print_chaos_campaign(std::ostream& os,
 /// parameters, success rate, and every recovery-ladder counter.
 void write_chaos_csv(const std::string& path,
                      const std::vector<ChaosCell>& cells);
+
+/// Metrics roll-up CSV (--metrics): one row per grid cell with one
+/// name-sorted column per metric derived from the cell's RunRollup (the
+/// per-cell equivalent of the process-global obs metrics snapshot, which
+/// cannot attribute counts to cells once the grid runs under --jobs).
+void write_chaos_metrics_csv(const std::string& path,
+                             const std::vector<ChaosCell>& cells);
 
 }  // namespace meda::sim

@@ -1,0 +1,25 @@
+#include "util/cli.hpp"
+
+namespace meda::util {
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == name || arg.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace meda::util

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+/// @file cli.hpp
+/// Tiny argv helpers shared by the bench drivers. Flags follow the same
+/// conventions as parse_jobs_flag (thread_pool.hpp): boolean flags are bare
+/// (`--full`), valued flags accept both `--flag value` and `--flag=value`.
+namespace meda::util {
+
+/// True when @p name (e.g. "--resume") appears in argv, bare or as the
+/// `--name=value` prefix.
+bool has_flag(int argc, char** argv, const std::string& name);
+
+/// Value of `--name value` / `--name=value`, or @p fallback when the flag is
+/// absent or valueless.
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback = "");
+
+}  // namespace meda::util

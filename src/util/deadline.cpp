@@ -1,0 +1,43 @@
+#include "util/deadline.hpp"
+
+namespace meda::util {
+
+Deadline Deadline::after_seconds(double seconds) {
+  Deadline d;
+  d.state_->has_time_limit = true;
+  if (seconds <= 0.0) {
+    d.state_->not_after = Clock::now();
+  } else {
+    d.state_->not_after =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+  }
+  return d;
+}
+
+Deadline Deadline::after_checks(std::uint64_t checks) {
+  Deadline d;
+  d.state_->has_check_limit = true;
+  d.state_->check_limit = checks;
+  return d;
+}
+
+bool Deadline::expired() const {
+  State& s = *state_;
+  if (s.cancelled.load(std::memory_order_relaxed)) return true;
+  if (s.has_check_limit) {
+    // fetch_add counts this poll; the token expires on poll number
+    // check_limit + 1 and every poll after it.
+    if (s.checks.fetch_add(1, std::memory_order_relaxed) >= s.check_limit) {
+      s.cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (s.has_time_limit && Clock::now() >= s.not_after) {
+    s.cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace meda::util

@@ -1,0 +1,139 @@
+#include "core/fallback_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/action.hpp"
+#include "util/check.hpp"
+
+namespace meda::core {
+namespace {
+
+assay::RoutingJob straight_east(int cells, int droplet = 4) {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 4, droplet, droplet);
+  rj.goal = Rect::from_size(cells, 4, droplet, droplet);
+  rj.hazard = Rect{0, 0, 19, 19};
+  return rj;
+}
+
+/// Walks the path strategy from rj.start, asserting it reaches the goal
+/// within @p limit perfect pulls; returns the number of actions taken.
+int walk(const Strategy& strategy, const assay::RoutingJob& rj,
+         int limit = 200) {
+  Rect pos = rj.start;
+  int steps = 0;
+  while (!rj.goal.contains(pos)) {
+    const auto action = strategy.action(pos);
+    if (!action.has_value() || steps >= limit) {
+      ADD_FAILURE() << "path strategy dead-ends after " << steps << " steps";
+      return steps;
+    }
+    pos = apply(*action, pos);
+    ++steps;
+  }
+  return steps;
+}
+
+TEST(FallbackRouter, FindsTheStraightLineWithDoubleSteps) {
+  const Rect chip{0, 0, 19, 19};
+  const IntMatrix health(20, 20, 3);
+  const assay::RoutingJob rj = straight_east(8);
+  const FallbackResult r = fallback_route(rj, health, chip);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.path_length, 4);  // 8 cells east at 2 cells per double step
+  EXPECT_EQ(walk(r.strategy, rj), 4);
+  EXPECT_GT(r.expansions, 0);
+}
+
+TEST(FallbackRouter, RoutesAroundDeadCells) {
+  const Rect chip{0, 0, 19, 19};
+  IntMatrix health(20, 20, 3);
+  // Wall with a 3-row gap at the top — just wide enough for the 3×3 droplet.
+  for (int y = 3; y < 20; ++y) health(10, y) = 0;
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(2, 8, 3, 3);
+  rj.goal = Rect::from_size(15, 8, 3, 3);
+  rj.hazard = chip;
+  const FallbackResult r = fallback_route(rj, health, chip);
+  ASSERT_TRUE(r.feasible);
+  // Direct gap is 13; the detour through the northern gap costs more.
+  EXPECT_GT(r.path_length, (13 + 1) / 2);
+  const int steps = walk(r.strategy, rj);
+  EXPECT_EQ(steps, r.path_length);
+}
+
+TEST(FallbackRouter, ReportsInfeasibleAcrossAFullWall) {
+  const Rect chip{0, 0, 19, 19};
+  IntMatrix health(20, 20, 3);
+  for (int y = 0; y < 20; ++y)
+    for (int x = 10; x <= 11; ++x) health(x, y) = 0;
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(2, 8, 3, 3);
+  rj.goal = Rect::from_size(15, 8, 3, 3);
+  rj.hazard = chip;
+  const FallbackResult r = fallback_route(rj, health, chip);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.strategy.empty());
+}
+
+TEST(FallbackRouter, ExpansionBudgetBoundsTheSearch) {
+  const Rect chip{0, 0, 19, 19};
+  const IntMatrix health(20, 20, 3);
+  FallbackConfig config;
+  config.max_expansions = 2;  // far too small to cross the chip
+  const FallbackResult r =
+      fallback_route(straight_east(14), health, chip, config);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_LE(r.expansions, 2);
+}
+
+TEST(FallbackRouter, IsDeterministic) {
+  const Rect chip{0, 0, 19, 19};
+  IntMatrix health(20, 20, 3);
+  for (int y = 5; y < 15; ++y) health(9, y) = 0;
+  const assay::RoutingJob rj = straight_east(12, 3);
+  const FallbackResult a = fallback_route(rj, health, chip);
+  const FallbackResult b = fallback_route(rj, health, chip);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.path_length, b.path_length);
+  EXPECT_EQ(a.expansions, b.expansions);
+  Rect pos = rj.start;
+  while (!rj.goal.contains(pos)) {
+    const auto action_a = a.strategy.action(pos);
+    const auto action_b = b.strategy.action(pos);
+    ASSERT_TRUE(action_a.has_value());
+    ASSERT_EQ(*action_a, *action_b);
+    pos = apply(*action_a, pos);
+  }
+}
+
+TEST(FallbackRouter, CellsUnderTheDropletAreExemptFromHealthChecks) {
+  // The droplet occludes its own cells from sensing; a "dead" reading under
+  // the droplet must not strand it in place.
+  const Rect chip{0, 0, 19, 19};
+  IntMatrix health(20, 20, 3);
+  const assay::RoutingJob rj = straight_east(6);
+  for (int y = rj.start.ya; y <= rj.start.yb; ++y)
+    for (int x = rj.start.xa; x <= rj.start.xb; ++x) health(x, y) = 0;
+  const FallbackResult r = fallback_route(rj, health, chip);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(walk(r.strategy, rj), r.path_length);
+}
+
+TEST(FallbackRouter, RejectsMalformedInputs) {
+  const Rect chip{0, 0, 19, 19};
+  const IntMatrix health(20, 20, 3);
+  assay::RoutingJob off_chip = straight_east(4);
+  off_chip.start = Rect::from_size(18, 18, 4, 4);  // hangs off the chip
+  EXPECT_THROW(fallback_route(off_chip, health, chip), PreconditionError);
+  const IntMatrix small(10, 10, 3);
+  EXPECT_THROW(fallback_route(straight_east(4), small, chip),
+               PreconditionError);
+  FallbackConfig config;
+  config.max_expansions = 0;
+  EXPECT_THROW(fallback_route(straight_east(4), health, chip, config),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace meda::core

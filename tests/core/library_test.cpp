@@ -100,6 +100,40 @@ TEST(StrategyLibrary, StoreOverwritesNewerResult) {
   EXPECT_DOUBLE_EQ(lib.lookup(rj, 9)->expected_cycles, 3.0);
 }
 
+TEST(DetourDigest, SaltSeparatesTheKeyFamilies) {
+  // The collision that must not happen: a *plain* health matrix H2 that is
+  // value-equal to some droplet-*masked* view masked(H1) hashes to the same
+  // FNV digest — without the salt, a detour entry (synthesized around a
+  // droplet obstacle) would be served for a plain lookup on H2, steering a
+  // droplet around an obstacle that is not there (or vice versa). The salt
+  // keeps the two families disjoint even on identical matrices.
+  const Rect area{0, 0, 9, 9};
+  IntMatrix h1(10, 10, 3);
+  // masked(H1): another droplet's inflated footprint clamped to 0.
+  IntMatrix masked = h1;
+  for (int y = 3; y <= 6; ++y)
+    for (int x = 3; x <= 6; ++x) masked(x, y) = 0;
+  // H2: a plain health matrix that *happens* to equal the masked view
+  // (a 4x4 block of genuinely dead cells).
+  const IntMatrix h2 = masked;
+  EXPECT_EQ(health_digest(h2, area), health_digest(masked, area));
+  EXPECT_NE(health_digest(h2, area), detour_digest(masked, area));
+  // And the same separation in the library itself: storing under the detour
+  // key must not satisfy a plain-digest lookup.
+  StrategyLibrary lib;
+  const assay::RoutingJob rj = sample_job();
+  lib.store(rj, detour_digest(masked, area), sample_result(5.0));
+  EXPECT_EQ(lib.lookup(rj, health_digest(h2, area)), nullptr);
+  EXPECT_NE(lib.lookup(rj, detour_digest(masked, area)), nullptr);
+}
+
+TEST(DetourDigest, IsDeterministicallyDerivedFromTheHealthDigest) {
+  const Rect area{0, 0, 9, 9};
+  const IntMatrix h(10, 10, 2);
+  EXPECT_EQ(detour_digest(h, area),
+            health_digest(h, area) ^ kDetourDigestSalt);
+}
+
 TEST(StrategyLibrary, ClearResetsEverything) {
   StrategyLibrary lib;
   lib.store(sample_job(), 1, sample_result(5.0));

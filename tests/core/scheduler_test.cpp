@@ -369,6 +369,9 @@ TEST(Scheduler, ContentionDetoursGoThroughTheStrategyLibrary) {
   config.max_cycles = 2500;
   config.filter.enabled = true;
   config.recovery.enabled = true;
+  // Pin the legacy fixed-threshold watchdog: the detour count below was
+  // characterized under stuck_cycles = 12 escalation timing.
+  config.recovery.progress_watchdog = false;
   config.recovery.stuck_cycles = 12;
   config.recovery.quarantine_after_watchdogs = 3;
   StrategyLibrary library;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -205,6 +207,134 @@ TEST(Campaign, ParallelCellsMatchTheSerialPath) {
     // Bit-identical accumulation, not merely statistically equal.
     EXPECT_EQ(cells[i].rollup.cycles.mean(), serial[i].rollup.cycles.mean());
     EXPECT_EQ(cells[i].resyntheses.mean(), serial[i].resyntheses.mean());
+  }
+}
+
+TEST(ChaosCampaign, MetricsCsvHasNameSortedColumnsAndOneRowPerCell) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const auto cells =
+      run_chaos_campaign(assays, robust_router(), small_chaos());
+  const std::string path = ::testing::TempDir() + "chaos_metrics_test.csv";
+  write_chaos_metrics_csv(path, cells);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  // The three identity columns, then one column per metric in name order.
+  std::vector<std::string> columns;
+  std::istringstream split(header);
+  for (std::string field; std::getline(split, field, ',');)
+    columns.push_back(field);
+  ASSERT_GT(columns.size(), 3u);
+  EXPECT_EQ(columns[0], "assay");
+  EXPECT_EQ(columns[1], "router");
+  EXPECT_EQ(columns[2], "level");
+  EXPECT_TRUE(
+      std::is_sorted(columns.begin() + 3, columns.end()));
+  EXPECT_NE(header.find("recovery.fallback_routes"), std::string::npos);
+  EXPECT_NE(header.find("sched.success_rate"), std::string::npos);
+  int rows = 0;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, static_cast<int>(cells.size()));
+}
+
+TEST(ChaosCampaign, CheckpointedRunMatchesStraightThroughByteForByte) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const std::string cp_path = ::testing::TempDir() + "chaos_cp.txt";
+  std::remove(cp_path.c_str());
+
+  ChaosCampaignConfig plain = small_chaos();
+  const std::string plain_csv = ::testing::TempDir() + "chaos_plain.csv";
+  write_chaos_csv(plain_csv,
+                  run_chaos_campaign(assays, robust_router(), plain));
+
+  ChaosCampaignConfig checkpointed = small_chaos();
+  checkpointed.checkpoint.path = cp_path;
+  checkpointed.checkpoint.flush_every = 1;
+  const std::string cp_csv = ::testing::TempDir() + "chaos_cp.csv";
+  write_chaos_csv(
+      cp_csv, run_chaos_campaign(assays, robust_router(), checkpointed));
+
+  const std::string expected = read_file(plain_csv);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(expected, read_file(cp_csv));
+
+  // Simulate a kill -9 partway through: drop the last slot lines from the
+  // checkpoint, then resume at a different job count. Only the missing
+  // slots recompute, and the CSV is still byte-identical.
+  std::ifstream in(cp_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GT(lines.size(), 2u);  // header + at least two slots
+  {
+    std::ofstream out(cp_path, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+      out << lines[i] << '\n';
+  }
+  ChaosCampaignConfig resumed = small_chaos();
+  resumed.checkpoint.path = cp_path;
+  resumed.checkpoint.resume = true;
+  resumed.jobs = 4;
+  const std::string resumed_csv = ::testing::TempDir() + "chaos_resumed.csv";
+  write_chaos_csv(resumed_csv,
+                  run_chaos_campaign(assays, robust_router(), resumed));
+  EXPECT_EQ(expected, read_file(resumed_csv));
+}
+
+TEST(ChaosCampaign, CheckpointDigestMismatchRecomputesEverything) {
+  // A checkpoint from a different seed must never be grafted into a run:
+  // the digest mismatch discards it and the results match a fresh run.
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const std::string cp_path = ::testing::TempDir() + "chaos_cp_seed.txt";
+  std::remove(cp_path.c_str());
+  ChaosCampaignConfig first = small_chaos();
+  first.checkpoint.path = cp_path;
+  (void)run_chaos_campaign(assays, robust_router(), first);
+
+  ChaosCampaignConfig reseeded = small_chaos();
+  reseeded.seed0 = first.seed0 + 1;
+  reseeded.checkpoint.path = cp_path;
+  reseeded.checkpoint.resume = true;
+  const auto resumed = run_chaos_campaign(assays, robust_router(), reseeded);
+  ChaosCampaignConfig fresh = small_chaos();
+  fresh.seed0 = reseeded.seed0;
+  const auto expected = run_chaos_campaign(assays, robust_router(), fresh);
+  ASSERT_EQ(resumed.size(), expected.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i].rollup.successes, expected[i].rollup.successes);
+    EXPECT_EQ(resumed[i].rollup.recovery, expected[i].rollup.recovery);
+    EXPECT_EQ(resumed[i].bits_flipped, expected[i].bits_flipped);
+  }
+}
+
+TEST(Campaign, CheckpointResumeReplaysOnlyMissingSlots) {
+  const std::vector<assay::MoList> assays = {assay::covid_rat()};
+  const std::string cp_path = ::testing::TempDir() + "campaign_cp.txt";
+  std::remove(cp_path.c_str());
+  CampaignConfig checkpointed = small_campaign();
+  checkpointed.checkpoint.path = cp_path;
+  checkpointed.checkpoint.flush_every = 1;
+  const auto first =
+      run_campaign(assays, two_routers(), checkpointed);
+
+  CampaignConfig resumed_config = small_campaign();
+  resumed_config.checkpoint.path = cp_path;
+  resumed_config.checkpoint.resume = true;
+  resumed_config.jobs = 3;
+  const auto resumed = run_campaign(assays, two_routers(), resumed_config);
+  ASSERT_EQ(resumed.size(), first.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i].rollup.runs, first[i].rollup.runs);
+    EXPECT_EQ(resumed[i].rollup.successes, first[i].rollup.successes);
+    // Bit-identical: the replayed slots round-trip through the codec.
+    EXPECT_EQ(resumed[i].rollup.cycles.mean(), first[i].rollup.cycles.mean());
+    EXPECT_EQ(resumed[i].rollup.synthesis_seconds,
+              first[i].rollup.synthesis_seconds);
+    EXPECT_EQ(resumed[i].resyntheses.mean(), first[i].resyntheses.mean());
+    EXPECT_EQ(resumed[i].rollup.recovery, first[i].rollup.recovery);
   }
 }
 

@@ -99,6 +99,10 @@ SchedulerConfig ladder_config() {
   config.adaptive = true;
   config.max_cycles = 600;
   config.recovery.enabled = true;
+  // These tests assert exact rung timing, so they pin the legacy
+  // fixed-threshold watchdog; the adaptive progress-rate watchdog has its
+  // own tests in core/scheduler_test.cpp.
+  config.recovery.progress_watchdog = false;
   config.recovery.stuck_cycles = 4;
   config.recovery.quarantine_after_watchdogs = 2;
   config.recovery.max_retries = 2;
@@ -225,6 +229,62 @@ TEST(RecoveryLadder, QuietRunReportsNoRecoveryActivity) {
   EXPECT_TRUE(stats.recovery_events.empty());
   EXPECT_EQ(stats.completed_mos, 2);
   EXPECT_EQ(stats.aborted_mos, 0);
+}
+
+TEST(ProgressWatchdog, FiresOnAPureStall) {
+  // With the adaptive progress-rate watchdog (the default), a droplet that
+  // never moves decays its EWMA progress rate from 1.0 below the 0.02
+  // threshold in ~24 cycles — the ladder escalates exactly as the fixed
+  // counter would, without any stuck_cycles tuning.
+  StuckChip chip(30, 16);
+  SchedulerConfig config = ladder_config();
+  config.recovery.progress_watchdog = true;
+  Scheduler scheduler(config);
+  const ExecutionStats stats =
+      scheduler.run(chip, transport_assay(24.5, 7.5));
+  EXPECT_FALSE(stats.success);
+  EXPECT_GT(stats.recovery.watchdog_fires, 0);
+  EXPECT_GT(stats.recovery.forced_resenses, 0);
+  EXPECT_GT(stats.recovery.aborted_jobs, 0);
+  EXPECT_EQ(chip.droplet_count(), 0);
+}
+
+TEST(ProgressWatchdog, StaysQuietOnAHealthyRoute) {
+  sim::SimulatedChipConfig chip_config;
+  chip_config.chip.width = 40;
+  chip_config.chip.height = 16;
+  sim::SimulatedChip chip(chip_config, Rng(3));
+  SchedulerConfig config = ladder_config();
+  config.recovery.progress_watchdog = true;
+  config.filter.enabled = true;
+  Scheduler scheduler(config);
+  const ExecutionStats stats =
+      scheduler.run(chip, transport_assay(34.5, 7.5));
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_EQ(stats.recovery.watchdog_fires, 0);
+}
+
+TEST(QuarantineParole, BudgetPressureReleasesTheOldestCells) {
+  // A tiny quarantine budget fills after the first frontier quarantine (the
+  // StuckChip droplet never moves, so the ladder keeps quarantining its
+  // ring). Every forced re-sense then reads the quarantined cells alive
+  // again (StuckChip reports full health), so parole must release the
+  // oldest ones instead of blacklisting them forever.
+  StuckChip chip(30, 16);
+  SchedulerConfig config = ladder_config();
+  config.recovery.max_quarantine_fraction = 0.02;  // 9 of 480 cells
+  config.recovery.max_retries = 4;  // survive several quarantine rounds
+  Scheduler scheduler(config);
+  const ExecutionStats stats =
+      scheduler.run(chip, transport_assay(24.5, 7.5));
+  EXPECT_GT(stats.recovery.quarantined_cells, 0);
+  EXPECT_GT(stats.recovery.paroled_cells, 0);
+  const bool parole_event =
+      std::any_of(stats.recovery_events.begin(), stats.recovery_events.end(),
+                  [](const RecoveryEvent& e) {
+                    return e.action == RecoveryAction::kQuarantineParole;
+                  });
+  EXPECT_TRUE(parole_event);
 }
 
 TEST(RecoveryLadder, RobustRouterBeatsRawScansUnderSensorNoise) {
