@@ -19,6 +19,7 @@
 #include "core/synthesizer.hpp"
 #include "core/value_iteration.hpp"
 #include "model/outcomes.hpp"
+#include "obs/obs.hpp"
 #include "sim/campaign.hpp"
 
 namespace {
@@ -181,6 +182,71 @@ void BM_ActionOutcomes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ActionOutcomes);
+
+// Observability overhead, measured instead of asserted. One "site" is a
+// span plus a counter bump and two histogram observations — denser than any
+// real hot path. BM_ObsSitesNull measures the null-sink cost (one predicted
+// branch per macro; rebuild with -DMEDA_OBS=OFF and the same bench measures
+// the compiled-out cost, which should be indistinguishable from an empty
+// loop). BM_ObsSitesEnabled measures full recording, including the periodic
+// tracer clear a long-running instrumented process needs.
+constexpr int kObsBatch = 256;
+
+void obs_site_batch() {
+  for (int i = 0; i < kObsBatch; ++i) {
+    MEDA_OBS_SPAN(span, "bench", "site");
+    MEDA_OBS_COUNT("bench.counter", 1);
+    MEDA_OBS_OBSERVE("bench.histogram", static_cast<double>(i),
+                     obs::kPow2Buckets);
+    MEDA_OBS_OBSERVE_LOG2("bench.log2", static_cast<double>(i));
+  }
+}
+
+void BM_ObsSitesNull(benchmark::State& state) {
+  obs::ctx().reset();  // both sinks disabled: every macro is one branch
+  for (auto _ : state) {
+    obs_site_batch();
+  }
+  state.SetItemsProcessed(state.iterations() * kObsBatch);
+  state.SetLabel("span+count+2 observes per site, sinks disabled");
+}
+BENCHMARK(BM_ObsSitesNull);
+
+void BM_ObsSitesEnabled(benchmark::State& state) {
+  obs::ctx().reset();
+  obs::ctx().tracer().enable();
+  obs::ctx().metrics().enable();
+  for (auto _ : state) {
+    obs_site_batch();
+    obs::ctx().tracer().clear();  // bound the event buffer, cost included
+  }
+  state.SetItemsProcessed(state.iterations() * kObsBatch);
+  state.SetLabel("span+count+2 observes per site, both sinks recording");
+  obs::ctx().reset();  // leave the global context quiet for later benches
+}
+BENCHMARK(BM_ObsSitesEnabled);
+
+// End-to-end check on a real kernel: BM_SolveReachAvoid (above) runs with
+// null sinks; this is the identical solve with both sinks recording.
+void BM_SolveReachAvoidInstrumented(benchmark::State& state) {
+  const int area = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = corner_job(area, 4);
+  const DoubleMatrix force(area, area, 0.6);
+  const Rect chip{0, 0, area - 1, area - 1};
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  obs::ctx().reset();
+  obs::ctx().tracer().enable();
+  obs::ctx().metrics().enable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_reach_avoid(mdp));
+    obs::ctx().tracer().clear();
+  }
+  state.SetLabel(std::to_string(mdp.state_count()) +
+                 " states, sinks recording");
+  obs::ctx().reset();
+}
+BENCHMARK(BM_SolveReachAvoidInstrumented)->Arg(20);
 
 void BM_HealthSensing(benchmark::State& state) {
   Rng rng(1);

@@ -148,6 +148,9 @@ int main(int argc, char** argv) {
                                          : assay::load_assay_file(assay_file);
     if (!trace_path.empty()) obs::ctx().tracer().enable();
     if (!metrics_path.empty()) obs::ctx().metrics().enable();
+    // Flushes on every exit from this scope — including the exception path
+    // below — so an aborted run still leaves valid --trace/--metrics files.
+    obs::FlushGuard obs_flush(trace_path, metrics_path);
     sim::SimulatedChip chip(chip_config, Rng(seed));
     core::StrategyLibrary library;
     core::Scheduler scheduler(sched, &library);
@@ -206,6 +209,7 @@ int main(int argc, char** argv) {
       obs::ctx().metrics().write_snapshot(metrics_path);
       std::cout << "metrics snapshot written to " << metrics_path << "\n";
     }
+    obs_flush.disarm();  // the normal-path writes above already happened
     return successes == runs ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

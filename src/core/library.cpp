@@ -1,6 +1,12 @@
 #include "core/library.hpp"
 
+#include "obs/obs.hpp"
+
 namespace meda::core {
+
+const char* to_string(DigestClass cls) {
+  return cls == DigestClass::kDetour ? "detour" : "plain";
+}
 
 std::uint64_t health_digest(const IntMatrix& health, const Rect& area) {
   const Rect chip{0, 0, health.width() - 1, health.height() - 1};
@@ -33,35 +39,87 @@ std::size_t StrategyLibrary::KeyHash::operator()(const Key& k) const noexcept {
 }
 
 const SynthesisResult* StrategyLibrary::lookup(const assay::RoutingJob& rj,
-                                               std::uint64_t digest) const {
+                                               std::uint64_t digest,
+                                               DigestClass cls) const {
+  const std::uint64_t now = tick_++;
+  LibraryClassStats& s =
+      cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
   const Key key{rj.start, rj.goal, rj.hazard, digest};
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    ++s.misses;
+    MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".misses", 1);
     return nullptr;
   }
-  ++hits_;
-  return &it->second;
+  ++s.hits;
+  MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".hits", 1);
+  // Reuse distance on the operation clock: library ops between this entry's
+  // insertion and this hit. Deterministic for a fixed workload.
+  MEDA_OBS_OBSERVE_LOG2("library.entry_age",
+                        static_cast<double>(now - it->second.inserted_tick));
+  return &it->second.result;
 }
 
 void StrategyLibrary::store(const assay::RoutingJob& rj, std::uint64_t digest,
-                            SynthesisResult result) {
+                            SynthesisResult result, DigestClass cls) {
+  const std::uint64_t now = tick_++;
+  LibraryClassStats& s =
+      cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
+  MEDA_OBS_OBSERVE_LOG2("library.strategy_cells",
+                        static_cast<double>(result.strategy.size()));
   const Key key{rj.start, rj.goal, rj.hazard, digest};
-  entries_[key] = std::move(result);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Overwrite in place, keeping the original insertion tick (and thus
+    // the entry's FIFO position — refreshing content does not renew age).
+    it->second.result = std::move(result);
+    ++s.overwrites;
+    MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".overwrites",
+                   1);
+    return;
+  }
+  if (capacity_ > 0) evict_down_to(capacity_ - 1);
+  entries_.emplace(key, Entry{std::move(result), now, cls});
+  insertion_order_.emplace(now, key);
+  ++s.inserts;
+  MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".inserts", 1);
+}
+
+void StrategyLibrary::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ > 0) evict_down_to(capacity_);
+}
+
+void StrategyLibrary::evict_down_to(std::size_t limit) {
+  while (entries_.size() > limit && !insertion_order_.empty()) {
+    const auto oldest = insertion_order_.begin();
+    const auto it = entries_.find(oldest->second);
+    if (it != entries_.end()) {
+      const DigestClass cls = it->second.cls;
+      LibraryClassStats& s =
+          cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
+      ++s.evictions;
+      MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".evictions",
+                     1);
+      entries_.erase(it);
+    }
+    insertion_order_.erase(oldest);
+  }
 }
 
 void StrategyLibrary::clear() {
   entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  insertion_order_.clear();
+  tick_ = 0;
+  stats_ = LibraryStats{};
 }
 
 std::vector<StrategyLibrary::EntryView> StrategyLibrary::entries() const {
   std::vector<EntryView> views;
   views.reserve(entries_.size());
-  for (const auto& [key, result] : entries_)
+  for (const auto& [key, entry] : entries_)
     views.push_back(EntryView{key.start, key.goal, key.hazard, key.digest,
-                              &result});
+                              &entry.result});
   std::sort(views.begin(), views.end(),
             [](const EntryView& a, const EntryView& b) {
               return std::tie(a.start, a.goal, a.hazard, a.digest) <

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -13,6 +14,14 @@
 /// (Section VI-D): pre-synthesized strategies are cached and retrieved by
 /// (routing job, health digest); a health change within the job's hazard
 /// area changes the digest and forces a fresh synthesis.
+///
+/// Introspection: the library keeps per-digest-class hit/miss/insert/
+/// overwrite/eviction counts (LibraryStats) and, when the global metrics
+/// registry is enabled, feeds two log2 histograms — `library.entry_age`
+/// (operations between an entry's insertion and a hit on it, a reuse-
+/// distance proxy) and `library.strategy_cells` (stored strategy size).
+/// Ages are measured on a logical operation clock (one tick per lookup or
+/// store), so the numbers are deterministic for a fixed workload.
 
 namespace meda::core {
 
@@ -35,21 +44,79 @@ inline constexpr std::uint64_t kDetourDigestSalt = 0xDE70C2C41E5ull;
 /// Runner::ensure_strategy for the caching rationale.
 std::uint64_t detour_digest(const IntMatrix& masked_health, const Rect& area);
 
+/// Which digest family a library operation belongs to (stats bucketing
+/// only — the digest itself already separates the key spaces).
+enum class DigestClass : unsigned char {
+  kPlain,   ///< health_digest keys (normal routing jobs)
+  kDetour,  ///< detour_digest keys (contention detours)
+};
+
+/// Stable label: "plain" / "detour".
+const char* to_string(DigestClass cls);
+
+/// Operation counts for one digest class.
+struct LibraryClassStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;     ///< stores that created a new entry
+  std::uint64_t overwrites = 0;  ///< stores that replaced an entry
+  std::uint64_t evictions = 0;   ///< entries dropped by the FIFO capacity
+
+  LibraryClassStats& operator+=(const LibraryClassStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    inserts += other.inserts;
+    overwrites += other.overwrites;
+    evictions += other.evictions;
+    return *this;
+  }
+  friend bool operator==(const LibraryClassStats&,
+                         const LibraryClassStats&) = default;
+};
+
+/// Per-class operation counts plus the cross-class roll-up.
+struct LibraryStats {
+  LibraryClassStats plain;
+  LibraryClassStats detour;
+
+  LibraryClassStats totals() const {
+    LibraryClassStats t = plain;
+    t += detour;
+    return t;
+  }
+  LibraryStats& operator+=(const LibraryStats& other) {
+    plain += other.plain;
+    detour += other.detour;
+    return *this;
+  }
+  friend bool operator==(const LibraryStats&, const LibraryStats&) = default;
+};
+
 /// Cache of synthesized strategies keyed by (δ_s, δ_g, δ_h, health digest).
 class StrategyLibrary {
  public:
   /// Returns the cached result for the job under the digest, if present.
+  /// @p cls only attributes the hit/miss to a stats class.
   const SynthesisResult* lookup(const assay::RoutingJob& rj,
-                                std::uint64_t digest) const;
+                                std::uint64_t digest,
+                                DigestClass cls = DigestClass::kPlain) const;
 
   /// Stores @p result for the job/digest (overwrites an existing entry —
-  /// health can only degrade, so newer entries supersede older ones).
+  /// health can only degrade, so newer entries supersede older ones). When
+  /// a capacity is set and the library is full, the oldest entry by
+  /// insertion order is evicted first.
   void store(const assay::RoutingJob& rj, std::uint64_t digest,
-             SynthesisResult result);
+             SynthesisResult result, DigestClass cls = DigestClass::kPlain);
+
+  /// Caps the entry count; 0 (the default) means unlimited. Shrinking
+  /// below the current size evicts oldest-first immediately.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
 
   std::size_t size() const { return entries_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  const LibraryStats& stats() const { return stats_; }
+  std::uint64_t hits() const { return stats_.totals().hits; }
+  std::uint64_t misses() const { return stats_.totals().misses; }
   void clear();
 
   /// A read-only view of one cached entry (used by persistence/inspection).
@@ -71,10 +138,21 @@ class StrategyLibrary {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
+  struct Entry {
+    SynthesisResult result;
+    std::uint64_t inserted_tick = 0;  ///< operation-clock time of insertion
+    DigestClass cls = DigestClass::kPlain;
+  };
 
-  std::unordered_map<Key, SynthesisResult, KeyHash> entries_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  void evict_down_to(std::size_t limit);
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Insertion order for FIFO eviction: operation tick → key. Overwrites
+  /// keep the original tick (the entry's age is since first insertion).
+  std::map<std::uint64_t, Key> insertion_order_;
+  std::size_t capacity_ = 0;  ///< 0 = unlimited
+  mutable std::uint64_t tick_ = 0;
+  mutable LibraryStats stats_;
 };
 
 }  // namespace meda::core

@@ -1078,8 +1078,11 @@ class Runner {
       obs_event("recovery", "deadline-retry", task.rj.mo,
                 "backoff elapsed: retrying full synthesis");
 
+    const DigestClass digest_class =
+        avoid_droplets ? DigestClass::kDetour : DigestClass::kPlain;
     const SynthesisResult* cached =
-        config_.use_library ? library_.lookup(rj, lookup_digest) : nullptr;
+        config_.use_library ? library_.lookup(rj, lookup_digest, digest_class)
+                            : nullptr;
     if (cached != nullptr) {
       ++stats_.library_hits;
       if (avoid_droplets) MEDA_OBS_COUNT("sched.detour_library_hits", 1);
@@ -1101,7 +1104,7 @@ class Runner {
       // Deadline-expired results carry no strategy and describe a solver
       // budget, not the health state — caching them would poison the key.
       if (config_.use_library && !result.deadline_expired)
-        library_.store(rj, lookup_digest, result);
+        library_.store(rj, lookup_digest, result, digest_class);
     }
 
     if (result.deadline_expired) {

@@ -10,9 +10,42 @@
 
 namespace meda::core {
 
+const char* to_string(SolveTermination termination) {
+  switch (termination) {
+    case SolveTermination::kConverged: return "converged";
+    case SolveTermination::kSweepLimit: return "sweep_limit";
+    case SolveTermination::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Fixed-capacity ring for the per-sweep residual history; drained in
+/// chronological order into Solution::sweep_residuals.
+class ResidualRing {
+ public:
+  void push(double residual) {
+    if (buf_.size() < kResidualRingCapacity) {
+      buf_.push_back(residual);
+    } else {
+      buf_[next_] = residual;  // next_ is the oldest entry once full
+      next_ = (next_ + 1) % kResidualRingCapacity;
+    }
+  }
+  std::vector<double> take_chronological() {
+    std::rotate(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(next_),
+                buf_.end());
+    next_ = 0;
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+};
 
 /// Probability mass a choice keeps in state @p s (failed-pull self-loop).
 double self_loop_mass(const Choice& choice, std::uint32_t s) {
@@ -31,19 +64,46 @@ double off_state_value(const Choice& choice, std::uint32_t s,
   return acc;
 }
 
-/// Shared solver telemetry: sweeps/residual per query, both as span args
-/// and registry metrics.
+/// Shared solver telemetry: per-solve sweep count, residual curve, states
+/// touched, and termination cause — as span args, registry metrics, and
+/// (when tracing) sweep-domain counter samples.
 template <typename Span>
-void record_solve(Span& span, const Solution& sol, const char* query) {
+void record_solve(Span& span, const Solution& sol, const char* query,
+                  const SolveConfig& config) {
   if (!MEDA_OBS_ACTIVE()) return;  // skip the name formatting entirely
   span.arg("sweeps", static_cast<std::int64_t>(sol.iterations));
   span.arg("residual", sol.final_residual);
   span.arg("converged", static_cast<std::int64_t>(sol.converged ? 1 : 0));
+  span.arg("termination", to_string(sol.termination));
+  span.arg("states_touched", static_cast<std::int64_t>(sol.states_touched));
   MEDA_OBS_COUNT(std::string("vi.") + query + ".solves", 1);
   MEDA_OBS_COUNT(std::string("vi.") + query + ".sweeps",
                  static_cast<std::uint64_t>(sol.iterations));
+  MEDA_OBS_COUNT(std::string("vi.") + query + ".states_touched",
+                 sol.states_touched);
   MEDA_OBS_OBSERVE(std::string("vi.") + query + ".sweeps_per_solve",
                    static_cast<double>(sol.iterations), obs::kPow2Buckets);
+  // Cross-query sweep-count distribution (one observation per solve) and
+  // the warm/cold split the incremental re-synthesis work will compare.
+  MEDA_OBS_OBSERVE_LOG2("vi.sweep_count", static_cast<double>(sol.iterations));
+  MEDA_OBS_OBSERVE_LOG2(config.warm_start ? "vi.sweep_count.warm"
+                                          : "vi.sweep_count.cold",
+                        static_cast<double>(sol.iterations));
+  MEDA_OBS_COUNT(std::string("vi.term.") + to_string(sol.termination), 1);
+  // Residual curve: the ring's sweeps feed the convergence histogram and,
+  // when the tracer is on, a sweep-domain counter track per query.
+  const std::size_t ring = sol.sweep_residuals.size();
+  const bool traced = obs::ctx().tracer().enabled();
+  for (std::size_t i = 0; i < ring; ++i) {
+    const double residual = sol.sweep_residuals[i];
+    MEDA_OBS_OBSERVE("vi.sweep_residual", residual, obs::kResidualBuckets);
+    if (traced) {
+      const std::uint64_t sweep =
+          static_cast<std::uint64_t>(sol.iterations) - ring + i + 1;
+      obs::ctx().tracer().sweep_counter(std::string("vi.residual.") + query,
+                                        residual, sweep);
+    }
+  }
   if (!sol.converged) MEDA_OBS_COUNT("vi.nonconverged", 1);
   if (sol.deadline_expired) MEDA_OBS_COUNT("vi.deadline_expired", 1);
 }
@@ -63,14 +123,17 @@ Solution run_pmax(const CompiledMdp& m, const SolveConfig& config) {
   for (std::size_t s = 0; s < n; ++s)
     if (m.is_goal[s]) sol.values[s] = 1.0;
 
+  ResidualRing residuals;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     // Deadline poll once per sweep: coarse enough to be free, fine enough
     // that a stuck solve stops within one sweep of the budget.
     if (config.deadline.expired()) {
       sol.deadline_expired = true;
+      sol.termination = SolveTermination::kDeadline;
       break;
     }
     double delta = 0.0;
+    std::uint64_t touched = 0;
     for (const std::uint32_t s : m.sweep_order) {
       if (m.is_goal[s]) continue;
       const std::uint32_t cb = m.choice_offset[s];
@@ -95,14 +158,19 @@ Solution run_pmax(const CompiledMdp& m, const SolveConfig& config) {
       delta = std::max(delta, std::abs(best - sol.values[s]));
       sol.values[s] = best;
       sol.chosen[s] = best_choice;
+      ++touched;
     }
     sol.iterations = iter + 1;
     sol.final_residual = delta;
+    sol.states_touched += touched;
+    residuals.push(delta);
     if (delta < config.tolerance) {
       sol.converged = true;
+      sol.termination = SolveTermination::kConverged;
       break;
     }
   }
+  sol.sweep_residuals = residuals.take_chronological();
   return sol;
 }
 
@@ -115,12 +183,15 @@ Solution run_rmin(const CompiledMdp& m, const SolveConfig& config,
   for (std::size_t s = 0; s < n; ++s)
     if (m.is_goal[s] && winning[s]) sol.values[s] = 0.0;
 
+  ResidualRing residuals;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     if (config.deadline.expired()) {
       sol.deadline_expired = true;
+      sol.termination = SolveTermination::kDeadline;
       break;
     }
     double delta = 0.0;
+    std::uint64_t touched = 0;
     for (const std::uint32_t s : m.sweep_order) {
       if (m.is_goal[s] || !winning[s]) continue;
       const std::uint32_t cb = m.choice_offset[s];
@@ -156,14 +227,19 @@ Solution run_rmin(const CompiledMdp& m, const SolveConfig& config,
       delta = std::max(delta, diff);
       sol.values[s] = best;
       sol.chosen[s] = best_choice;
+      ++touched;
     }
     sol.iterations = iter + 1;
     sol.final_residual = delta;
+    sol.states_touched += touched;
+    residuals.push(delta);
     if (delta < config.tolerance) {
       sol.converged = true;
+      sol.termination = SolveTermination::kConverged;
       break;
     }
   }
+  sol.sweep_residuals = residuals.take_chronological();
   return sol;
 }
 
@@ -186,7 +262,7 @@ Solution solve_pmax(const CompiledMdp& mdp, const SolveConfig& config) {
   require_valid(config);
   MEDA_OBS_SPAN(span, "vi", "pmax");
   Solution sol = run_pmax(mdp, config);
-  record_solve(span, sol, "pmax");
+  record_solve(span, sol, "pmax", config);
   return sol;
 }
 
@@ -198,7 +274,7 @@ ReachAvoidSolution solve_reach_avoid(const CompiledMdp& mdp,
   {
     MEDA_OBS_SPAN(span, "vi", "rmin");
     out.rmin = run_rmin(mdp, config, winning_region(mdp, out.pmax));
-    record_solve(span, out.rmin, "rmin");
+    record_solve(span, out.rmin, "rmin", config);
   }
   return out;
 }
@@ -233,12 +309,15 @@ Solution solve_pmax_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
   for (std::size_t s = 0; s < n; ++s)
     if (mdp.is_goal[s]) sol.values[s] = 1.0;
 
+  ResidualRing residuals;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     if (config.deadline.expired()) {
       sol.deadline_expired = true;
+      sol.termination = SolveTermination::kDeadline;
       break;
     }
     double delta = 0.0;
+    std::uint64_t touched = 0;
     for (std::size_t s = 0; s < n; ++s) {
       if (mdp.is_goal[s] || mdp.choices[s].empty()) continue;
       double best = 0.0;
@@ -265,15 +344,20 @@ Solution solve_pmax_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
       delta = std::max(delta, std::abs(best - sol.values[s]));
       sol.values[s] = best;
       sol.chosen[s] = best_choice;
+      ++touched;
     }
     sol.iterations = iter + 1;
     sol.final_residual = delta;
+    sol.states_touched += touched;
+    residuals.push(delta);
     if (delta < config.tolerance) {
       sol.converged = true;
+      sol.termination = SolveTermination::kConverged;
       break;
     }
   }
-  record_solve(span, sol, "pmax_legacy");
+  sol.sweep_residuals = residuals.take_chronological();
+  record_solve(span, sol, "pmax_legacy", config);
   return sol;
 }
 
@@ -296,12 +380,15 @@ Solution solve_rmin_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
   for (std::size_t s = 0; s < n; ++s)
     if (mdp.is_goal[s] && winning[s]) sol.values[s] = 0.0;
 
+  ResidualRing residuals;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     if (config.deadline.expired()) {
       sol.deadline_expired = true;
+      sol.termination = SolveTermination::kDeadline;
       break;
     }
     double delta = 0.0;
+    std::uint64_t touched = 0;
     for (std::size_t s = 0; s < n; ++s) {
       if (mdp.is_goal[s] || !winning[s] || mdp.choices[s].empty()) continue;
       double best = kInf;
@@ -335,15 +422,20 @@ Solution solve_rmin_legacy(const RoutingMdp& mdp, const SolveConfig& config) {
       delta = std::max(delta, diff);
       sol.values[s] = best;
       sol.chosen[s] = best_choice;
+      ++touched;
     }
     sol.iterations = iter + 1;
     sol.final_residual = delta;
+    sol.states_touched += touched;
+    residuals.push(delta);
     if (delta < config.tolerance) {
       sol.converged = true;
+      sol.termination = SolveTermination::kConverged;
       break;
     }
   }
-  record_solve(span, sol, "rmin_legacy");
+  sol.sweep_residuals = residuals.take_chronological();
+  record_solve(span, sol, "rmin_legacy", config);
   return sol;
 }
 

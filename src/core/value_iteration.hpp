@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/compiled_mdp.hpp"
@@ -51,7 +53,30 @@ struct SolveConfig {
   /// deadline_expired = true; partial values are still returned but must
   /// not be used for strategy extraction. A default token never expires.
   util::Deadline deadline{};
+  /// Telemetry tag only (does not change the solve): set by callers that
+  /// seeded the solve from prior values, so warm and cold solves land in
+  /// separate sweep-count histograms. The incremental re-synthesis work on
+  /// the roadmap will flip this; today every solve is cold.
+  bool warm_start = false;
 };
+
+/// Why a solve stopped (Solution::termination).
+enum class SolveTermination {
+  kConverged,   ///< residual fell below SolveConfig::tolerance
+  kSweepLimit,  ///< ran out of max_iterations
+  kDeadline,    ///< SolveConfig::deadline expired mid-solve
+};
+
+/// Stable lower-case label ("converged" / "sweep_limit" / "deadline"),
+/// used in span args, metric names, and CSV cells.
+const char* to_string(SolveTermination termination);
+
+/// Per-sweep max-residual history kept on every Solution: the last
+/// kResidualRingCapacity sweeps, chronological. Bounded so a pathological
+/// 200k-sweep solve cannot bloat its Solution; 64 sweeps is an order of
+/// magnitude past a typical converged solve, so the ring usually holds the
+/// whole residual curve.
+inline constexpr std::size_t kResidualRingCapacity = 64;
 
 /// Solver output: per-state values and the optimizing choice per state.
 struct Solution {
@@ -61,6 +86,14 @@ struct Solution {
   double final_residual = 0.0; ///< max value change in the last sweep
   bool converged = false;
   bool deadline_expired = false;  ///< stopped by SolveConfig::deadline
+  SolveTermination termination = SolveTermination::kSweepLimit;
+  /// State-value updates actually performed (goal/non-winning/choiceless
+  /// states a sweep skips are not counted) — the solver's real work metric,
+  /// ≈ sweeps × active states.
+  std::uint64_t states_touched = 0;
+  /// Max residual of each of the last kResidualRingCapacity sweeps, oldest
+  /// first; entry i belongs to sweep iterations - size + i + 1 (1-based).
+  std::vector<double> sweep_residuals;
 };
 
 /// Both synthesis queries answered from one compiled model: the pmax pass

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,19 @@
 
 namespace meda::obs {
 
+namespace {
+
+/// Exponent e such that a positive value lands in the log2 bucket
+/// (2^(e-1), 2^e]. Exact powers of two land on their own bound, mirroring
+/// the cumulative `value ≤ bound` convention of the fixed layouts.
+int log2_bucket(double value) {
+  int e = 0;
+  const double m = std::frexp(value, &e);  // value = m * 2^e, m in [0.5, 1)
+  return m == 0.5 ? e - 1 : e;
+}
+
+}  // namespace
+
 Histogram::Histogram(std::span<const double> upper_bounds)
     : bounds_(upper_bounds.begin(), upper_bounds.end()),
       counts_(upper_bounds.size(), 0) {
@@ -16,16 +30,87 @@ Histogram::Histogram(std::span<const double> upper_bounds)
                "histogram bounds must ascend");
 }
 
+Histogram Histogram::log2() {
+  Histogram h;
+  h.kind_ = Kind::kLog2;
+  return h;
+}
+
 void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
   ++count_;
   sum_ += value;
-  for (std::size_t i = 0; i < bounds_.size(); ++i) {
-    if (value <= bounds_[i]) {
-      // Cumulative buckets: every bound ≥ value counts the observation.
-      for (std::size_t j = i; j < bounds_.size(); ++j) ++counts_[j];
-      return;
+  if (kind_ == Kind::kFixed) {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        // Cumulative buckets: every bound ≥ value counts the observation.
+        for (std::size_t j = i; j < bounds_.size(); ++j) ++counts_[j];
+        return;
+      }
+    }
+  } else if (value <= 0.0) {
+    ++zero_count_;
+  } else {
+    ++log2_counts_[log2_bucket(value)];
+  }
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::cumulative_buckets()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  if (kind_ == Kind::kFixed) {
+    out.reserve(bounds_.size());
+    for (std::size_t i = 0; i < bounds_.size(); ++i)
+      out.emplace_back(bounds_[i], counts_[i]);
+    return out;
+  }
+  // Log2: render a gap-free run of power-of-two bounds spanning the
+  // observed exponents, with a leading 0 bound when non-positive values
+  // were seen. The rendered list depends only on the observation multiset,
+  // which keeps snapshots deterministic at any --jobs count.
+  std::uint64_t cumulative = zero_count_;
+  if (zero_count_ > 0) out.emplace_back(0.0, cumulative);
+  if (!log2_counts_.empty()) {
+    const int lo = log2_counts_.begin()->first;
+    const int hi = log2_counts_.rbegin()->first;
+    for (int e = lo; e <= hi; ++e) {
+      const auto it = log2_counts_.find(e);
+      if (it != log2_counts_.end()) cumulative += it->second;
+      out.emplace_back(std::ldexp(1.0, e), cumulative);
     }
   }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  double at = max_;  // ranks past the last finite bucket fall in +Inf
+  for (const auto& [bound, cumulative] : cumulative_buckets()) {
+    if (cumulative >= rank) {
+      at = bound;
+      break;
+    }
+  }
+  return std::clamp(at, min_, max_);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
 }
 
 void MetricsRegistry::clear() {
@@ -65,6 +150,16 @@ void MetricsRegistry::observe(std::string_view name, double value,
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram(upper_bounds))
              .first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::observe_log2(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram::log2()).first;
   }
   it->second.observe(value);
 }
@@ -113,12 +208,18 @@ std::string MetricsRegistry::snapshot_text() const {
   for (const auto& [name, value] : gauges_)
     os << name << ' ' << fmt_value(value) << '\n';
   for (const auto& [name, h] : histograms_) {
-    for (std::size_t i = 0; i < h.bounds().size(); ++i)
-      os << name << "{le=\"" << fmt_value(h.bounds()[i]) << "\"} "
-         << h.bucket_counts()[i] << '\n';
+    for (const auto& [bound, cumulative] : h.cumulative_buckets())
+      os << name << "{le=\"" << fmt_value(bound) << "\"} " << cumulative
+         << '\n';
     os << name << "{le=\"+Inf\"} " << h.count() << '\n';
-    os << name << "_sum " << fmt_value(h.sum()) << '\n';
-    os << name << "_count " << h.count() << '\n';
+    const HistogramSnapshot s = h.snapshot();
+    os << name << "_sum " << fmt_value(s.sum) << '\n';
+    os << name << "_count " << s.count << '\n';
+    os << name << "_min " << fmt_value(s.min) << '\n';
+    os << name << "_max " << fmt_value(s.max) << '\n';
+    os << name << "_p50 " << fmt_value(s.p50) << '\n';
+    os << name << "_p90 " << fmt_value(s.p90) << '\n';
+    os << name << "_p99 " << fmt_value(s.p99) << '\n';
   }
   return os.str();
 }
@@ -143,12 +244,19 @@ std::string MetricsRegistry::snapshot_json() const {
   os << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h.snapshot();
     os << (first ? "" : ",") << "\n    " << json_quote(name)
-       << ": {\"count\": " << h.count() << ", \"sum\": " << fmt_value(h.sum())
-       << ", \"buckets\": [";
-    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
-      os << (i ? "," : "") << "{\"le\": " << fmt_value(h.bounds()[i])
-         << ", \"count\": " << h.bucket_counts()[i] << "}";
+       << ": {\"count\": " << s.count << ", \"sum\": " << fmt_value(s.sum)
+       << ", \"min\": " << fmt_value(s.min)
+       << ", \"max\": " << fmt_value(s.max)
+       << ", \"p50\": " << fmt_value(s.p50)
+       << ", \"p90\": " << fmt_value(s.p90)
+       << ", \"p99\": " << fmt_value(s.p99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [bound, cumulative] : h.cumulative_buckets()) {
+      os << (first_bucket ? "" : ",") << "{\"le\": " << fmt_value(bound)
+         << ", \"count\": " << cumulative << "}";
+      first_bucket = false;
     }
     os << "]}";
     first = false;

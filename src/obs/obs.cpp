@@ -7,4 +7,21 @@ Context& ctx() {
   return instance;
 }
 
+void FlushGuard::flush() {
+  if (!armed_) return;
+  // Write whatever the sinks hold right now; both formats are complete
+  // documents, so a flush mid-run still yields parseable output. Swallow
+  // write failures — the guard runs on error paths where the original
+  // exception must win.
+  try {
+    if (!trace_path_.empty() && ctx().tracer().enabled()) {
+      ctx().tracer().write_json(trace_path_);
+    }
+    if (!metrics_path_.empty() && ctx().metrics().enabled()) {
+      ctx().metrics().write_snapshot(metrics_path_);
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
 }  // namespace meda::obs

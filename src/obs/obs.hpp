@@ -60,6 +60,32 @@ class Context {
 /// The global context (null sinks until enabled).
 Context& ctx();
 
+/// Writes the global context's trace/metrics outputs when destroyed, so
+/// every exit path — normal return, uncaught exception, deadline bail-out —
+/// leaves valid, parseable files on disk. Construct one at the top of a
+/// driver's main after enabling the sinks; call disarm() on paths that
+/// handle their own writes, or flush() to write early (destruction then
+/// rewrites the files with any events recorded since, which is idempotent
+/// for a finished run). Empty paths and disabled sinks are skipped.
+class FlushGuard {
+ public:
+  FlushGuard(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {}
+  ~FlushGuard() { flush(); }
+
+  FlushGuard(const FlushGuard&) = delete;
+  FlushGuard& operator=(const FlushGuard&) = delete;
+
+  void flush();
+  void disarm() { armed_ = false; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool armed_ = true;
+};
+
 }  // namespace meda::obs
 
 // Instrumentation macros ----------------------------------------------------
@@ -68,6 +94,7 @@ Context& ctx();
 // MEDA_OBS_COUNT(name, delta)     bump a registry counter
 // MEDA_OBS_GAUGE(name, value)     set a registry gauge
 // MEDA_OBS_OBSERVE(name, v, b)    observe into a fixed-bucket histogram
+// MEDA_OBS_OBSERVE_LOG2(name, v)  observe into a log2-bucket histogram
 // MEDA_OBS_INSTANT(cat, name, d)  instant trace marker (wall clock)
 // MEDA_OBS_CYCLE_COUNTER(n, v, c) cycle-domain counter sample
 // MEDA_OBS_CYCLE_INSTANT(n, c)    cycle-domain instant marker
@@ -83,6 +110,8 @@ Context& ctx();
   ::meda::obs::ctx().metrics().set(name, value)
 #define MEDA_OBS_OBSERVE(name, value, bounds) \
   ::meda::obs::ctx().metrics().observe(name, value, bounds)
+#define MEDA_OBS_OBSERVE_LOG2(name, value) \
+  ::meda::obs::ctx().metrics().observe_log2(name, value)
 #define MEDA_OBS_INSTANT(cat, name, detail) \
   ::meda::obs::ctx().tracer().instant(cat, name, detail)
 #define MEDA_OBS_CYCLE_COUNTER(name, value, cycle) \
@@ -98,6 +127,7 @@ Context& ctx();
 #define MEDA_OBS_COUNT(name, delta) ((void)0)
 #define MEDA_OBS_GAUGE(name, value) ((void)0)
 #define MEDA_OBS_OBSERVE(name, value, bounds) ((void)0)
+#define MEDA_OBS_OBSERVE_LOG2(name, value) ((void)0)
 #define MEDA_OBS_INSTANT(cat, name, detail) ((void)0)
 #define MEDA_OBS_CYCLE_COUNTER(name, value, cycle) ((void)0)
 #define MEDA_OBS_CYCLE_INSTANT(name, cycle) ((void)0)

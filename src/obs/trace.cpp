@@ -7,25 +7,77 @@
 
 namespace meda::obs {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at @p at, or 0 when the
+/// bytes there are not well-formed UTF-8 (bad lead byte, truncated or
+/// malformed continuation, overlong encoding, surrogate, or > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view text, std::size_t at) {
+  const auto byte = [&](std::size_t i) {
+    return static_cast<unsigned char>(text[i]);
+  };
+  const unsigned char lead = byte(at);
+  std::size_t len = 0;
+  unsigned char lo = 0x80;  // bounds for the first continuation byte,
+  unsigned char hi = 0xBF;  // tightened per RFC 3629 table 3-7
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;  // reject overlong
+    if (lead == 0xED) hi = 0x9F;  // reject surrogates
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;  // reject overlong
+    if (lead == 0xF4) hi = 0x8F;  // reject > U+10FFFF
+  } else {
+    return 0;  // 0x80–0xC1 and 0xF5–0xFF are never valid leads
+  }
+  if (at + len > text.size()) return 0;
+  if (byte(at + 1) < lo || byte(at + 1) > hi) return 0;
+  for (std::size_t i = 2; i < len; ++i) {
+    if (byte(at + i) < 0x80 || byte(at + i) > 0xBF) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string json_quote(std::string_view text) {
   std::string out;
   out.reserve(text.size() + 2);
   out.push_back('"');
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", u);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+      ++i;
+      continue;
+    }
+    // Multi-byte: pass well-formed UTF-8 through verbatim; replace each
+    // ill-formed byte with U+FFFD so the output is always valid JSON text.
+    const std::size_t len = utf8_sequence_length(text, i);
+    if (len > 0) {
+      out.append(text.substr(i, len));
+      i += len;
+    } else {
+      out += "\\ufffd";
+      ++i;
     }
   }
   out.push_back('"');
@@ -163,6 +215,22 @@ void Tracer::cycle_counter(std::string_view name, double value,
   push(std::move(e));
 }
 
+void Tracer::sweep_counter(std::string_view name, double value,
+                           std::uint64_t sweep) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.ph = 'C';
+  e.ts = sweep;
+  e.pid = TraceTrack::kSweepPid;
+  e.tid = TraceTrack::kMainTid;
+  e.name = name;
+  e.cat = "sweep";
+  std::ostringstream v;
+  v << value;
+  e.args.emplace_back("value", v.str());
+  push(std::move(e));
+}
+
 void Tracer::cycle_instant(std::string_view name, std::uint64_t cycle) {
   if (!enabled()) return;
   TraceEvent e;
@@ -218,6 +286,9 @@ std::string Tracer::to_json() const {
   os << ",\n{\"ph\":\"M\",\"pid\":" << TraceTrack::kCyclePid
      << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
      << json_quote("per-cycle telemetry (ts = operational cycle)") << "}}";
+  os << ",\n{\"ph\":\"M\",\"pid\":" << TraceTrack::kSweepPid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+     << json_quote("solver convergence (ts = Gauss-Seidel sweep)") << "}}";
   for (const TraceEvent& e : events_) {
     os << ",\n{\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts
        << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;

@@ -94,6 +94,7 @@ std::string json_quote(std::string_view text);
 struct TraceTrack {
   static constexpr int kWallPid = 1;    ///< wall-clock domain (ts = µs)
   static constexpr int kCyclePid = 2;   ///< cycle domain (ts = op. cycle)
+  static constexpr int kSweepPid = 3;   ///< sweep domain (ts = GS sweep index)
   static constexpr int kMainTid = 1;    ///< nested scheduler/synthesis spans
   static constexpr int kJobTid = 2;     ///< async per-job lifetime spans
   static constexpr int kFirstWorkerTid = 3;  ///< pool workers count up from here
@@ -135,6 +136,11 @@ class Tracer {
                      std::uint64_t cycle);
   /// One cycle-domain instant marker (e.g. a health-change event).
   void cycle_instant(std::string_view name, std::uint64_t cycle);
+  /// One sweep-domain counter sample: track @p name gets @p value at
+  /// Gauss-Seidel sweep @p sweep (rendered on the sweep pid, so the
+  /// per-sweep max-residual decay of one solve reads as a curve).
+  void sweep_counter(std::string_view name, double value,
+                     std::uint64_t sweep);
 
   // Export ----------------------------------------------------------------
   /// Chrome trace_event JSON ({"traceEvents": [...]}); parses in

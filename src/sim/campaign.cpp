@@ -211,12 +211,26 @@ struct ChaosChipSlot {
   std::vector<core::ExecutionStats> stats;
   std::uint64_t frames_dropped = 0;
   std::uint64_t bits_flipped = 0;
+  core::LibraryStats library;  ///< the chip's private library, after all runs
 };
+
+void encode_library_class(std::ostream& os, const core::LibraryClassStats& s) {
+  os << s.hits << ' ' << s.misses << ' ' << s.inserts << ' ' << s.overwrites
+     << ' ' << s.evictions;
+}
+
+bool decode_library_class(std::istream& is, core::LibraryClassStats& s) {
+  return static_cast<bool>(is >> s.hits >> s.misses >> s.inserts >>
+                           s.overwrites >> s.evictions);
+}
 
 std::string encode_chaos_slot(const ChaosChipSlot& slot) {
   std::ostringstream os;
-  os << slot.frames_dropped << ' ' << slot.bits_flipped << ' '
-     << slot.stats.size();
+  os << slot.frames_dropped << ' ' << slot.bits_flipped << ' ';
+  encode_library_class(os, slot.library.plain);
+  os << ' ';
+  encode_library_class(os, slot.library.detour);
+  os << ' ' << slot.stats.size();
   for (const core::ExecutionStats& stats : slot.stats) {
     os << ' ';
     encode_stats(os, stats);
@@ -228,8 +242,10 @@ bool decode_chaos_slot(const std::string& payload, ChaosChipSlot& out) {
   std::istringstream is(payload);
   ChaosChipSlot slot;
   std::size_t n = 0;
-  if (!(is >> slot.frames_dropped >> slot.bits_flipped >> n) || n > 1u << 20)
-    return false;
+  if (!(is >> slot.frames_dropped >> slot.bits_flipped)) return false;
+  if (!decode_library_class(is, slot.library.plain)) return false;
+  if (!decode_library_class(is, slot.library.detour)) return false;
+  if (!(is >> n) || n > 1u << 20) return false;
   slot.stats.resize(n);
   for (core::ExecutionStats& stats : slot.stats)
     if (!decode_stats(is, stats)) return false;
@@ -267,7 +283,8 @@ std::vector<ChaosCell> run_chaos_campaign(
   util::SlotCheckpoint checkpoint;
   if (!config.checkpoint.path.empty()) {
     util::DigestBuilder digest;
-    digest.mix(std::string("meda-chaos-v1"));
+    // v2: slot payloads gained the per-class library stats block.
+    digest.mix(std::string("meda-chaos-v2"));
     digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
     digest.mix(config.checkpoint.salt);
     digest.mix(static_cast<int>(config.adversary));
@@ -324,6 +341,7 @@ std::vector<ChaosCell> run_chaos_campaign(
     }
     slot.frames_dropped = chip.sensor_channel().frames_dropped();
     slot.bits_flipped = chip.sensor_channel().bits_flipped();
+    slot.library = library.stats();
     if (checkpoint.active()) checkpoint.record(t, encode_chaos_slot(slot));
   });
   checkpoint.flush();
@@ -336,6 +354,7 @@ std::vector<ChaosCell> run_chaos_campaign(
         cell.rollup.absorb(stats);
       cell.frames_dropped += slot.frames_dropped;
       cell.bits_flipped += slot.bits_flipped;
+      cell.library += slot.library;
     }
   }
   return cells;
@@ -408,6 +427,48 @@ void write_chaos_metrics_csv(const std::string& path,
        [](const ChaosCell& c) { return std::to_string(c.bits_flipped); }},
       {"chaos.frames_dropped",
        [](const ChaosCell& c) { return std::to_string(c.frames_dropped); }},
+      // library_stats block: per-digest-class strategy-library operation
+      // counts summed over the cell's per-chip libraries.
+      {"library.detour.evictions",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.detour.evictions);
+       }},
+      {"library.detour.hits",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.detour.hits);
+       }},
+      {"library.detour.inserts",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.detour.inserts);
+       }},
+      {"library.detour.misses",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.detour.misses);
+       }},
+      {"library.detour.overwrites",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.detour.overwrites);
+       }},
+      {"library.plain.evictions",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.plain.evictions);
+       }},
+      {"library.plain.hits",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.plain.hits);
+       }},
+      {"library.plain.inserts",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.plain.inserts);
+       }},
+      {"library.plain.misses",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.plain.misses);
+       }},
+      {"library.plain.overwrites",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.plain.overwrites);
+       }},
       {"recovery.aborted_jobs",
        [](const ChaosCell& c) {
          return std::to_string(c.rollup.recovery.aborted_jobs);

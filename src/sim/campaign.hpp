@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "assay/mo.hpp"
+#include "core/library.hpp"
 #include "core/scheduler.hpp"
 #include "sim/adversary.hpp"
 #include "sim/simulated_chip.hpp"
@@ -121,6 +122,10 @@ struct ChaosCell {
   core::RunRollup rollup;            ///< execution outcomes + ladder counters
   std::uint64_t frames_dropped = 0;  ///< summed over all chips
   std::uint64_t bits_flipped = 0;    ///< summed over all chips
+  /// Strategy-library operation counts summed over the cell's per-chip
+  /// libraries (per-digest-class hits/misses/inserts/overwrites/evictions;
+  /// the `library.*` columns of the metrics CSV).
+  core::LibraryStats library;
 };
 
 /// Runs the (assay × level × router) grid. Substrate seeds are identical

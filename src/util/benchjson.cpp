@@ -1,0 +1,301 @@
+#include "util/benchjson.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace meda::util {
+
+namespace {
+
+/// Minimal JSON DOM — just enough structure to walk a Google-Benchmark
+/// output file. Numbers are doubles (benchmark times are), object members
+/// keep file order.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out, std::string* error) {
+    const bool ok = value(out) && (skip_ws(), i_ == s_.size());
+    if (!ok && error != nullptr) {
+      *error = err_.empty() ? "trailing garbage after JSON value" : err_;
+      *error += " (at byte " + std::to_string(i_) + ")";
+    }
+    return ok;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r'))
+      ++i_;
+  }
+  bool literal(const char* text) {
+    const std::size_t n = std::char_traits<char>::length(text);
+    if (s_.compare(i_, n, text) != 0) return fail("bad literal");
+    i_ += n;
+    return true;
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (i_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[i_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.type = Json::Type::kString;
+        return string(out.string);
+      case 't':
+        out.type = Json::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = Json::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = Json::Type::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(Json& out) {
+    out.type = Json::Type::kObject;
+    ++i_;  // '{'
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == '}') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (i_ >= s_.size() || s_[i_] != '"' || !string(key))
+        return fail("expected object key");
+      skip_ws();
+      if (i_ >= s_.size() || s_[i_] != ':') return fail("expected ':'");
+      ++i_;
+      Json member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      if (i_ < s_.size() && s_[i_] == '}') {
+        ++i_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(Json& out) {
+    out.type = Json::Type::kArray;
+    ++i_;  // '['
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == ']') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      Json element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      if (i_ < s_.size() && s_[i_] == ']') {
+        ++i_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++i_;  // opening quote
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c == '\\') {
+        if (i_ + 1 >= s_.size()) return fail("truncated escape");
+        const char e = s_[i_ + 1];
+        i_ += 2;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Benchmark names are ASCII; keep \u escapes as replacement
+            // text rather than decoding surrogates — names containing them
+            // simply won't match, which is the right failure mode here.
+            if (i_ + 4 > s_.size()) return fail("truncated \\u escape");
+            out += '?';
+            i_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++i_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Json& out) {
+    const char* begin = s_.c_str() + i_;
+    char* end = nullptr;
+    out.type = Json::Type::kNumber;
+    out.number = std::strtod(begin, &end);
+    if (end == begin) return fail("expected a value");
+    i_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::string err_;
+};
+
+double number_or(const Json& obj, const std::string& key, double fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr && v->type == Json::Type::kNumber ? v->number
+                                                        : fallback;
+}
+
+std::string string_or(const Json& obj, const std::string& key,
+                      const std::string& fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr && v->type == Json::Type::kString ? v->string
+                                                        : fallback;
+}
+
+}  // namespace
+
+bool parse_benchmark_json(const std::string& text,
+                          std::vector<BenchEntry>& out, std::string* error) {
+  Json root;
+  if (!JsonParser(text).parse(root, error)) return false;
+  if (root.type != Json::Type::kObject) {
+    if (error != nullptr) *error = "top-level JSON value is not an object";
+    return false;
+  }
+  const Json* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->type != Json::Type::kArray) {
+    if (error != nullptr) *error = "no \"benchmarks\" array in document";
+    return false;
+  }
+  out.clear();
+  out.reserve(benchmarks->array.size());
+  for (const Json& item : benchmarks->array) {
+    if (item.type != Json::Type::kObject) continue;
+    BenchEntry entry;
+    entry.name = string_or(item, "name", "");
+    if (entry.name.empty()) continue;
+    entry.run_type = string_or(item, "run_type", "");
+    entry.real_time = number_or(item, "real_time", 0.0);
+    entry.cpu_time = number_or(item, "cpu_time", 0.0);
+    entry.time_unit = string_or(item, "time_unit", "ns");
+    out.push_back(std::move(entry));
+  }
+  return true;
+}
+
+double time_unit_to_ns(const std::string& time_unit) {
+  if (time_unit == "ns") return 1.0;
+  if (time_unit == "us") return 1e3;
+  if (time_unit == "ms") return 1e6;
+  if (time_unit == "s") return 1e9;
+  return 1.0;
+}
+
+namespace {
+
+/// name → mean time in ns over iteration rows (aggregate rows skipped).
+std::map<std::string, double> collapse(const std::vector<BenchEntry>& entries,
+                                       bool use_cpu_time) {
+  std::map<std::string, std::pair<double, int>> acc;  // name → (sum, count)
+  for (const BenchEntry& entry : entries) {
+    if (entry.run_type == "aggregate") continue;
+    const double t = (use_cpu_time ? entry.cpu_time : entry.real_time) *
+                     time_unit_to_ns(entry.time_unit);
+    auto& [sum, count] = acc[entry.name];
+    sum += t;
+    ++count;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [name, sum_count] : acc)
+    out[name] = sum_count.first / sum_count.second;
+  return out;
+}
+
+}  // namespace
+
+BenchComparison compare_benchmarks(const std::vector<BenchEntry>& baseline,
+                                   const std::vector<BenchEntry>& candidate,
+                                   bool use_cpu_time) {
+  const std::map<std::string, double> base = collapse(baseline, use_cpu_time);
+  const std::map<std::string, double> cand =
+      collapse(candidate, use_cpu_time);
+  BenchComparison out;
+  for (const auto& [name, base_ns] : base) {
+    const auto it = cand.find(name);
+    if (it == cand.end()) {
+      out.only_baseline.push_back(name);
+      continue;
+    }
+    BenchDelta delta;
+    delta.name = name;
+    delta.baseline_ns = base_ns;
+    delta.candidate_ns = it->second;
+    delta.ratio = base_ns > 0.0 ? it->second / base_ns : 0.0;
+    out.matched.push_back(std::move(delta));
+  }
+  for (const auto& [name, cand_ns] : cand) {
+    (void)cand_ns;
+    if (base.find(name) == base.end()) out.only_candidate.push_back(name);
+  }
+  return out;  // maps iterate sorted, so every list is name-sorted
+}
+
+}  // namespace meda::util

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// @file benchjson.hpp
+/// Google-Benchmark JSON parsing and run-to-run comparison — the library
+/// behind `bench/bench_compare`, split out so the diff logic is unit-testable
+/// without subprocessing the tool.
+///
+/// The parser is a minimal self-contained JSON reader (no dependency): it
+/// understands the subset Google Benchmark emits with `--benchmark_out` /
+/// `--benchmark_format=json` and extracts the `benchmarks` array. Comparison
+/// matches entries by name, normalizes times to nanoseconds via `time_unit`,
+/// and reports per-benchmark ratios; the regression policy (thresholds,
+/// exit codes) lives in the tool, not here.
+
+namespace meda::util {
+
+/// One entry of a Google-Benchmark JSON `benchmarks` array.
+struct BenchEntry {
+  std::string name;
+  std::string run_type;  ///< "iteration", "aggregate", or empty (old files)
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  std::string time_unit = "ns";
+};
+
+/// Extracts the `benchmarks` array from a Google-Benchmark JSON document.
+/// Returns false (with a message in @p error when non-null) on malformed
+/// JSON or a missing/ill-typed `benchmarks` member.
+bool parse_benchmark_json(const std::string& text,
+                          std::vector<BenchEntry>& out,
+                          std::string* error = nullptr);
+
+/// Multiplier from @p time_unit ("ns"/"us"/"ms"/"s") to nanoseconds;
+/// unknown units fall back to 1 (treated as already-ns).
+double time_unit_to_ns(const std::string& time_unit);
+
+/// One name-matched benchmark pair. Times are in nanoseconds.
+struct BenchDelta {
+  std::string name;
+  double baseline_ns = 0.0;
+  double candidate_ns = 0.0;
+  /// candidate / baseline: > 1 is a slowdown, < 1 a speedup. 0 when the
+  /// baseline time is 0 (degenerate entry).
+  double ratio = 0.0;
+};
+
+/// The full diff of two benchmark files.
+struct BenchComparison {
+  std::vector<BenchDelta> matched;           ///< name-sorted
+  std::vector<std::string> only_baseline;    ///< removed benchmarks
+  std::vector<std::string> only_candidate;   ///< added benchmarks
+};
+
+/// Name-matches two entry lists. Aggregate rows (mean/median/stddev from
+/// `--benchmark_repetitions`) are skipped; repeated iteration rows with the
+/// same name are averaged. @p use_cpu_time selects cpu_time (default, less
+/// scheduler noise) over real_time.
+BenchComparison compare_benchmarks(const std::vector<BenchEntry>& baseline,
+                                   const std::vector<BenchEntry>& candidate,
+                                   bool use_cpu_time = true);
+
+}  // namespace meda::util

@@ -166,6 +166,88 @@ TEST(Solvers, DeterministicShortestPathOnGrid) {
   EXPECT_NEAR(pmax.values[mdp.start], 1.0, 1e-9);
 }
 
+TEST(SolveTermination, StableLabels) {
+  EXPECT_STREQ(to_string(SolveTermination::kConverged), "converged");
+  EXPECT_STREQ(to_string(SolveTermination::kSweepLimit), "sweep_limit");
+  EXPECT_STREQ(to_string(SolveTermination::kDeadline), "deadline");
+}
+
+/// Linear chain s0 → s1 → … → goal with one certain step each: the legacy
+/// state-index-order sweep propagates the goal value one state per sweep,
+/// so convergence takes ~length sweeps — a controllable sweep count.
+RoutingMdp make_chain(std::size_t length) {
+  RoutingMdp mdp = make_mdp(length, {length - 1});
+  for (std::size_t s = 0; s + 1 < length; ++s)
+    add_choice(mdp, s, Action::kE, {{static_cast<std::uint32_t>(s + 1), 1.0}});
+  return mdp;
+}
+
+TEST(Telemetry, ConvergedSolveReportsCauseWorkAndResiduals) {
+  RoutingMdp mdp = make_mdp(2, {1});
+  add_choice(mdp, 0, Action::kE, {{1, 0.3}, {0, 0.7}});
+  for (const Solution& sol : {solve_pmax(mdp), solve_rmin(mdp),
+                             solve_pmax_legacy(mdp), solve_rmin_legacy(mdp)}) {
+    EXPECT_TRUE(sol.converged);
+    EXPECT_EQ(sol.termination, SolveTermination::kConverged);
+    EXPECT_GT(sol.states_touched, 0u);
+    ASSERT_FALSE(sol.sweep_residuals.empty());
+    EXPECT_EQ(sol.sweep_residuals.size(),
+              std::min<std::size_t>(static_cast<std::size_t>(sol.iterations),
+                                    kResidualRingCapacity));
+    // The ring's newest entry is the residual that stopped the solve.
+    EXPECT_DOUBLE_EQ(sol.sweep_residuals.back(), sol.final_residual);
+    EXPECT_LT(sol.final_residual, 1e-9);
+  }
+}
+
+TEST(Telemetry, SweepLimitStopIsTagged) {
+  const RoutingMdp mdp = make_chain(6);
+  SolveConfig config;
+  config.max_iterations = 2;  // goal value cannot reach s0 in two sweeps
+  const Solution sol = solve_pmax_legacy(mdp, config);
+  EXPECT_FALSE(sol.converged);
+  EXPECT_FALSE(sol.deadline_expired);
+  EXPECT_EQ(sol.termination, SolveTermination::kSweepLimit);
+  EXPECT_EQ(sol.iterations, 2);
+  EXPECT_EQ(sol.sweep_residuals.size(), 2u);
+}
+
+TEST(Telemetry, DeadlineStopIsTagged) {
+  const RoutingMdp mdp = make_chain(6);
+  SolveConfig config;
+  config.deadline = util::Deadline::after_checks(1);  // expire on sweep 2
+  const Solution sol = solve_pmax_legacy(mdp, config);
+  EXPECT_FALSE(sol.converged);
+  EXPECT_TRUE(sol.deadline_expired);
+  EXPECT_EQ(sol.termination, SolveTermination::kDeadline);
+}
+
+TEST(Telemetry, ResidualRingIsBoundedAndChronological) {
+  // A 100-state chain needs ~100 legacy sweeps, overflowing the 64-entry
+  // ring: only the newest kResidualRingCapacity residuals survive, oldest
+  // first, ending in the converging residual.
+  const RoutingMdp mdp = make_chain(100);
+  const Solution sol = solve_pmax_legacy(mdp);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_GT(sol.iterations, static_cast<int>(kResidualRingCapacity));
+  ASSERT_EQ(sol.sweep_residuals.size(), kResidualRingCapacity);
+  EXPECT_DOUBLE_EQ(sol.sweep_residuals.back(), sol.final_residual);
+  // While the goal value is still propagating, each sweep's max change is
+  // 1.0; the tail of the curve must end below tolerance.
+  EXPECT_DOUBLE_EQ(sol.sweep_residuals.front(), 1.0);
+  EXPECT_LT(sol.sweep_residuals.back(), 1e-9);
+}
+
+TEST(Telemetry, StatesTouchedCountsPerStateUpdates) {
+  // In the chain every non-goal state is updated every sweep on the legacy
+  // path, so the work metric is exactly sweeps × (length − 1).
+  const std::size_t length = 10;
+  const RoutingMdp mdp = make_chain(length);
+  const Solution sol = solve_pmax_legacy(mdp);
+  EXPECT_EQ(sol.states_touched,
+            static_cast<std::uint64_t>(sol.iterations) * (length - 1));
+}
+
 TEST(Solvers, RejectBadConfig) {
   RoutingMdp mdp = make_mdp(2, {1});
   add_choice(mdp, 0, Action::kE, {{1, 1.0}});

@@ -69,9 +69,45 @@ class JsonLint {
     }
   }
 
+  /// RFC 3629 validity of the multi-byte sequence starting at pos_;
+  /// advances past it when valid. JSON text must be valid UTF-8, so a lone
+  /// 0x80-0xFF byte (or an overlong/surrogate/out-of-range sequence) makes
+  /// the document invalid even though older parsers pass it through.
+  bool utf8_sequence() {
+    const auto byte = [&](std::size_t i) {
+      return static_cast<unsigned char>(text_[pos_ + i]);
+    };
+    const unsigned char lead = byte(0);
+    std::size_t len = 0;
+    unsigned char lo = 0x80, hi = 0xBF;
+    if (lead >= 0xC2 && lead <= 0xDF) {
+      len = 2;
+    } else if (lead >= 0xE0 && lead <= 0xEF) {
+      len = 3;
+      if (lead == 0xE0) lo = 0xA0;
+      if (lead == 0xED) hi = 0x9F;
+    } else if (lead >= 0xF0 && lead <= 0xF4) {
+      len = 4;
+      if (lead == 0xF0) lo = 0x90;
+      if (lead == 0xF4) hi = 0x8F;
+    } else {
+      return false;
+    }
+    if (pos_ + len > text_.size()) return false;
+    if (byte(1) < lo || byte(1) > hi) return false;
+    for (std::size_t i = 2; i < len; ++i)
+      if (byte(i) < 0x80 || byte(i) > 0xBF) return false;
+    pos_ += len;
+    return true;
+  }
+
   bool string() {
     if (!eat('"')) return false;
     while (pos_ < text_.size()) {
+      if (static_cast<unsigned char>(text_[pos_]) >= 0x80) {
+        if (!utf8_sequence()) return false;
+        continue;
+      }
       const char c = text_[pos_++];
       if (c == '"') return true;
       if (static_cast<unsigned char>(c) < 0x20) return false;

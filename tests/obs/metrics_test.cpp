@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
 
 #include "json_lint.hpp"
@@ -65,6 +66,138 @@ TEST(Histogram, CumulativeBucketsPlusInfAndMeanRecovery) {
   EXPECT_EQ(h->bucket_counts()[1], 2u);  // ≤ 10 (cumulative)
   EXPECT_EQ(h->bucket_counts()[2], 3u);  // ≤ 100
   EXPECT_EQ(registry.histogram("never.recorded"), nullptr);
+}
+
+TEST(Histogram, TracksExactMinMaxSum) {
+  Histogram h = Histogram::log2();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reads as zeros
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);  // first observation sets both ends
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  h.observe(2.0);
+  h.observe(40.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 40.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 47.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, Log2BucketsPlacePowersOfTwoOnTheirOwnBound) {
+  Histogram h = Histogram::log2();
+  h.observe(1.0);   // → bound 1
+  h.observe(2.0);   // → bound 2, not 4
+  h.observe(3.0);   // → bound 4
+  h.observe(4.0);   // → bound 4
+  h.observe(9.0);   // → bound 16
+  const auto buckets = h.cumulative_buckets();
+  // Gap-free run of exponents from 1 up through 16 (bound 8 renders even
+  // though nothing landed in it).
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[2].first, 4.0);
+  EXPECT_DOUBLE_EQ(buckets[3].first, 8.0);
+  EXPECT_DOUBLE_EQ(buckets[4].first, 16.0);
+  EXPECT_EQ(buckets[0].second, 1u);  // cumulative counts
+  EXPECT_EQ(buckets[1].second, 2u);
+  EXPECT_EQ(buckets[2].second, 4u);
+  EXPECT_EQ(buckets[3].second, 4u);
+  EXPECT_EQ(buckets[4].second, 5u);
+}
+
+TEST(Histogram, Log2NonPositiveObservationsLandInTheZeroBucket) {
+  Histogram h = Histogram::log2();
+  h.observe(0.0);
+  h.observe(-3.0);
+  h.observe(2.0);
+  const auto buckets = h.cumulative_buckets();
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 0.0);
+  EXPECT_EQ(buckets[0].second, 2u);
+  EXPECT_DOUBLE_EQ(buckets.back().first, 2.0);
+  EXPECT_EQ(buckets.back().second, 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+}
+
+TEST(Histogram, QuantilesAreBucketBoundsClampedToObservedRange) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h{std::span<const double>(bounds)};
+  for (int i = 0; i < 9; ++i) h.observe(5.0);  // bucket ≤10
+  h.observe(70.0);                             // bucket ≤100
+  // rank(p50) = 5 → bound 10; rank(p90) = 9 → bound 10; rank(p99) = 10 →
+  // bound 100, clamped to the exact max 70.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 70.0);
+  // A single observation reports itself at every quantile: the bucket
+  // bound (1.0 here for 0.5) clamps down to the exact max.
+  Histogram single{std::span<const double>(bounds)};
+  single.observe(0.5);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(single.quantile(0.99), 0.5);
+}
+
+TEST(Histogram, QuantileResolvesPlusInfBucketToMax) {
+  const double bounds[] = {1.0, 2.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.observe(1.0);
+  h.observe(500.0);  // +inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 500.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 500.0);
+}
+
+TEST(MetricsRegistry, ObserveLog2CreatesALog2Histogram) {
+  MetricsRegistry registry;
+  registry.observe_log2("h", 8.0);  // disabled: dropped
+  EXPECT_TRUE(registry.empty());
+  registry.enable();
+  registry.observe_log2("h", 8.0);
+  registry.observe_log2("h", 9.0);
+  const Histogram* h = registry.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  const auto buckets = h->cumulative_buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 8.0);
+  EXPECT_DOUBLE_EQ(buckets[1].first, 16.0);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesDerivedHistogramLines) {
+  MetricsRegistry registry;
+  registry.enable();
+  const double bounds[] = {1.0, 10.0};
+  registry.observe("lat_seconds", 0.5, bounds);
+  registry.observe("lat_seconds", 7.0, bounds);
+  const std::string text = registry.snapshot_text();
+  for (const char* stat :
+       {"_count", "_sum", "_min", "_max", "_p50", "_p90", "_p99"})
+    EXPECT_NE(text.find(std::string("lat_seconds") + stat),
+              std::string::npos)
+        << stat << " missing from:\n" << text;
+  EXPECT_NE(text.find("lat_seconds{le=\"+Inf\"} 2"), std::string::npos);
+  const std::string json = registry.snapshot_json();
+  EXPECT_TRUE(JsonLint::valid(json)) << json;
+  for (const char* field :
+       {"\"count\"", "\"sum\"", "\"min\"", "\"max\"", "\"p50\"", "\"p90\"",
+        "\"p99\"", "\"buckets\""})
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+}
+
+TEST(MetricsRegistry, HistogramSnapshotsAreOrderIndependent) {
+  // The same multiset of observations in any order → byte-identical
+  // snapshots; this is what makes --metrics deterministic at any --jobs.
+  MetricsRegistry a;
+  a.enable();
+  for (const double v : {3.0, 100.0, 0.0, 7.0, 7.0}) a.observe_log2("h", v);
+  MetricsRegistry b;
+  b.enable();
+  for (const double v : {7.0, 0.0, 7.0, 100.0, 3.0}) b.observe_log2("h", v);
+  EXPECT_EQ(a.snapshot_text(), b.snapshot_text());
+  EXPECT_EQ(a.snapshot_json(), b.snapshot_json());
 }
 
 TEST(MetricsRegistry, TextSnapshotIsNameSortedAndDeterministic) {

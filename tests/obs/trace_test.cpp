@@ -32,6 +32,50 @@ TEST(JsonQuote, EscapesControlAndSpecialCharacters) {
   EXPECT_TRUE(JsonLint::valid(json_quote(std::string("\x01\x1f tab\t"))));
 }
 
+TEST(JsonQuote, EscapesEveryControlCharacter) {
+  for (int c = 0x00; c < 0x20; ++c) {
+    const std::string quoted = json_quote(std::string(1, static_cast<char>(c)));
+    EXPECT_TRUE(JsonLint::valid(quoted)) << "control byte " << c;
+    // The raw control byte must not survive into the output.
+    EXPECT_EQ(quoted.find(static_cast<char>(c)), std::string::npos) << c;
+  }
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x1f')), "\"\\u001f\"");
+}
+
+TEST(JsonQuote, PassesThroughValidUtf8) {
+  // 2-, 3-, and 4-byte sequences: µ, →, and a droplet emoji.
+  EXPECT_EQ(json_quote("5\xC2\xB5m"), "\"5\xC2\xB5m\"");
+  EXPECT_EQ(json_quote("a\xE2\x86\x92" "b"), "\"a\xE2\x86\x92" "b\"");
+  EXPECT_EQ(json_quote("\xF0\x9F\x92\xA7"), "\"\xF0\x9F\x92\xA7\"");
+  EXPECT_TRUE(JsonLint::valid(json_quote("mix \xC2\xB5 \xE2\x86\x92 end")));
+}
+
+TEST(JsonQuote, ReplacesInvalidUtf8WithReplacementEscape) {
+  // Each malformed byte becomes the escaped replacement character so the
+  // emitted trace is always valid JSON regardless of what landed in a name.
+  EXPECT_EQ(json_quote("a\xFF"), "\"a\\ufffd\"");           // lone invalid byte
+  EXPECT_EQ(json_quote("\x80x"), "\"\\ufffdx\"");           // bare continuation
+  EXPECT_EQ(json_quote("\xC0\xAF"), "\"\\ufffd\\ufffd\"");  // overlong 2-byte
+  EXPECT_EQ(json_quote("\xED\xA0\x80"),                     // UTF-16 surrogate
+            "\"\\ufffd\\ufffd\\ufffd\"");
+  EXPECT_EQ(json_quote("a\xE2\x86"), "\"a\\ufffd\\ufffd\"");  // truncated 3-byte
+  EXPECT_EQ(json_quote("\xF5\x80\x80\x80"),  // above U+10FFFF
+            "\"\\ufffd\\ufffd\\ufffd\\ufffd\"");
+  for (const char* bad : {"a\xFF", "\xC0\xAF", "\xED\xA0\x80", "a\xE2\x86"})
+    EXPECT_TRUE(JsonLint::valid(json_quote(bad))) << bad;
+}
+
+TEST(JsonLint, RejectsRawInvalidUtf8InsideStrings) {
+  // The lint itself must catch what json_quote guards against; otherwise the
+  // escaping tests above prove nothing.
+  EXPECT_TRUE(JsonLint::valid("\"5\xC2\xB5m\""));
+  EXPECT_FALSE(JsonLint::valid("\"a\xFF\""));
+  EXPECT_FALSE(JsonLint::valid("\"\xC0\xAF\""));
+  EXPECT_FALSE(JsonLint::valid("\"\xED\xA0\x80\""));
+  EXPECT_FALSE(JsonLint::valid("\"a\xE2\x86\""));
+}
+
 TEST(Tracer, NullSinkUntilEnabled) {
   Tracer tracer;
   tracer.begin("cat", "span");
@@ -101,6 +145,22 @@ TEST(Tracer, CycleDomainEventsLandOnTheCyclePid) {
   EXPECT_EQ(events[0].ts, 123u);  // ts IS the operational cycle
   EXPECT_EQ(events[1].ph, 'i');
   EXPECT_EQ(events[1].ts, 124u);
+}
+
+TEST(Tracer, SweepCountersLandOnTheSweepPid) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.sweep_counter("vi.residual.pmax", 0.125, 3);
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, 'C');
+  EXPECT_EQ(events[0].pid, TraceTrack::kSweepPid);
+  EXPECT_EQ(events[0].ts, 3u);  // ts IS the Gauss-Seidel sweep index
+  EXPECT_EQ(events[0].cat, "sweep");
+  // The sweep domain is named in the exported metadata.
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("solver convergence"), std::string::npos);
 }
 
 TEST(Tracer, ExportsSyntacticallyValidChromeTraceJson) {

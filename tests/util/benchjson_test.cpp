@@ -1,0 +1,161 @@
+#include "util/benchjson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace meda::util {
+namespace {
+
+// A trimmed-down Google-Benchmark JSON file: context block, one aggregate
+// row (must be skipped), duplicate iteration rows (must be averaged), and a
+// microsecond-unit row (must normalize to ns).
+const char* kSample = R"json({
+  "context": {
+    "date": "2026-08-08T00:00:00+00:00",
+    "host_name": "ci",
+    "num_cpus": 1
+  },
+  "benchmarks": [
+    {
+      "name": "BM_Solve/20",
+      "run_type": "iteration",
+      "real_time": 100.0,
+      "cpu_time": 90.0,
+      "time_unit": "ns"
+    },
+    {
+      "name": "BM_Solve/20",
+      "run_type": "iteration",
+      "real_time": 300.0,
+      "cpu_time": 110.0,
+      "time_unit": "ns"
+    },
+    {
+      "name": "BM_Solve/20_mean",
+      "run_type": "aggregate",
+      "real_time": 200.0,
+      "cpu_time": 100.0,
+      "time_unit": "ns"
+    },
+    {
+      "name": "BM_Build",
+      "run_type": "iteration",
+      "real_time": 2.5,
+      "cpu_time": 2.0,
+      "time_unit": "us"
+    }
+  ]
+})json";
+
+TEST(BenchJson, ParsesEntriesAndSkipsNothingAtParseTime) {
+  std::vector<BenchEntry> entries;
+  std::string error;
+  ASSERT_TRUE(parse_benchmark_json(kSample, entries, &error)) << error;
+  ASSERT_EQ(entries.size(), 4u);  // aggregates are filtered later, not here
+  EXPECT_EQ(entries[0].name, "BM_Solve/20");
+  EXPECT_EQ(entries[0].run_type, "iteration");
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time, 90.0);
+  EXPECT_EQ(entries[3].time_unit, "us");
+}
+
+TEST(BenchJson, RejectsMalformedInputWithAnError) {
+  std::vector<BenchEntry> entries;
+  std::string error;
+  EXPECT_FALSE(parse_benchmark_json("{\"benchmarks\": [", entries, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_benchmark_json("not json", entries, nullptr));
+  EXPECT_FALSE(parse_benchmark_json("{\"context\": {}}", entries, &error))
+      << "a file with no benchmarks array must not parse";
+}
+
+TEST(BenchJson, TimeUnitNormalization) {
+  EXPECT_DOUBLE_EQ(time_unit_to_ns("ns"), 1.0);
+  EXPECT_DOUBLE_EQ(time_unit_to_ns("us"), 1e3);
+  EXPECT_DOUBLE_EQ(time_unit_to_ns("ms"), 1e6);
+  EXPECT_DOUBLE_EQ(time_unit_to_ns("s"), 1e9);
+  EXPECT_DOUBLE_EQ(time_unit_to_ns("parsec"), 1.0);  // unknown → assume ns
+}
+
+std::vector<BenchEntry> entries_of(
+    std::initializer_list<std::pair<const char*, double>> rows) {
+  std::vector<BenchEntry> out;
+  for (const auto& [name, cpu] : rows) {
+    BenchEntry e;
+    e.name = name;
+    e.run_type = "iteration";
+    e.real_time = cpu * 2;  // distinct so --metric real is distinguishable
+    e.cpu_time = cpu;
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(BenchJson, CompareMatchesByNameAveragesRepsAndSortsOutput) {
+  const auto baseline =
+      entries_of({{"b", 100.0}, {"a", 50.0}, {"gone", 10.0}});
+  auto candidate = entries_of({{"a", 100.0}, {"b", 100.0}, {"new", 5.0}});
+  // Two repetition rows for "a" average to 75 ns.
+  candidate.push_back(entries_of({{"a", 50.0}}).front());
+
+  const BenchComparison diff = compare_benchmarks(baseline, candidate);
+  ASSERT_EQ(diff.matched.size(), 2u);
+  EXPECT_EQ(diff.matched[0].name, "a");  // name-sorted
+  EXPECT_DOUBLE_EQ(diff.matched[0].baseline_ns, 50.0);
+  EXPECT_DOUBLE_EQ(diff.matched[0].candidate_ns, 75.0);
+  EXPECT_DOUBLE_EQ(diff.matched[0].ratio, 1.5);
+  EXPECT_EQ(diff.matched[1].name, "b");
+  EXPECT_DOUBLE_EQ(diff.matched[1].ratio, 1.0);
+  ASSERT_EQ(diff.only_baseline.size(), 1u);
+  EXPECT_EQ(diff.only_baseline[0], "gone");
+  ASSERT_EQ(diff.only_candidate.size(), 1u);
+  EXPECT_EQ(diff.only_candidate[0], "new");
+}
+
+TEST(BenchJson, CompareSkipsAggregateRowsAndHonorsRealTimeMetric) {
+  auto baseline = entries_of({{"a", 100.0}});
+  auto candidate = entries_of({{"a", 100.0}});
+  BenchEntry aggregate;
+  aggregate.name = "a";
+  aggregate.run_type = "aggregate";
+  aggregate.cpu_time = 1e9;  // would wreck the mean if it were counted
+  aggregate.real_time = 1e9;
+  candidate.push_back(aggregate);
+
+  const BenchComparison cpu = compare_benchmarks(baseline, candidate, true);
+  ASSERT_EQ(cpu.matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(cpu.matched[0].ratio, 1.0);
+
+  const BenchComparison real = compare_benchmarks(baseline, candidate, false);
+  ASSERT_EQ(real.matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(real.matched[0].baseline_ns, 200.0);  // real = 2x cpu
+  EXPECT_DOUBLE_EQ(real.matched[0].ratio, 1.0);
+}
+
+TEST(BenchJson, CompareNormalizesMixedTimeUnits) {
+  auto baseline = entries_of({{"a", 1000.0}});  // 1000 ns
+  std::vector<BenchEntry> candidate;
+  BenchEntry e;
+  e.name = "a";
+  e.run_type = "iteration";
+  e.cpu_time = 2.0;  // 2 us = 2000 ns
+  e.real_time = 2.0;
+  e.time_unit = "us";
+  candidate.push_back(e);
+  const BenchComparison diff = compare_benchmarks(baseline, candidate);
+  ASSERT_EQ(diff.matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(diff.matched[0].candidate_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(diff.matched[0].ratio, 2.0);
+}
+
+TEST(BenchJson, ZeroBaselineYieldsZeroRatioNotInf) {
+  const auto baseline = entries_of({{"a", 0.0}});
+  const auto candidate = entries_of({{"a", 10.0}});
+  const BenchComparison diff = compare_benchmarks(baseline, candidate);
+  ASSERT_EQ(diff.matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(diff.matched[0].ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace meda::util
