@@ -140,6 +140,90 @@ void BM_SolveReachAvoid(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveReachAvoid)->Arg(10)->Arg(20)->Arg(30);
 
+// The scheduler's hot re-synthesis kernel: patch the retained compiled
+// model for a k-cell health delta and warm-start value iteration from the
+// previous fixed point. Deltas are a compact wear cluster (the realistic
+// shape: cells degrade along the route). The cold twin below re-solves the
+// exact same patched model from scratch; warm/cold at equal delta is the
+// speedup the incremental path claims. At the largest delta the dirty
+// frontier exceeds SolveConfig::warm_dirty_fraction and the kernel
+// deliberately falls back to full sweeps — that case bounds the overhead of
+// choosing warm when cold would have been right.
+constexpr int kWarmWidth = assay::kChipWidth;    // the reference chip,
+constexpr int kWarmHeight = assay::kChipHeight;  // not a toy grid
+
+assay::RoutingJob warm_job() {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 4, 4);
+  rj.goal = Rect::from_size(kWarmWidth - 4, kWarmHeight - 4, 4, 4);
+  rj.hazard = Rect{0, 0, kWarmWidth - 1, kWarmHeight - 1};
+  return rj;
+}
+
+std::vector<Vec2i> wear_cluster(int delta) {
+  // A near-square block centred on the chip.
+  int w = 1;
+  while (w * w < delta) ++w;
+  const int x0 = (kWarmWidth - w) / 2, y0 = (kWarmHeight - w) / 2;
+  std::vector<Vec2i> cells;
+  cells.reserve(static_cast<std::size_t>(delta));
+  for (int i = 0; i < delta; ++i)
+    cells.push_back(Vec2i{x0 + i % w, y0 + i / w});
+  return cells;
+}
+
+void BM_SolveReachAvoidWarm(benchmark::State& state) {
+  const int delta = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = warm_job();
+  const Rect chip = rj.hazard;
+  DoubleMatrix force(kWarmWidth, kWarmHeight, 0.6);
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  core::CompiledMdp compiled = core::compile_mdp(mdp);
+  const core::CompiledGeometry geometry = core::compile_geometry(mdp);
+  core::ReachAvoidSolution prior = core::solve_reach_avoid(compiled);
+  const std::vector<Vec2i> cells = wear_cluster(delta);
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    for (const Vec2i& c : cells) force(c.x, c.y) = flip ? 0.5 : 0.6;
+    const core::MdpPatch patch = core::patch_compiled_mdp(
+        compiled, geometry, force, rj.hazard, chip, cells);
+    core::ReachAvoidSolution sol =
+        core::solve_reach_avoid_warm(compiled, prior, patch.dirty_states);
+    benchmark::DoNotOptimize(sol.pmax.values.data());
+    prior = std::move(sol);
+  }
+  state.SetLabel(std::to_string(compiled.num_droplet_states) + " states, " +
+                 std::to_string(delta) + "-cell delta" +
+                 (prior.pmax.warm_fell_back ? " (sweep fallback)" : ""));
+}
+BENCHMARK(BM_SolveReachAvoidWarm)->Arg(2)->Arg(16)->Arg(120);
+
+void BM_SolveReachAvoidColdResolve(benchmark::State& state) {
+  const int delta = static_cast<int>(state.range(0));
+  const assay::RoutingJob rj = warm_job();
+  const Rect chip = rj.hazard;
+  DoubleMatrix force(kWarmWidth, kWarmHeight, 0.6);
+  const core::RoutingMdp mdp =
+      core::build_routing_mdp(rj, force, chip, bench_rules());
+  core::CompiledMdp compiled = core::compile_mdp(mdp);
+  const core::CompiledGeometry geometry = core::compile_geometry(mdp);
+  const std::vector<Vec2i> cells = wear_cluster(delta);
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    for (const Vec2i& c : cells) force(c.x, c.y) = flip ? 0.5 : 0.6;
+    const core::MdpPatch patch = core::patch_compiled_mdp(
+        compiled, geometry, force, rj.hazard, chip, cells);
+    benchmark::DoNotOptimize(patch.choices_changed);
+    benchmark::DoNotOptimize(core::solve_reach_avoid(compiled));
+  }
+  state.SetLabel(std::to_string(compiled.num_droplet_states) + " states, " +
+                 std::to_string(delta) + "-cell delta");
+}
+BENCHMARK(BM_SolveReachAvoidColdResolve)->Arg(2)->Arg(16)->Arg(120);
+
 void BM_FullSynthesis(benchmark::State& state) {
   const int area = static_cast<int>(state.range(0));
   core::SynthesisConfig config;

@@ -1,8 +1,11 @@
 #include "core/compiled_mdp.hpp"
 
+#include <algorithm>
 #include <cstddef>
 
+#include "model/outcomes.hpp"
 #include "obs/obs.hpp"
+#include "util/check.hpp"
 
 namespace meda::core {
 
@@ -54,28 +57,31 @@ CompiledMdp compile_mdp(const RoutingMdp& mdp) {
         static_cast<std::uint32_t>(out.trans_offset.size() - 1));
   }
 
-  // Goal-anchored sweep order: reverse BFS from the goal set over the
-  // off-state edges. Predecessor lists are built CSR-style as well (counting
-  // pass + placement pass) to stay allocation-light.
+  // Reverse adjacency over the off-state edges, built CSR-style (counting
+  // pass + placement pass) to stay allocation-light. Kept on the compiled
+  // model: the reverse BFS below anchors sweep_order on it, and the warm
+  // solver's dirty-set propagation walks it on every incremental solve.
   std::vector<std::uint32_t> pred_count(n, 0);
   for (std::size_t i = 0; i < out.target.size(); ++i) {
     const std::uint32_t t = out.target[i];
     if (t < n) ++pred_count[t];
   }
-  std::vector<std::uint32_t> pred_offset(n + 1, 0);
+  out.pred_offset.assign(n + 1, 0);
   for (std::size_t s = 0; s < n; ++s)
-    pred_offset[s + 1] = pred_offset[s] + pred_count[s];
-  std::vector<std::uint32_t> pred(pred_offset[n]);
-  std::vector<std::uint32_t> fill(pred_offset.begin(), pred_offset.end() - 1);
+    out.pred_offset[s + 1] = out.pred_offset[s] + pred_count[s];
+  out.pred_state.resize(out.pred_offset[n]);
+  std::vector<std::uint32_t> fill(out.pred_offset.begin(),
+                                  out.pred_offset.end() - 1);
   for (std::size_t s = 0; s < n; ++s) {
     const std::uint32_t tb = out.trans_offset[out.choice_offset[s]];
     const std::uint32_t te = out.trans_offset[out.choice_offset[s + 1]];
     for (std::uint32_t i = tb; i < te; ++i) {
       const std::uint32_t t = out.target[i];
-      if (t < n) pred[fill[t]++] = static_cast<std::uint32_t>(s);
+      if (t < n) out.pred_state[fill[t]++] = static_cast<std::uint32_t>(s);
     }
   }
 
+  // Goal-anchored sweep order: reverse BFS from the goal set.
   out.sweep_order.reserve(n);
   std::vector<std::uint8_t> seen(n, 0);
   for (std::size_t s = 0; s < n; ++s) {
@@ -86,8 +92,9 @@ CompiledMdp compile_mdp(const RoutingMdp& mdp) {
   }
   for (std::size_t head = 0; head < out.sweep_order.size(); ++head) {
     const std::uint32_t s = out.sweep_order[head];
-    for (std::uint32_t i = pred_offset[s]; i < pred_offset[s + 1]; ++i) {
-      const std::uint32_t p = pred[i];
+    for (std::uint32_t i = out.pred_offset[s]; i < out.pred_offset[s + 1];
+         ++i) {
+      const std::uint32_t p = out.pred_state[i];
       if (!seen[p]) {
         seen[p] = 1;
         out.sweep_order.push_back(p);
@@ -111,6 +118,161 @@ CompiledMdp compile_mdp(const RoutingMdp& mdp) {
     // initial value, so an increase here flags degenerate models).
     MEDA_OBS_COUNT("vi.compile.unanchored_states",
                    static_cast<std::uint64_t>(n) - out.goal_reachable);
+  }
+  return out;
+}
+
+CompiledGeometry compile_geometry(const RoutingMdp& mdp) {
+  CompiledGeometry geo;
+  geo.droplets = mdp.droplets;
+  geo.state_index.reserve(mdp.droplets.size());
+  for (std::size_t s = 0; s < mdp.droplets.size(); ++s)
+    geo.state_index.emplace(mdp.droplets[s], static_cast<std::uint32_t>(s));
+  std::size_t total_choices = 0;
+  for (const auto& state_choices : mdp.choices)
+    total_choices += state_choices.size();
+  geo.choice_action.reserve(total_choices);
+  for (const auto& state_choices : mdp.choices)
+    for (const Choice& c : state_choices) geo.choice_action.push_back(c.action);
+  return geo;
+}
+
+namespace {
+
+/// Every cell an action's outcome distribution or wear cost can read lies
+/// within the droplet inflated by this margin: single-step frontiers sit one
+/// cell out, a double move's second-step frontier and target pattern two.
+constexpr int kInfluenceRadius = 2;
+
+}  // namespace
+
+MdpPatch patch_compiled_mdp(CompiledMdp& mdp, const CompiledGeometry& geometry,
+                            const DoubleMatrix& force, const Rect& hazard,
+                            const Rect& chip,
+                            const std::vector<Vec2i>& changed_cells,
+                            double wear_penalty_lambda) {
+  MEDA_OBS_SPAN(span, "vi", "patch");
+  MEDA_OBS_COUNT("vi.patch.calls", 1);  // attempts; aborts are a subset
+  const std::size_t n = mdp.num_droplet_states;
+  MEDA_REQUIRE(geometry.droplets.size() == n &&
+                   geometry.choice_action.size() == mdp.choice_count(),
+               "geometry side table does not match the compiled model");
+  MdpPatch out;
+  if (changed_cells.empty()) {
+    out.patched = true;
+    return out;
+  }
+
+  // Bounding box of the delta for a cheap per-state reject before the exact
+  // per-cell containment test.
+  Rect box{changed_cells.front().x, changed_cells.front().y,
+           changed_cells.front().x, changed_cells.front().y};
+  for (const Vec2i cell : changed_cells) {
+    box.xa = std::min(box.xa, cell.x);
+    box.ya = std::min(box.ya, cell.y);
+    box.xb = std::max(box.xb, cell.x);
+    box.yb = std::max(box.yb, cell.y);
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (mdp.is_goal[s]) continue;  // absorbing: no choices to refresh
+    const Rect droplet = geometry.droplets[s];
+    const Rect influence = droplet.inflated(kInfluenceRadius);
+    if (!influence.intersects(box)) continue;
+    bool affected = false;
+    for (const Vec2i cell : changed_cells) {
+      if (influence.contains(cell)) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    ++out.states_rescanned;
+
+    bool state_dirty = false;
+    const std::uint32_t cb = mdp.choice_offset[s];
+    const std::uint32_t ce = mdp.choice_offset[s + 1];
+    for (std::uint32_t c = cb; c < ce; ++c) {
+      const Action a = geometry.choice_action[c];
+      const std::vector<Outcome> outcomes = action_outcomes(droplet, a, force);
+      // Self-loop mass summed in outcome order — the same accumulation
+      // order compile_mdp uses, so a topology-preserving patch reproduces a
+      // fresh compile bit for bit.
+      double q = 0.0;
+      for (const Outcome& o : outcomes)
+        if (o.droplet == droplet) q += o.probability;
+      bool choice_dirty = false;
+      std::uint32_t i = mdp.trans_offset[c];
+      const std::uint32_t te = mdp.trans_offset[c + 1];
+      bool topology_ok = true;
+      for (const Outcome& o : outcomes) {
+        if (o.droplet == droplet) continue;
+        std::uint32_t target;
+        if (!hazard.contains(o.droplet)) {
+          target = mdp.hazard_sink();
+        } else {
+          const auto it = geometry.state_index.find(o.droplet);
+          if (it == geometry.state_index.end()) {
+            // A cell revived: this branch had probability 0 at build time,
+            // its target state was never explored.
+            topology_ok = false;
+            break;
+          }
+          target = it->second;
+        }
+        if (i >= te || mdp.target[i] != target) {
+          topology_ok = false;  // outcome set changed shape under the delta
+          break;
+        }
+        if (mdp.probability[i] != o.probability) {
+          mdp.probability[i] = o.probability;
+          choice_dirty = true;
+        }
+        ++i;
+      }
+      if (!topology_ok || i != te) {
+        // A cell died or revived inside the influence box: branches were
+        // added or dropped (action_outcomes omits zero-probability
+        // outcomes), so the CSR shape no longer matches. The arrays are
+        // partially rewritten at this point — the caller must recompile.
+        MEDA_OBS_COUNT("vi.patch.topology_aborts", 1);
+        out.patched = false;
+        out.dirty_states.clear();
+        return out;
+      }
+      const double inv = q >= 1.0 - 1e-12 ? 0.0 : 1.0 / (1.0 - q);
+      if (mdp.inv_one_minus_q[c] != inv) {
+        mdp.inv_one_minus_q[c] = inv;
+        choice_dirty = true;
+      }
+      if (wear_penalty_lambda > 0.0) {
+        const Rect target_pattern = apply(a, droplet).intersection_with(chip);
+        const double cost =
+            1.0 + wear_penalty_lambda *
+                      (1.0 - mean_frontier_force(force, target_pattern));
+        if (mdp.cost[c] != cost) {
+          mdp.cost[c] = cost;
+          choice_dirty = true;
+        }
+      }
+      if (choice_dirty) {
+        ++out.choices_changed;
+        state_dirty = true;
+      }
+    }
+    if (state_dirty) out.dirty_states.push_back(static_cast<std::uint32_t>(s));
+  }
+
+  out.patched = true;
+  if (MEDA_OBS_ACTIVE()) {
+    span.arg("changed_cells", static_cast<std::int64_t>(changed_cells.size()));
+    span.arg("states_rescanned",
+             static_cast<std::int64_t>(out.states_rescanned));
+    span.arg("dirty_states", static_cast<std::int64_t>(out.dirty_states.size()));
+    MEDA_OBS_COUNT("vi.patch.choices_changed",
+                   static_cast<std::uint64_t>(out.choices_changed));
+    MEDA_OBS_OBSERVE_LOG2("vi.patch.dirty_states",
+                          static_cast<double>(out.dirty_states.size()));
   }
   return out;
 }

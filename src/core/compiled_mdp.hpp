@@ -1,9 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/mdp.hpp"
+#include "geometry/rect.hpp"
+#include "model/action.hpp"
+#include "util/matrix.hpp"
 
 /// @file compiled_mdp.hpp
 /// Compiled sparse form of a RoutingMdp: the solver-facing representation
@@ -59,6 +63,14 @@ struct CompiledMdp {
   /// Number of leading sweep_order entries reached by the reverse BFS.
   std::uint32_t goal_reachable = 0;
 
+  /// Reverse adjacency, CSR-style: the source states with an off-state edge
+  /// into s are pred_state[pred_offset[s]..pred_offset[s+1]), in ascending
+  /// source order (one entry per edge, so multiplicity is preserved). The
+  /// warm solver's dirty-set propagation walks this index; the compile-time
+  /// reverse BFS that builds sweep_order uses the same arrays.
+  std::vector<std::uint32_t> pred_offset;  ///< size n+1
+  std::vector<std::uint32_t> pred_state;   ///< size = edges into droplet states
+
   std::uint32_t hazard_sink() const { return num_droplet_states; }
   std::size_t state_count() const { return num_droplet_states + 1u; }
   std::size_t choice_count() const { return cost.size(); }
@@ -68,5 +80,56 @@ struct CompiledMdp {
 /// reverse BFS). Emits a `vi.compile` span and compile-shape metrics when
 /// observability is enabled.
 CompiledMdp compile_mdp(const RoutingMdp& mdp);
+
+/// Geometry side table a CompiledMdp needs for in-place health patching:
+/// the per-state droplet rectangles, the action behind every flat choice,
+/// and the rect → state interning map of the original exploration. Kept
+/// separate from CompiledMdp so the solver's hot arrays stay lean.
+struct CompiledGeometry {
+  std::vector<Rect> droplets;        ///< per droplet state
+  std::vector<Action> choice_action; ///< per flat choice (CompiledMdp order)
+  std::unordered_map<Rect, std::uint32_t> state_index;
+};
+
+/// Builds the geometry side table for the CompiledMdp compiled from @p mdp.
+CompiledGeometry compile_geometry(const RoutingMdp& mdp);
+
+/// Outcome of patch_compiled_mdp.
+struct MdpPatch {
+  /// The delta was probability/cost-only and the model was updated in
+  /// place. false ⇒ the delta changed the transition topology (a cell died
+  /// or revived, adding/removing outcomes or reachable states — the
+  /// quarantine/parole case); the model is left partially written and must
+  /// be recompiled from scratch.
+  bool patched = false;
+  /// Droplet states whose choice parameters actually changed, ascending —
+  /// the dirty seed set for solve_reach_avoid_warm.
+  std::vector<std::uint32_t> dirty_states;
+  std::size_t states_rescanned = 0;  ///< states whose choices were recomputed
+  std::size_t choices_changed = 0;   ///< choices with any param delta
+};
+
+/// Patches @p mdp in place for a localized force change instead of a full
+/// re-flatten: recomputes the outcome distributions only for states whose
+/// influence box (droplet inflated by 2, covering every frontier and target
+/// pattern an action can touch) contains a changed cell, and rewrites their
+/// choice costs / probabilities / self-loop scales. The transition targets
+/// must be unchanged — any added, removed, or retargeted outcome (possible
+/// because zero-probability branches are omitted from the model) aborts the
+/// patch with patched == false. Topology-preserving patches keep sweep_order
+/// and the predecessor index valid, and leave the arrays byte-identical to a
+/// fresh compile of the same job under @p force.
+///
+/// @param geometry   side table from compile_geometry for the same model
+/// @param force      chip-sized force matrix the model should now reflect
+/// @param hazard     the routing job's hazard bounds used at build time
+/// @param chip       chip bounds
+/// @param changed_cells  cells whose force changed (health_delta_cells)
+/// @param wear_penalty_lambda  λ the model was built with
+MdpPatch patch_compiled_mdp(CompiledMdp& mdp, const CompiledGeometry& geometry,
+                            const DoubleMatrix& force, const Rect& hazard,
+                            const Rect& chip,
+                            const std::vector<Vec2i>& changed_cells,
+                            double wear_penalty_lambda = 0.0);
 
 }  // namespace meda::core

@@ -138,6 +138,10 @@ struct RouteTask {
   bool recorded = false;
   // Observability: nonzero while an async "job" span is open for this task.
   std::uint64_t job_span_id = 0;
+  // Incremental re-synthesis: the solver state retained across this task's
+  // health-delta re-syntheses (primed by the first cold synthesis of the
+  // lineage, reused warm while the topology holds).
+  ResynthesisContext resynth;
 };
 
 /// What a watchdog-confirmed stall is blocked by (satellite classifier).
@@ -247,6 +251,8 @@ class Runner {
     span.arg("synthesis_calls",
              static_cast<std::int64_t>(stats_.synthesis_calls));
     span.arg("resyntheses", static_cast<std::int64_t>(stats_.resyntheses));
+    span.arg("resyntheses_warm",
+             static_cast<std::int64_t>(stats_.resyntheses_warm));
     MEDA_OBS_COUNT("sched.runs", 1);
     if (stats_.success) MEDA_OBS_COUNT("sched.successes", 1);
     MEDA_OBS_COUNT("sched.cycles", stats_.cycles);
@@ -256,6 +262,8 @@ class Runner {
                    static_cast<std::uint64_t>(stats_.library_hits));
     MEDA_OBS_COUNT("sched.resyntheses",
                    static_cast<std::uint64_t>(stats_.resyntheses));
+    MEDA_OBS_COUNT("sched.resyntheses_warm",
+                   static_cast<std::uint64_t>(stats_.resyntheses_warm));
     MEDA_OBS_COUNT("sched.completed_mos",
                    static_cast<std::uint64_t>(stats_.completed_mos));
     MEDA_OBS_COUNT("sched.aborted_mos",
@@ -1094,7 +1102,12 @@ class Runner {
         result = synthesizer_.synthesize(rj, masked_health,
                                          chip_.health_bits());
       } else if (config_.adaptive) {
-        result = synthesizer_.synthesize(rj, health_, chip_.health_bits());
+        // The hot re-synthesis path: reuse the task's retained solver state
+        // so a small health delta patches + warm-solves instead of
+        // rebuilding the MDP from scratch.
+        result = synthesizer_.resynthesize(rj, health_, chip_.health_bits(),
+                                           task.resynth);
+        if (result.warm) ++stats_.resyntheses_warm;
       } else {
         result = synthesizer_.synthesize_with_force(
             rj,
@@ -1398,6 +1411,7 @@ void RunRollup::absorb(const ExecutionStats& stats) {
   synthesis_calls += stats.synthesis_calls;
   library_hits += stats.library_hits;
   resyntheses += stats.resyntheses;
+  resyntheses_warm += stats.resyntheses_warm;
   synthesis_seconds += stats.synthesis_seconds;
   recovery.accumulate(stats.recovery);
 }

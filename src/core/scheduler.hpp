@@ -83,6 +83,9 @@ struct ExecutionStats {
   int synthesis_calls = 0;            ///< model-checker invocations
   int library_hits = 0;               ///< strategies served from the library
   int resyntheses = 0;                ///< syntheses triggered by H changes
+  /// Syntheses served by the incremental warm path (retained model patched
+  /// in place + warm-started solve) rather than a cold rebuild.
+  int resyntheses_warm = 0;
   double synthesis_seconds = 0.0;     ///< wall time spent synthesizing
   std::string failure_reason;         ///< empty on success
   std::vector<MoTiming> mo_timings;   ///< per-MO schedule (by MO id)
@@ -109,6 +112,7 @@ struct RunRollup {
   int synthesis_calls = 0;
   int library_hits = 0;
   int resyntheses = 0;
+  int resyntheses_warm = 0;
   double synthesis_seconds = 0.0;
   stats::RunningStats cycles;       ///< completion cycles, successful runs only
   RecoveryCounters recovery;        ///< ladder counters summed over all runs

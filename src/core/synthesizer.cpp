@@ -1,6 +1,7 @@
 #include "core/synthesizer.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "model/outcomes.hpp"
 #include "obs/obs.hpp"
@@ -10,16 +11,65 @@ namespace meda::core {
 
 namespace {
 
-/// Extracts the strategy recorded by a solver run.
-Strategy extract_strategy(const RoutingMdp& mdp, const Solution& sol) {
+/// Extracts the strategy recorded by a solver run. @p action_of maps a
+/// (state, local choice index) pair to its Action — the RoutingMdp path
+/// reads it off the explicit choices, the compiled path off the geometry
+/// side table.
+template <typename ActionOf>
+Strategy extract_strategy(const std::vector<Rect>& droplets,
+                          const Solution& sol, ActionOf&& action_of) {
   Strategy strategy;
-  for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
+  for (std::size_t s = 0; s < droplets.size(); ++s) {
     const int c = sol.chosen[s];
     if (c < 0) continue;
-    strategy.set(mdp.droplets[s], mdp.choices[s][static_cast<std::size_t>(c)]
-                                      .action);
+    strategy.set(droplets[s], action_of(s, c));
   }
   return strategy;
+}
+
+/// Strategy extraction and value read-out shared by the cold and warm solve
+/// paths: fills strategy/expected_cycles/reach_probability/feasible from a
+/// non-deadline-expired combined solution.
+template <typename ActionOf>
+void extract_result(const SynthesisConfig& config,
+                    const ReachAvoidSolution& sol,
+                    const std::vector<Rect>& droplets, std::uint32_t start,
+                    bool start_is_goal, ActionOf&& action_of,
+                    SynthesisResult& result) {
+  const Solution& pmax = sol.pmax;
+  const Solution& rmin = sol.rmin;
+  result.reach_probability = pmax.values[start];
+
+  if (config.query == Query::kPmaxReachability) {
+    if (result.reach_probability > 0.0) {
+      // A pure argmax strategy is degenerate wherever many actions tie at
+      // the same reach probability (on a healthy chip, all of them), so
+      // extract lexicographically: inside the almost-sure-winning region
+      // follow the Rmin strategy (fewest expected cycles among the
+      // Pmax-optimal choices); elsewhere fall back to the Pmax argmax.
+      MEDA_OBS_SPAN(extract_span, "synth", "extract");
+      result.strategy = extract_strategy(droplets, pmax, action_of);
+      for (std::size_t s = 0; s < droplets.size(); ++s) {
+        if (rmin.chosen[s] >= 0)
+          result.strategy.set(droplets[s], action_of(s, rmin.chosen[s]));
+      }
+      result.expected_cycles = rmin.values[start];
+      result.feasible = !result.strategy.empty() || start_is_goal;
+    }
+    return;
+  }
+
+  result.expected_cycles = rmin.values[start];
+  MEDA_OBS_SPAN(extract_span, "synth", "extract");
+  if (std::isfinite(result.expected_cycles)) {
+    result.strategy = extract_strategy(droplets, rmin, action_of);
+    result.feasible = !result.strategy.empty() || start_is_goal;
+  } else if (config.pmax_fallback && result.reach_probability > 0.0) {
+    // PRISM semantics give (π, k) = (∅, ∞) here; for runtime robustness we
+    // optionally fall back to the best-effort Pmax strategy.
+    result.strategy = extract_strategy(droplets, pmax, action_of);
+    result.feasible = !result.strategy.empty() || start_is_goal;
+  }
 }
 
 void record_model_metrics(const ModelStats& stats) {
@@ -31,7 +81,47 @@ void record_model_metrics(const ModelStats& stats) {
                    obs::kStateCountBuckets);
 }
 
+/// Shared metrics/span tail of every synthesis entry point; the caller has
+/// already set total_seconds.
+template <typename Span>
+void record_synthesis(Span& span, const SynthesisResult& result) {
+  record_model_metrics(result.stats);
+  MEDA_OBS_OBSERVE("synth.total_seconds", result.total_seconds,
+                   obs::kSecondsBuckets);
+  if (!result.feasible) MEDA_OBS_COUNT("synth.infeasible", 1);
+  if (result.deadline_expired) MEDA_OBS_COUNT("synth.deadline_expired", 1);
+  span.arg("states", static_cast<std::int64_t>(result.stats.states));
+  span.arg("feasible", static_cast<std::int64_t>(result.feasible ? 1 : 0));
+  span.arg("deadline_expired",
+           static_cast<std::int64_t>(result.deadline_expired ? 1 : 0));
+  span.arg("reach_probability", result.reach_probability);
+}
+
+/// A fresh deadline token per synthesize call: each synthesis gets the full
+/// budget, and an expired token from one job can never starve the next. The
+/// sweep budget wins over the wall-clock budget because it is deterministic.
+SolveConfig armed_solver(const SynthesisConfig& config) {
+  SolveConfig solver = config.solver;
+  if (config.deadline_sweeps > 0)
+    solver.deadline = util::Deadline::after_checks(config.deadline_sweeps);
+  else if (config.deadline_seconds > 0.0)
+    solver.deadline = util::Deadline::after_seconds(config.deadline_seconds);
+  return solver;
+}
+
 }  // namespace
+
+std::vector<Vec2i> health_delta_cells(const IntMatrix& before,
+                                      const IntMatrix& after) {
+  MEDA_REQUIRE(before.width() == after.width() &&
+                   before.height() == after.height(),
+               "health matrices differ in shape");
+  std::vector<Vec2i> cells;
+  for (int y = 0; y < after.height(); ++y)
+    for (int x = 0; x < after.width(); ++x)
+      if (before(x, y) != after(x, y)) cells.push_back({x, y});
+  return cells;
+}
 
 Synthesizer::Synthesizer(Rect chip_bounds, SynthesisConfig config)
     : chip_bounds_(chip_bounds), config_(config) {
@@ -54,14 +144,7 @@ SynthesisResult Synthesizer::synthesize_with_force(
   MEDA_OBS_SPAN(span, "synth", "synthesize");
   obs::Stopwatch watch;
 
-  // A fresh token per call: each synthesis gets the full budget, and an
-  // expired token from one job can never starve the next. The sweep budget
-  // wins over the wall-clock budget because it is deterministic.
-  SolveConfig solver = config_.solver;
-  if (config_.deadline_sweeps > 0)
-    solver.deadline = util::Deadline::after_checks(config_.deadline_sweeps);
-  else if (config_.deadline_seconds > 0.0)
-    solver.deadline = util::Deadline::after_seconds(config_.deadline_seconds);
+  const SolveConfig solver = armed_solver(config_);
 
   {
     MEDA_OBS_SPAN(build_span, "synth", "mdp_build");
@@ -80,16 +163,129 @@ SynthesisResult Synthesizer::synthesize_with_force(
   }
 
   result.total_seconds = watch.total_seconds();
-  record_model_metrics(result.stats);
-  MEDA_OBS_OBSERVE("synth.total_seconds", result.total_seconds,
-                   obs::kSecondsBuckets);
-  if (!result.feasible) MEDA_OBS_COUNT("synth.infeasible", 1);
-  if (result.deadline_expired) MEDA_OBS_COUNT("synth.deadline_expired", 1);
-  span.arg("states", static_cast<std::int64_t>(result.stats.states));
-  span.arg("feasible", static_cast<std::int64_t>(result.feasible ? 1 : 0));
-  span.arg("deadline_expired",
-           static_cast<std::int64_t>(result.deadline_expired ? 1 : 0));
-  span.arg("reach_probability", result.reach_probability);
+  record_synthesis(span, result);
+  return result;
+}
+
+SynthesisResult Synthesizer::resynthesize(const assay::RoutingJob& rj,
+                                          const IntMatrix& health,
+                                          int health_bits,
+                                          ResynthesisContext& ctx) const {
+  if (!config_.incremental) return synthesize(rj, health, health_bits);
+  MEDA_REQUIRE(health.width() == chip_bounds_.width() &&
+                   health.height() == chip_bounds_.height(),
+               "health matrix must be chip-sized");
+
+  // Warm eligibility: the retained model must cover the same (goal, hazard)
+  // anchor, and the (possibly re-anchored) start must be a state it already
+  // explored. A different goal or hazard changes the reachable state space
+  // outright; an unexplored start means the droplet drifted somewhere the
+  // prior model considered unreachable.
+  std::uint32_t start_state = 0;
+  bool eligible = ctx.valid && rj.goal == ctx.anchor.goal &&
+                  rj.hazard == ctx.anchor.hazard;
+  if (eligible) {
+    const auto it = ctx.geometry.state_index.find(rj.start);
+    if (it == ctx.geometry.state_index.end())
+      eligible = false;
+    else
+      start_state = it->second;
+  }
+
+  const DoubleMatrix force =
+      force_from_health(health, health_bits, config_.estimator);
+
+  SynthesisResult result;
+  MEDA_OBS_SPAN(span, "synth", "resynthesize");
+  obs::Stopwatch watch;
+
+  if (eligible) {
+    const std::vector<Vec2i> delta = health_delta_cells(ctx.health, health);
+    const MdpPatch patch = patch_compiled_mdp(
+        ctx.compiled, ctx.geometry, force, ctx.anchor.hazard, chip_bounds_,
+        delta, config_.wear_penalty_lambda);
+    if (patch.patched) {
+      ctx.compiled.start = start_state;
+      result.stats = ctx.stats;
+      result.construction_seconds = watch.lap_seconds();
+      result.warm = true;
+      MEDA_OBS_COUNT("synth.warm.patched", 1);
+      MEDA_OBS_OBSERVE_LOG2("synth.warm.delta_cells",
+                            static_cast<double>(delta.size()));
+      ReachAvoidSolution sol = solve_reach_avoid_warm(
+          ctx.compiled, ctx.solution, patch.dirty_states,
+          armed_solver(config_));
+      result.solve_seconds = watch.lap_seconds();
+      if (sol.pmax.deadline_expired || sol.rmin.deadline_expired) {
+        // The model was already patched but the solve did not finish: ctx
+        // no longer pairs a converged solution with the model it solved,
+        // so the next synthesis of this lineage must be cold.
+        ctx.valid = false;
+        result.deadline_expired = true;
+      } else {
+        extract_result(
+            config_, sol, ctx.geometry.droplets, ctx.compiled.start,
+            ctx.compiled.is_goal[ctx.compiled.start] != 0,
+            [&ctx](std::size_t s, int c) {
+              return ctx.geometry.choice_action[ctx.compiled.choice_offset[s] +
+                                                static_cast<std::uint32_t>(c)];
+            },
+            result);
+        ctx.anchor = rj;
+        ctx.health = health;
+        ctx.solution = std::move(sol);
+      }
+      result.total_seconds = watch.total_seconds();
+      record_synthesis(span, result);
+      span.arg("warm", static_cast<std::int64_t>(1));
+      return result;
+    }
+    // A cell died or revived inside the model's footprint: the transition
+    // topology changed (quarantine/parole) and the retained arrays are
+    // partially rewritten — rebuild from scratch below.
+    MEDA_OBS_COUNT("synth.warm.topology_cold", 1);
+    ctx.valid = false;
+  }
+
+  // Cold rebuild, re-priming ctx so the next delta can go warm.
+  {
+    MEDA_OBS_SPAN(build_span, "synth", "mdp_build");
+    const RoutingMdp mdp =
+        build_routing_mdp(rj, force, chip_bounds_, config_.rules,
+                          config_.wear_penalty_lambda);
+    result.stats = mdp.stats();
+    build_span.arg("states", static_cast<std::int64_t>(result.stats.states));
+    build_span.arg("transitions",
+                   static_cast<std::int64_t>(result.stats.transitions));
+    build_span.arg("choices",
+                   static_cast<std::int64_t>(result.stats.choices));
+    ctx.compiled = compile_mdp(mdp);
+    ctx.geometry = compile_geometry(mdp);
+  }
+  result.construction_seconds = watch.lap_seconds();
+  ReachAvoidSolution sol = solve_reach_avoid(ctx.compiled, armed_solver(config_));
+  result.solve_seconds = watch.lap_seconds();
+  if (sol.pmax.deadline_expired || sol.rmin.deadline_expired) {
+    ctx.valid = false;
+    result.deadline_expired = true;
+  } else {
+    extract_result(
+        config_, sol, ctx.geometry.droplets, ctx.compiled.start,
+        ctx.compiled.is_goal[ctx.compiled.start] != 0,
+        [&ctx](std::size_t s, int c) {
+          return ctx.geometry.choice_action[ctx.compiled.choice_offset[s] +
+                                            static_cast<std::uint32_t>(c)];
+        },
+        result);
+    ctx.valid = true;
+    ctx.anchor = rj;
+    ctx.health = health;
+    ctx.solution = std::move(sol);
+    ctx.stats = result.stats;
+  }
+  result.total_seconds = watch.total_seconds();
+  record_synthesis(span, result);
+  span.arg("warm", static_cast<std::int64_t>(0));
   return result;
 }
 
@@ -101,55 +297,20 @@ void Synthesizer::solve_and_extract(const RoutingMdp& mdp,
   // pass doubles as rmin's winning-region computation, so every synthesis
   // runs exactly one pmax and one rmin (the legacy path ran pmax twice).
   const ReachAvoidSolution sol = solve_reach_avoid(mdp, solver);
-  const Solution& pmax = sol.pmax;
-  const Solution& rmin = sol.rmin;
-  if (pmax.deadline_expired || rmin.deadline_expired) {
+  result.solve_seconds = watch.total_seconds();
+  if (sol.pmax.deadline_expired || sol.rmin.deadline_expired) {
     // Partial sweeps give untrustworthy values and policies: report the
     // expiry and leave the result infeasible so callers route around it
     // (fallback router) rather than executing a half-converged strategy.
     result.deadline_expired = true;
-    result.solve_seconds = watch.total_seconds();
     return;
   }
-  result.reach_probability = pmax.values[mdp.start];
-
-  if (config_.query == Query::kPmaxReachability) {
-    if (result.reach_probability > 0.0) {
-      // A pure argmax strategy is degenerate wherever many actions tie at
-      // the same reach probability (on a healthy chip, all of them), so
-      // extract lexicographically: inside the almost-sure-winning region
-      // follow the Rmin strategy (fewest expected cycles among the
-      // Pmax-optimal choices); elsewhere fall back to the Pmax argmax.
-      MEDA_OBS_SPAN(extract_span, "synth", "extract");
-      result.strategy = extract_strategy(mdp, pmax);
-      for (std::size_t s = 0; s < mdp.droplets.size(); ++s) {
-        if (rmin.chosen[s] >= 0) {
-          result.strategy.set(
-              mdp.droplets[s],
-              mdp.choices[s][static_cast<std::size_t>(rmin.chosen[s])]
-                  .action);
-        }
-      }
-      result.expected_cycles = rmin.values[mdp.start];
-      result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
-    }
-    result.solve_seconds = watch.total_seconds();
-    return;
-  }
-
-  result.solve_seconds = watch.total_seconds();
-  result.expected_cycles = rmin.values[mdp.start];
-
-  MEDA_OBS_SPAN(extract_span, "synth", "extract");
-  if (std::isfinite(result.expected_cycles)) {
-    result.strategy = extract_strategy(mdp, rmin);
-    result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
-  } else if (config_.pmax_fallback && result.reach_probability > 0.0) {
-    // PRISM semantics give (π, k) = (∅, ∞) here; for runtime robustness we
-    // optionally fall back to the best-effort Pmax strategy.
-    result.strategy = extract_strategy(mdp, pmax);
-    result.feasible = !result.strategy.empty() || mdp.is_goal[mdp.start];
-  }
+  extract_result(
+      config_, sol, mdp.droplets, mdp.start, mdp.is_goal[mdp.start],
+      [&mdp](std::size_t s, int c) {
+        return mdp.choices[s][static_cast<std::size_t>(c)].action;
+      },
+      result);
 }
 
 }  // namespace meda::core

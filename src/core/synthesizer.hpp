@@ -1,12 +1,15 @@
 #pragma once
 
 #include <limits>
+#include <vector>
 
 #include "assay/helper.hpp"
 #include "chip/degradation.hpp"
+#include "core/compiled_mdp.hpp"
 #include "core/mdp.hpp"
 #include "core/strategy.hpp"
 #include "core/value_iteration.hpp"
+#include "geometry/point.hpp"
 #include "model/guards.hpp"
 #include "util/matrix.hpp"
 
@@ -48,6 +51,13 @@ struct SynthesisConfig {
   /// set — it expires identically on every machine, which is what the
   /// deadline tests and reproducible campaigns need.
   std::uint64_t deadline_sweeps = 0;
+  /// Incremental re-synthesis: when a ResynthesisContext holds a converged
+  /// solution for the same (goal, hazard) anchor, resynthesize() patches the
+  /// retained CompiledMdp in place for the sensed health delta and runs the
+  /// warm-started solver instead of rebuilding from scratch. Results are
+  /// equivalent to a cold synthesis (see solve_reach_avoid_warm); disabling
+  /// this routes every resynthesize() through the cold path.
+  bool incremental = true;
 };
 
 /// Result of one synthesis call.
@@ -69,6 +79,33 @@ struct SynthesisResult {
   /// partial solver values are discarded, no strategy is extracted, and the
   /// result must not be cached in a StrategyLibrary.
   bool deadline_expired = false;
+  /// Produced by the incremental path: the retained model was patched in
+  /// place and solved warm instead of rebuilt. Never true for a deadline-
+  /// expired or cold result.
+  bool warm = false;
+};
+
+/// Cells whose sensed health level differs between two chip-sized matrices,
+/// ascending row-major (y, then x) — the delta fed to patch_compiled_mdp.
+std::vector<Vec2i> health_delta_cells(const IntMatrix& before,
+                                      const IntMatrix& after);
+
+/// Solver state retained between consecutive syntheses of one routing job
+/// lineage (same MO and query; the start may re-anchor as the droplet
+/// advances). Owned by the caller — the scheduler keeps one per active
+/// route task — and handed to Synthesizer::resynthesize, which reads the
+/// prior solution, patches the compiled model in place, and writes the
+/// refreshed state back. `valid` is false until the first successful
+/// synthesis and after any deadline expiry (a half-patched model and a
+/// stale solution must not seed the next solve).
+struct ResynthesisContext {
+  bool valid = false;
+  assay::RoutingJob anchor;   ///< job the retained model was built for
+  CompiledMdp compiled;       ///< patched in place across health deltas
+  CompiledGeometry geometry;  ///< side table for patching + extraction
+  ReachAvoidSolution solution;  ///< converged prior (warm-start seed)
+  IntMatrix health;           ///< sensed health the model currently reflects
+  ModelStats stats;           ///< shape of the retained model
 };
 
 /// The routing-strategy synthesizer for a fixed chip.
@@ -89,6 +126,19 @@ class Synthesizer {
   /// bypass quantization.
   SynthesisResult synthesize_with_force(const assay::RoutingJob& rj,
                                         const DoubleMatrix& force) const;
+
+  /// Incremental Algorithm 2: like synthesize, but reuses @p ctx when it
+  /// holds a converged solution for the same (goal, hazard) anchor. The
+  /// sensed-health delta against ctx.health is patched into the retained
+  /// CompiledMdp (patch_compiled_mdp) and solved warm
+  /// (solve_reach_avoid_warm); any topology change, anchor mismatch, or
+  /// start outside the retained state space falls back to a cold build that
+  /// re-primes ctx. Deadline expiry invalidates ctx — the model may be
+  /// half-patched — so the next call is cold. With config().incremental
+  /// false this is exactly synthesize() and ctx is left untouched.
+  SynthesisResult resynthesize(const assay::RoutingJob& rj,
+                               const IntMatrix& health, int health_bits,
+                               ResynthesisContext& ctx) const;
 
  private:
   /// Runs the configured query's solver(s) on @p mdp under @p solver and

@@ -53,11 +53,21 @@ struct SolveConfig {
   /// deadline_expired = true; partial values are still returned but must
   /// not be used for strategy extraction. A default token never expires.
   util::Deadline deadline{};
-  /// Telemetry tag only (does not change the solve): set by callers that
-  /// seeded the solve from prior values, so warm and cold solves land in
-  /// separate sweep-count histograms. The incremental re-synthesis work on
-  /// the roadmap will flip this; today every solve is cold.
+  /// Warm/cold telemetry split: solve_reach_avoid_warm forces this on so
+  /// its sweep counts land in vi.sweep_count.warm; the cold entry points
+  /// leave it false. Callers never need to set it by hand.
   bool warm_start = false;
+  /// Warm-solve tuning (solve_reach_avoid_warm only). When the seeded dirty
+  /// set exceeds this fraction of the droplet states, the prioritized
+  /// worklist phase is skipped — the delta is too wide for locality to pay
+  /// and plain goal-anchored sweeps converge faster.
+  double warm_dirty_fraction = 0.25;
+  /// Worklist pop budget, in units of full sweeps (pops ≤ budget × droplet
+  /// states). Exceeding it abandons the worklist for plain sweeps, which
+  /// bounds the warm path at a small multiple of a cold solve even on
+  /// adversarial deltas. 0 disables the worklist phase entirely (the solve
+  /// is then seeded-but-swept).
+  int warm_pop_budget_sweeps = 8;
 };
 
 /// Why a solve stopped (Solution::termination).
@@ -94,6 +104,11 @@ struct Solution {
   /// Max residual of each of the last kResidualRingCapacity sweeps, oldest
   /// first; entry i belongs to sweep iterations - size + i + 1 (1-based).
   std::vector<double> sweep_residuals;
+  // Warm-solve telemetry (all zero/false on cold solves).
+  bool warm_started = false;   ///< produced by solve_reach_avoid_warm
+  bool warm_fell_back = false; ///< dirty frontier forced plain full sweeps
+  std::uint64_t warm_pops = 0; ///< prioritized-worklist state updates
+  std::uint32_t warm_seeds = 0;  ///< states seeded into the worklist
 };
 
 /// Both synthesis queries answered from one compiled model: the pmax pass
@@ -118,6 +133,30 @@ ReachAvoidSolution solve_reach_avoid(const CompiledMdp& mdp,
 /// Compiles @p mdp once and runs the combined solve on it.
 ReachAvoidSolution solve_reach_avoid(const RoutingMdp& mdp,
                                      const SolveConfig& config = {});
+
+/// Incremental combined solve: seeds both value vectors from @p prior — a
+/// converged solution of the same compiled model *before* an in-place
+/// health patch (patch_compiled_mdp) — and propagates the patch's @p dirty
+/// states through a residual-prioritized worklist (bucketed by residual
+/// decade, FIFO within a bucket, predecessors via CompiledMdp::pred_state;
+/// deterministic for a given model + delta). Every warm solve finishes with
+/// plain verification sweeps to the cold convergence criterion, so results
+/// are equivalent to solve_reach_avoid on the patched model: identical
+/// strategy tie-breaks, values within solver tolerance.
+///
+/// Soundness: pmax re-seeds from below (prior almost-sure-winning states
+/// keep their ≈1 values — winning is a graph property, invariant under the
+/// probability-only deltas a successful patch guarantees — while
+/// quantitative (0,1) states restart at 0), because Gauss-Seidel from above
+/// can lock onto a spurious fixed point on no-leak cycles. rmin has a
+/// unique fixed point over the winning region (every action costs ≥ 1), so
+/// any finite seed converges.
+///
+/// Deadline-expired warm results are as partial as cold ones: discard them
+/// and keep the prior. Sets SolveConfig::warm_start truthfully.
+ReachAvoidSolution solve_reach_avoid_warm(
+    const CompiledMdp& mdp, const ReachAvoidSolution& prior,
+    const std::vector<std::uint32_t>& dirty, const SolveConfig& config = {});
 
 // RoutingMdp entry points (thin wrappers over the compiled path) ------------
 

@@ -35,8 +35,8 @@ void encode_stats(std::ostream& os, const core::ExecutionStats& s) {
   const core::RecoveryCounters& r = s.recovery;
   os << (s.success ? 1 : 0) << ' ' << s.cycles << ' ' << s.completed_mos
      << ' ' << s.aborted_mos << ' ' << s.synthesis_calls << ' '
-     << s.library_hits << ' ' << s.resyntheses << ' '
-     << hex_double(s.synthesis_seconds) << ' ' << r.watchdog_fires << ' '
+     << s.library_hits << ' ' << s.resyntheses << ' ' << s.resyntheses_warm
+     << ' ' << hex_double(s.synthesis_seconds) << ' ' << r.watchdog_fires << ' '
      << r.forced_resenses << ' ' << r.synthesis_retries << ' '
      << r.backoff_cycles << ' ' << r.quarantined_cells << ' '
      << r.contention_detours << ' ' << r.aborted_jobs << ' '
@@ -49,7 +49,8 @@ bool decode_stats(std::istream& is, core::ExecutionStats& s) {
   std::string seconds;
   core::RecoveryCounters& r = s.recovery;
   if (!(is >> success >> s.cycles >> s.completed_mos >> s.aborted_mos >>
-        s.synthesis_calls >> s.library_hits >> s.resyntheses >> seconds >>
+        s.synthesis_calls >> s.library_hits >> s.resyntheses >>
+        s.resyntheses_warm >> seconds >>
         r.watchdog_fires >> r.forced_resenses >> r.synthesis_retries >>
         r.backoff_cycles >> r.quarantined_cells >> r.contention_detours >>
         r.aborted_jobs >> r.synthesis_deadlines >> r.fallback_routes >>
@@ -118,7 +119,9 @@ std::vector<CampaignCell> run_campaign(
   util::SlotCheckpoint checkpoint;
   if (!config.checkpoint.path.empty()) {
     util::DigestBuilder digest;
-    digest.mix(std::string("meda-campaign-v1"));
+    // v2: resyntheses_warm joined the encode_stats payload, invalidating
+    // checkpoints written by older binaries.
+    digest.mix(std::string("meda-campaign-v2"));
     digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
     digest.mix(config.checkpoint.salt);
     digest.mix(static_cast<std::uint64_t>(assays.size()));
@@ -284,7 +287,8 @@ std::vector<ChaosCell> run_chaos_campaign(
   if (!config.checkpoint.path.empty()) {
     util::DigestBuilder digest;
     // v2: slot payloads gained the per-class library stats block.
-    digest.mix(std::string("meda-chaos-v2"));
+    // v3: resyntheses_warm joined the encode_stats payload.
+    digest.mix(std::string("meda-chaos-v3"));
     digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
     digest.mix(config.checkpoint.salt);
     digest.mix(static_cast<int>(config.adversary));
@@ -534,6 +538,10 @@ void write_chaos_metrics_csv(const std::string& path,
       {"sched.resyntheses",
        [](const ChaosCell& c) {
          return std::to_string(c.rollup.resyntheses);
+       }},
+      {"sched.resyntheses_warm",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.resyntheses_warm);
        }},
       {"sched.runs",
        [](const ChaosCell& c) { return std::to_string(c.rollup.runs); }},
