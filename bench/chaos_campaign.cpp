@@ -7,7 +7,13 @@
 //   - adaptive : the paper's proactive router acting on raw scan frames;
 //   - robust   : the same router behind the health filter, with the
 //                recovery ladder armed (watchdog → re-sense → bounded
-//                retries/backoff → quarantine → per-job abort).
+//                retries/backoff → quarantine → per-job abort);
+//   - robust+nmr : the robust router plus N-modular redundancy — every
+//                dispense feeding a mix launches 2 racing replicas through
+//                region-disjoint corridors (k = 1 of N vote/merge, replica
+//                failover ahead of the abort rung). Buys success rate at
+//                the cost of extra droplet traffic and synthesis calls,
+//                both reported in the same CSV.
 //
 // Expected shape: both routers match on a clean channel; as noise grows the
 // raw-scan router chases phantom health changes (re-synthesis storms,
@@ -93,6 +99,10 @@ int main(int argc, char** argv) {
   // adaptively — no hand-tuned stuck_cycles override needed.
   robust.scheduler.recovery.quarantine_after_watchdogs = 3;
 
+  sim::RouterConfig nmr = robust;
+  nmr.name = "robust+nmr";
+  nmr.scheduler.replicate_critical_dispenses = 2;
+
   std::cout << "=== Chaos campaign — success vs sensor noise ===\n("
             << (full ? "CEP + NuIP" : "CEP") << ", " << config.chips
             << " end-of-life faulty chips x " << config.runs_per_chip
@@ -101,7 +111,7 @@ int main(int argc, char** argv) {
   std::vector<assay::MoList> assays{assay::cep()};
   if (full) assays.push_back(assay::nuip());
   const std::vector<sim::ChaosCell> cells =
-      sim::run_chaos_campaign(assays, {adaptive, robust}, config);
+      sim::run_chaos_campaign(assays, {adaptive, robust, nmr}, config);
   sim::print_chaos_campaign(std::cout, cells);
   sim::write_chaos_csv("chaos_campaign.csv", cells);
   std::cout << "\n(Series also written to chaos_campaign.csv.)\n";
@@ -111,8 +121,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "Expected: the routers tie on a clean channel; the robust\n"
                "router leads through the mid-noise band (the filter absorbs\n"
-               "phantom health changes the raw router chases), and both\n"
-               "curves collapse at the harshest level — with the chip this\n"
-               "degraded, flying 80%-blind leaves no router a good plan.\n";
+               "phantom health changes the raw router chases), robust+nmr\n"
+               "sits above it (a replicated critical dispense survives one\n"
+               "dead corridor) at the price of extra droplet cycles and\n"
+               "synthesis calls, and every curve collapses at the harshest\n"
+               "level — with the chip this degraded, flying 80%-blind\n"
+               "leaves no router a good plan.\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "assay/mo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -107,6 +108,22 @@ MoList translate_assay(const MoList& list, double dx, double dy) {
   return shifted;
 }
 
+MoList replicate_critical_dispenses(const MoList& list, int n) {
+  if (n < 2) return list;
+  MoList annotated = list;
+  for (const Mo& mo : annotated.ops) {
+    if (mo.type != MoType::kMix && mo.type != MoType::kDilute) continue;
+    for (const PreRef& ref : mo.pre) {
+      if (ref.mo < 0 || ref.mo >= static_cast<int>(annotated.ops.size()))
+        continue;
+      Mo& pre = annotated.ops[static_cast<std::size_t>(ref.mo)];
+      if (pre.type == MoType::kDispense)
+        pre.replicas = std::max(pre.replicas, n);
+    }
+  }
+  return annotated;
+}
+
 namespace {
 
 [[noreturn]] void fail(const MoList& list, int id, const std::string& what) {
@@ -136,6 +153,9 @@ void validate(const MoList& list, const Rect& chip) {
     if (static_cast<int>(mo.locs.size()) != loc_count(mo.type))
       fail(list, id, "wrong number of locations");
     if (mo.hold_cycles < 0) fail(list, id, "negative hold time");
+    if (mo.replicas < 1) fail(list, id, "replicas must be at least 1");
+    if (mo.replicas > 1 && mo.type != MoType::kDispense)
+      fail(list, id, "replicas > 1 is only meaningful on dispense MOs");
 
     std::vector<int> in_areas;
     for (const PreRef& ref : mo.pre) {

@@ -57,6 +57,12 @@ struct Mo {
   std::vector<Loc> locs;    ///< 1 center (2 for spt/dlt: the two outputs)
   int area = 16;            ///< dispensed droplet area (kDispense only)
   int hold_cycles = 0;      ///< in-place processing time at the location
+  /// Criticality annotation: N-modular redundancy degree (kDispense only).
+  /// With replicas = N > 1 an adaptive scheduler launches N droplets of the
+  /// same reagent racing through pairwise region-disjoint corridors; the
+  /// first arrival completes the MO (k = 1 vote/merge) and the rest retire
+  /// to waste. Other MO types must keep the default 1.
+  int replicas = 1;
 };
 
 /// A planned bioassay: an MO list in dependency order.
@@ -92,6 +98,14 @@ MoList merge_assays(const MoList& a, const MoList& b);
 /// Shifts every module location of @p list by (dx, dy) — e.g. to move a
 /// panel member into its own chip region before merging.
 MoList translate_assay(const MoList& list, double dx, double dy);
+
+/// Returns a copy of @p list with every dispense MO that directly feeds a
+/// mixing operation (mix or dilute) marked critical with `replicas = n`
+/// (n < 2 returns the list unchanged). Dispenses already annotated with a
+/// higher degree keep it. This is the assay-level NMR annotation; the
+/// scheduler also accepts the same policy at run time via
+/// SchedulerConfig::replicate_critical_dispenses.
+MoList replicate_critical_dispenses(const MoList& list, int n);
 
 /// Validates an MO list against a chip: ids are positional, predecessor
 /// references point backwards to existing outputs, each output droplet is

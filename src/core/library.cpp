@@ -5,8 +5,26 @@
 namespace meda::core {
 
 const char* to_string(DigestClass cls) {
-  return cls == DigestClass::kDetour ? "detour" : "plain";
+  switch (cls) {
+    case DigestClass::kPlain: return "plain";
+    case DigestClass::kDetour: return "detour";
+    case DigestClass::kReplica: return "replica";
+  }
+  return "plain";
 }
+
+namespace {
+
+LibraryClassStats& class_stats(LibraryStats& stats, DigestClass cls) {
+  switch (cls) {
+    case DigestClass::kPlain: return stats.plain;
+    case DigestClass::kDetour: return stats.detour;
+    case DigestClass::kReplica: return stats.replica;
+  }
+  return stats.plain;
+}
+
+}  // namespace
 
 std::uint64_t health_digest(const IntMatrix& health, const Rect& area) {
   const Rect chip{0, 0, health.width() - 1, health.height() - 1};
@@ -27,6 +45,11 @@ std::uint64_t detour_digest(const IntMatrix& masked_health, const Rect& area) {
   return health_digest(masked_health, area) ^ kDetourDigestSalt;
 }
 
+std::uint64_t replica_digest(const IntMatrix& masked_health,
+                             const Rect& area) {
+  return health_digest(masked_health, area) ^ kReplicaDigestSalt;
+}
+
 std::size_t StrategyLibrary::KeyHash::operator()(const Key& k) const noexcept {
   std::size_t h = std::hash<Rect>{}(k.start);
   auto mixin = [&h](std::size_t v) {
@@ -42,8 +65,7 @@ const SynthesisResult* StrategyLibrary::lookup(const assay::RoutingJob& rj,
                                                std::uint64_t digest,
                                                DigestClass cls) const {
   const std::uint64_t now = tick_++;
-  LibraryClassStats& s =
-      cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
+  LibraryClassStats& s = class_stats(stats_, cls);
   const Key key{rj.start, rj.goal, rj.hazard, digest};
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -63,8 +85,7 @@ const SynthesisResult* StrategyLibrary::lookup(const assay::RoutingJob& rj,
 void StrategyLibrary::store(const assay::RoutingJob& rj, std::uint64_t digest,
                             SynthesisResult result, DigestClass cls) {
   const std::uint64_t now = tick_++;
-  LibraryClassStats& s =
-      cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
+  LibraryClassStats& s = class_stats(stats_, cls);
   MEDA_OBS_OBSERVE_LOG2("library.strategy_cells",
                         static_cast<double>(result.strategy.size()));
   const Key key{rj.start, rj.goal, rj.hazard, digest};
@@ -96,8 +117,7 @@ void StrategyLibrary::evict_down_to(std::size_t limit) {
     const auto it = entries_.find(oldest->second);
     if (it != entries_.end()) {
       const DigestClass cls = it->second.cls;
-      LibraryClassStats& s =
-          cls == DigestClass::kDetour ? stats_.detour : stats_.plain;
+      LibraryClassStats& s = class_stats(stats_, cls);
       ++s.evictions;
       MEDA_OBS_COUNT(std::string("library.") + to_string(cls) + ".evictions",
                      1);

@@ -44,14 +44,28 @@ inline constexpr std::uint64_t kDetourDigestSalt = 0xDE70C2C41E5ull;
 /// Runner::ensure_strategy for the caching rationale.
 std::uint64_t detour_digest(const IntMatrix& masked_health, const Rect& area);
 
+/// Salt separating replica-corridor keys from the plain and detour key
+/// families. Replicated droplets synthesize against a health view with the
+/// sibling replicas' corridor bands clamped dead; the masked view could
+/// coincide with a plain (or detour-masked) matrix, so the families must
+/// not share keys.
+inline constexpr std::uint64_t kReplicaDigestSalt = 0x4E4D52AC0551Dull;
+
+/// Library key for a replica-corridor entry: the digest of the
+/// corridor-masked health view xor kReplicaDigestSalt. The mask folds the
+/// replica's band geometry into the key, so an entry is only served to a
+/// replica whose corridor kills the same cells.
+std::uint64_t replica_digest(const IntMatrix& masked_health, const Rect& area);
+
 /// Which digest family a library operation belongs to (stats bucketing
 /// only — the digest itself already separates the key spaces).
 enum class DigestClass : unsigned char {
-  kPlain,   ///< health_digest keys (normal routing jobs)
-  kDetour,  ///< detour_digest keys (contention detours)
+  kPlain,    ///< health_digest keys (normal routing jobs)
+  kDetour,   ///< detour_digest keys (contention detours)
+  kReplica,  ///< replica_digest keys (corridor-masked replica routes)
 };
 
-/// Stable label: "plain" / "detour".
+/// Stable label: "plain" / "detour" / "replica".
 const char* to_string(DigestClass cls);
 
 /// Operation counts for one digest class.
@@ -78,15 +92,18 @@ struct LibraryClassStats {
 struct LibraryStats {
   LibraryClassStats plain;
   LibraryClassStats detour;
+  LibraryClassStats replica;
 
   LibraryClassStats totals() const {
     LibraryClassStats t = plain;
     t += detour;
+    t += replica;
     return t;
   }
   LibraryStats& operator+=(const LibraryStats& other) {
     plain += other.plain;
     detour += other.detour;
+    replica += other.replica;
     return *this;
   }
   friend bool operator==(const LibraryStats&, const LibraryStats&) = default;

@@ -14,6 +14,7 @@ std::string_view to_string(RecoveryAction action) {
     case RecoveryAction::kJobAbort: return "job-abort";
     case RecoveryAction::kSynthesisDeadline: return "synthesis-deadline";
     case RecoveryAction::kQuarantineParole: return "quarantine-parole";
+    case RecoveryAction::kReplicaFailover: return "replica-failover";
   }
   return "?";
 }

@@ -17,7 +17,10 @@
 ///   3. hazard quarantine             → persistently misbehaving cells are
 ///                                      clamped dead in the health view and
 ///                                      routed around (routability-gated)
-///   4. graceful per-job abort        → the MO (and its dependents) abort
+///   4. replica failover              → on N-modular-redundant MOs a replica
+///                                      that runs out of retries is abandoned
+///                                      while its siblings keep racing
+///   5. graceful per-job abort        → the MO (and its dependents) abort
 ///                                      with a structured reason; unrelated
 ///                                      MOs keep running
 ///
@@ -39,6 +42,10 @@ enum class RecoveryAction : unsigned char {
                        ///< installed, full re-synthesis backed off
   kQuarantineParole,   ///< budget pressure: oldest quarantined cells that
                        ///< re-sensed alive were released back to the router
+  kReplicaFailover,    ///< a redundant replica exhausted its per-replica
+                       ///< retry budget and was abandoned; the MO keeps
+                       ///< running on the surviving replicas (only
+                       ///< all-replica failure escalates to kJobAbort)
 };
 
 std::string_view to_string(RecoveryAction action);

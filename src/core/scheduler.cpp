@@ -142,6 +142,35 @@ struct RouteTask {
   // health-delta re-syntheses (primed by the first cold synthesis of the
   // lineage, reused warm while the topology holds).
   ResynthesisContext resynth;
+  // N-modular redundancy: >= 0 marks this task as replica #replica of its
+  // MO, synthesized against a corridor-masked health view (sibling bands
+  // clamped dead outside the shared funnels — see replica_masked_health).
+  int replica = -1;
+  Rect band = Rect::none();          ///< corridor band this replica owns
+  std::vector<Rect> masked_bands;    ///< sibling bands to clamp dead
+  Rect start_funnel = Rect::none();  ///< shared slabs exempt from masking
+  Rect goal_funnel = Rect::none();
+  bool mask_best_effort = false;  ///< corridor plan was not truly disjoint
+  bool mask_degraded = false;     ///< mask dropped after infeasible synthesis
+  bool abandoned = false;         ///< failed over; no longer commanded
+  bool replica_recorded = false;  ///< ReplicaRouteRecord already sealed
+  std::vector<Rect> trail;        ///< per-cycle positions (opt-in)
+};
+
+/// A losing replica being retired to waste after the vote: routed to the
+/// nearest chip edge by the cheap fallback router, then discarded. Kept
+/// outside MoRun — the MO completes (and its run tears down) while its
+/// losers are still draining off the chip.
+struct RetireTask {
+  DropletId droplet = -1;
+  int mo = -1;
+  Strategy strategy;
+  bool has_strategy = false;
+  Rect goal = Rect::none();
+  std::uint64_t created_cycle = 0;
+  Rect last_pos = Rect::none();
+  int stuck = 0;    ///< consecutive cycles without movement
+  int replans = 0;  ///< fallback re-routes consumed
 };
 
 /// What a watchdog-confirmed stall is blocked by (satellite classifier).
@@ -173,6 +202,15 @@ struct MoRun {
   std::vector<DropletId> live;  ///< droplets this MO currently owns on chip
   DropletId merged = -1;                          // mix/dlt intermediate
   std::pair<DropletId, DropletId> parts{-1, -1};  // spt/dlt parts
+  // Replicated-dispense bookkeeping (kDispense with effective N > 1).
+  int replicas_planned = 1;
+  int launched = 0;            ///< replicas dispensed so far
+  int abandoned_replicas = 0;  ///< replicas lost to failover
+  ReplicaCorridorPlan corridors;
+  /// Shared synthesis budget of this MO's replicas: one Deadline token per
+  /// chip cycle, drawn from by every replica's solve (never N× the budget).
+  std::uint64_t replica_deadline_cycle = ~std::uint64_t{0};
+  util::Deadline replica_deadline;
 };
 
 /// Per-execution driver implementing Algorithm 3 plus the recovery ladder.
@@ -192,6 +230,17 @@ class Runner {
     runs_.resize(assay_.ops.size());
     for (std::size_t i = 0; i < assay_.ops.size(); ++i)
       runs_[i].mo = &assay_.ops[i];
+    // Criticality floor: a dispense feeding a mix/dilute carries a critical
+    // reagent, so SchedulerConfig::replicate_critical_dispenses raises its
+    // redundancy degree (per-MO Mo::replicas annotations above the floor
+    // are honored either way).
+    feeds_mix_.assign(assay_.ops.size(), 0);
+    for (const Mo& mo : assay_.ops)
+      if (mo.type == MoType::kMix || mo.type == MoType::kDilute)
+        for (const assay::PreRef& ref : mo.pre)
+          if (assay_.ops[static_cast<std::size_t>(ref.mo)].type ==
+              MoType::kDispense)
+            feeds_mix_[static_cast<std::size_t>(ref.mo)] = 1;
     senses_health_ = config_.adaptive ||
                      config_.reactive_recovery_stuck_cycles > 0 ||
                      config_.recovery.enabled || config_.filter.enabled;
@@ -219,13 +268,20 @@ class Runner {
           if (run.state == MoRun::State::kActive) process(run, commands);
         }
         if (failed_) break;
+        advance_retirements(commands);
         finalize_aborts(commands);
         chip_.step(commands);
       }
       sample_cycle_counters();
     }
     for (MoRun& run : runs_)  // cycle-limit / hard-fail leftovers
-      for (RouteTask& task : run.routes) close_job_span(task, "unfinished");
+      for (RouteTask& task : run.routes) {
+        record_replica_route(task, /*winner=*/false);
+        close_job_span(task, "unfinished");
+      }
+    // Replicas still draining to waste at teardown: charge their traffic.
+    for (const RetireTask& retiree : retiring_)
+      stats_.replica.droplet_cycles += chip_.cycle() - retiree.created_cycle;
     stats_.cycles = chip_.cycle() - start_cycle;
     for (const MoRun& run : runs_)
       if (run.state == MoRun::State::kDone) ++stats_.completed_mos;
@@ -290,6 +346,16 @@ class Runner {
                    static_cast<std::uint64_t>(rec.fallback_routes));
     MEDA_OBS_COUNT("recovery.paroled_cells",
                    static_cast<std::uint64_t>(rec.paroled_cells));
+    const ReplicaCounters& rep = stats_.replica;
+    MEDA_OBS_COUNT("replica.launched",
+                   static_cast<std::uint64_t>(rep.launched));
+    MEDA_OBS_COUNT("replica.failovers",
+                   static_cast<std::uint64_t>(rep.failovers));
+    MEDA_OBS_COUNT("replica.merges", static_cast<std::uint64_t>(rep.merges));
+    MEDA_OBS_COUNT("replica.retired", static_cast<std::uint64_t>(rep.retired));
+    MEDA_OBS_COUNT("replica.best_effort_masks",
+                   static_cast<std::uint64_t>(rep.best_effort_masks));
+    MEDA_OBS_COUNT("replica.droplet_cycles", rep.droplet_cycles);
   }
 
   /// Samples the cycle-domain counter tracks (droplets on chip, in-flight
@@ -306,9 +372,12 @@ class Runner {
       for (const RouteTask& task : run.routes)
         if (task.pending) ++pending;
     }
+    droplets += static_cast<std::int64_t>(retiring_.size());
     tracer.cycle_counter("droplets_on_chip", droplets, cycle);
     tracer.cycle_counter("pending_syntheses", pending, cycle);
     tracer.cycle_counter("health_changes", health_changes_total_, cycle);
+    tracer.cycle_counter("retiring_droplets",
+                         static_cast<std::int64_t>(retiring_.size()), cycle);
   }
 
  private:
@@ -532,6 +601,13 @@ class Runner {
           return StallKind::kContention;
       }
     }
+    // Retiring replicas are still physical droplets on the chip.
+    for (const RetireTask& retiree : retiring_) {
+      if (retiree.droplet == task.droplet || retiree.droplet == task.partner)
+        continue;
+      if (chip_.droplet_position(retiree.droplet).manhattan_gap(target) <= 1)
+        return StallKind::kContention;
+    }
     if (!health_.empty()) {
       for (int y = target.ya; y <= target.yb; ++y)
         for (int x = target.xa; x <= target.xb; ++x)
@@ -555,24 +631,25 @@ class Runner {
     }
   }
 
-  /// The controller's health view with every *other* live droplet's
-  /// footprint (inflated by the separation margin) masked dead: a virtual
-  /// obstacle map for contention detours. The stuck droplet's own cells are
-  /// never masked.
-  IntMatrix droplet_masked_health(const RouteTask& task,
-                                  const Rect& pos) const {
-    IntMatrix masked = health_;
-    for (const MoRun& run : runs_) {
-      for (const DropletId other : run.live) {
-        if (other == task.droplet || other == task.partner) continue;
-        const Rect area = chip_.droplet_position(other)
-                              .inflated(1)
-                              .intersection_with(chip_bounds_);
-        for (int y = area.ya; y <= area.yb; ++y)
-          for (int x = area.xa; x <= area.xb; ++x)
-            if (!pos.contains(x, y)) masked(x, y) = 0;
-      }
-    }
+  /// The given health view with every *other* live droplet's footprint
+  /// (inflated by the separation margin) masked dead: a virtual obstacle
+  /// map for contention detours. The stuck droplet's own cells are never
+  /// masked. Retiring replicas count — they are still on the chip.
+  IntMatrix droplet_masked_health(const RouteTask& task, const Rect& pos,
+                                  const IntMatrix& base) const {
+    IntMatrix masked = base;
+    const auto mask_other = [&](DropletId other) {
+      if (other == task.droplet || other == task.partner) return;
+      const Rect area = chip_.droplet_position(other)
+                            .inflated(1)
+                            .intersection_with(chip_bounds_);
+      for (int y = area.ya; y <= area.yb; ++y)
+        for (int x = area.xa; x <= area.xb; ++x)
+          if (!pos.contains(x, y)) masked(x, y) = 0;
+    };
+    for (const MoRun& run : runs_)
+      for (const DropletId other : run.live) mask_other(other);
+    for (const RetireTask& retiree : retiring_) mask_other(retiree.droplet);
     return masked;
   }
 
@@ -618,7 +695,10 @@ class Runner {
     doomed_.clear();
     for (MoRun& run : runs_)
       if (run.state == MoRun::State::kAborted) {
-        for (RouteTask& task : run.routes) close_job_span(task, "aborted");
+        for (RouteTask& task : run.routes) {
+          record_replica_route(task, /*winner=*/false);
+          close_job_span(task, "aborted");
+        }
         run.routes.clear();
       }
   }
@@ -681,11 +761,18 @@ class Runner {
   }
 
   /// Ladder stage: an infeasible synthesis. Bounded retries with
-  /// exponential backoff and a forced re-sense; then graceful job abort.
+  /// exponential backoff and a forced re-sense; then the replica-failover
+  /// rung for replicated droplets, graceful job abort otherwise.
   void on_synthesis_failure(MoRun& run, RouteTask& task) {
     ++task.retries;
     ++stats_.recovery.synthesis_retries;
     if (task.retries > config_.recovery.max_retries) {
+      if (task.replica >= 0) {
+        // Per-replica budget exhausted: abandon this replica and let its
+        // siblings race on — only all-replica failure aborts the MO.
+        abandon_replica(run, task);
+        return;
+      }
       abort_job(run, "no feasible strategy after " +
                          std::to_string(task.retries) + " attempts");
       return;
@@ -1046,8 +1133,20 @@ class Runner {
     if (!task.rj.hazard.contains(pos))
       task.rj.hazard = task.rj.hazard.union_with(pos);
 
-    const std::uint64_t digest =
+    // Replica-masked synthesis view: sibling corridor bands clamped dead
+    // (outside the shared funnels) make the replica routes pairwise
+    // region-disjoint. The digest is taken over the *masked* view and
+    // salted (kReplicaDigestSalt), so the band geometry is folded into
+    // both the re-synthesis trigger and the library key.
+    const bool replica_mask = task.replica >= 0 && !task.masked_bands.empty() &&
+                              !task.mask_degraded && !health_.empty();
+    IntMatrix replica_health;
+    std::uint64_t digest =
         config_.adaptive ? health_digest(health_, task.rj.hazard) : 0;
+    if (replica_mask) {
+      replica_health = replica_masked_health(task, pos);
+      digest = replica_digest(replica_health, task.rj.hazard);
+    }
     if (task.has_strategy && digest == task.digest) return;
 
     if (task.has_strategy) ++stats_.resyntheses;
@@ -1065,11 +1164,13 @@ class Runner {
     // the same obstacles sit in the same places — no poisoning of the
     // unmasked entries, which stay under the plain health digest.
     // kDetourDigestSalt separates the two key families when the matrices
-    // coincide (see core/library.hpp).
+    // coincide (see core/library.hpp). For replicas the droplet mask is
+    // applied on top of the corridor mask.
     IntMatrix masked_health;
     std::uint64_t lookup_digest = digest;
     if (avoid_droplets) {
-      masked_health = droplet_masked_health(task, pos);
+      masked_health = droplet_masked_health(
+          task, pos, replica_mask ? replica_health : health_);
       lookup_digest = detour_digest(masked_health, task.rj.hazard);
     }
 
@@ -1086,8 +1187,9 @@ class Runner {
       obs_event("recovery", "deadline-retry", task.rj.mo,
                 "backoff elapsed: retrying full synthesis");
 
-    const DigestClass digest_class =
-        avoid_droplets ? DigestClass::kDetour : DigestClass::kPlain;
+    const DigestClass digest_class = avoid_droplets ? DigestClass::kDetour
+                                     : replica_mask ? DigestClass::kReplica
+                                                    : DigestClass::kPlain;
     const SynthesisResult* cached =
         config_.use_library ? library_.lookup(rj, lookup_digest, digest_class)
                             : nullptr;
@@ -1097,16 +1199,21 @@ class Runner {
       result = *cached;
     } else {
       ++stats_.synthesis_calls;
+      // All of one MO's replicas draw from a single per-cycle Deadline
+      // token (inactive for non-replicas — per-call arming applies).
+      const util::Deadline deadline = replica_deadline(run, task);
       if (avoid_droplets) {
         MEDA_OBS_COUNT("sched.detour_library_misses", 1);
         result = synthesizer_.synthesize(rj, masked_health,
-                                         chip_.health_bits());
+                                         chip_.health_bits(), deadline);
       } else if (config_.adaptive) {
         // The hot re-synthesis path: reuse the task's retained solver state
         // so a small health delta patches + warm-solves instead of
-        // rebuilding the MDP from scratch.
-        result = synthesizer_.resynthesize(rj, health_, chip_.health_bits(),
-                                           task.resynth);
+        // rebuilding the MDP from scratch. Replicas solve over their
+        // corridor-masked view.
+        result = synthesizer_.resynthesize(
+            rj, replica_mask ? replica_health : health_, chip_.health_bits(),
+            task.resynth, deadline);
         if (result.warm) ++stats_.resyntheses_warm;
       } else {
         result = synthesizer_.synthesize_with_force(
@@ -1127,8 +1234,26 @@ class Runner {
     }
 
     if (!result.feasible) {
+      if (replica_mask) {
+        // The corridor mask itself made the job infeasible (the band may
+        // have degraded underneath the droplet): degrade this replica to
+        // best-effort disjointness — recorded as such — and retry the
+        // synthesis unmasked right away instead of burning the ladder.
+        task.mask_degraded = true;
+        ++stats_.replica.best_effort_masks;
+        obs_event("replica", "mask-degraded", task.rj.mo,
+                  "corridor mask infeasible for replica " +
+                      std::to_string(task.replica) +
+                      "; best-effort disjointness from here");
+        task.resynth.valid = false;  // the retained model reflects the mask
+        task.has_strategy = false;
+        ensure_strategy(run, task, pos);
+        return;
+      }
       if (config_.recovery.enabled) {
         on_synthesis_failure(run, task);
+      } else if (task.replica >= 0) {
+        abandon_replica(run, task);
       } else {
         fail("no feasible routing strategy for MO " +
              std::to_string(task.rj.mo));
@@ -1156,6 +1281,268 @@ class Runner {
       task.digest = digest;
       task.has_strategy = true;
     }
+  }
+
+  /// The redundancy degree of one MO: the per-MO Mo::replicas annotation,
+  /// raised to the config floor for dispenses feeding a mix/dilute.
+  /// Replication needs the adaptive router (the baseline cannot synthesize
+  /// under a corridor mask) and only applies to dispense MOs.
+  int effective_replicas(const MoRun& run) const {
+    if (!config_.adaptive || run.mo->type != MoType::kDispense) return 1;
+    int n = run.mo->replicas;
+    if (feeds_mix_[static_cast<std::size_t>(run.mo->id)] != 0)
+      n = std::max(n, config_.replicate_critical_dispenses);
+    return std::min(n, 8);
+  }
+
+  /// The controller's health view with this replica's sibling corridor
+  /// bands clamped dead — the region mask behind pairwise-disjoint replica
+  /// routes. Cells inside the shared start/goal funnels stay unmasked
+  /// (every replica must reach the dispense port and converge on the
+  /// goal), as do the droplet's own cells (it may straddle a band edge).
+  IntMatrix replica_masked_health(const RouteTask& task,
+                                  const Rect& pos) const {
+    IntMatrix masked = health_;
+    for (const Rect& band : task.masked_bands) {
+      const Rect area = band.intersection_with(chip_bounds_);
+      if (!area.valid()) continue;
+      for (int y = area.ya; y <= area.yb; ++y)
+        for (int x = area.xa; x <= area.xb; ++x) {
+          if (pos.contains(x, y)) continue;
+          if (task.start_funnel.contains(x, y) ||
+              task.goal_funnel.contains(x, y))
+            continue;
+          masked(x, y) = 0;
+        }
+    }
+    return masked;
+  }
+
+  /// The shared synthesis budget of a replicated MO: every replica's solve
+  /// in one chip cycle draws from a single Deadline token, re-armed once
+  /// per cycle from the configured budget — N replicas never multiply the
+  /// budget N×. Inactive (per-call arming applies) for non-replica tasks
+  /// or when no budget is configured.
+  util::Deadline replica_deadline(MoRun& run, const RouteTask& task) {
+    if (task.replica < 0) return {};
+    if (run.replica_deadline_cycle != chip_.cycle()) {
+      run.replica_deadline_cycle = chip_.cycle();
+      if (config_.synthesis.deadline_sweeps > 0)
+        run.replica_deadline =
+            util::Deadline::after_checks(config_.synthesis.deadline_sweeps);
+      else if (config_.synthesis.deadline_seconds > 0.0)
+        run.replica_deadline =
+            util::Deadline::after_seconds(config_.synthesis.deadline_seconds);
+      else
+        run.replica_deadline = util::Deadline{};
+    }
+    return run.replica_deadline;
+  }
+
+  /// Seals one replica's outcome record (idempotent per task).
+  void record_replica_route(RouteTask& task, bool winner) {
+    if (task.replica < 0 || task.replica_recorded) return;
+    task.replica_recorded = true;
+    ReplicaRouteRecord record;
+    record.mo = task.rj.mo;
+    record.replica = task.replica;
+    record.winner = winner;
+    record.abandoned = task.abandoned;
+    record.mask_best_effort = task.mask_best_effort || task.mask_degraded;
+    record.band = task.band;
+    record.start_funnel = task.start_funnel;
+    record.goal_funnel = task.goal_funnel;
+    record.trail = std::move(task.trail);
+    stats_.replica_routes.push_back(std::move(record));
+  }
+
+  /// Ladder rung between quarantine and per-job abort: a replica that
+  /// exhausted its per-replica retry budget is abandoned — its droplet is
+  /// discarded and its siblings race on — instead of aborting the MO. Only
+  /// the failure of the last replica escalates to the graceful abort.
+  void abandon_replica(MoRun& run, RouteTask& task) {
+    if (task.abandoned) return;
+    task.abandoned = true;
+    ++run.abandoned_replicas;
+    ++stats_.replica.failovers;
+    stats_.replica.droplet_cycles += chip_.cycle() - task.created_cycle;
+    event(RecoveryAction::kReplicaFailover, run.mo->id,
+          "replica " + std::to_string(task.replica) + " abandoned after " +
+              std::to_string(task.retries) + " attempt(s); " +
+              std::to_string(run.replicas_planned - run.abandoned_replicas) +
+              " remain");
+    record_replica_route(task, /*winner=*/false);
+    close_job_span(task, "abandoned");
+    doomed_.push_back(task.droplet);
+    std::erase(run.live, task.droplet);
+    if (run.abandoned_replicas >= run.replicas_planned)
+      abort_job(run, "all " + std::to_string(run.replicas_planned) +
+                         " replicas failed");
+  }
+
+  /// Hands a losing replica over to the retirement queue: it leaves the MO
+  /// (which completes regardless) and drains to the nearest chip edge.
+  void retire_replica(MoRun& run, RouteTask& task) {
+    ++stats_.replica.retired;
+    stats_.replica.droplet_cycles += chip_.cycle() - task.created_cycle;
+    record_replica_route(task, /*winner=*/false);
+    close_job_span(task, "retired");
+    obs_event("replica", "retire", run.mo->id,
+              "replica " + std::to_string(task.replica) +
+                  " lost the vote; retiring to waste");
+    RetireTask retiree;
+    retiree.droplet = task.droplet;
+    retiree.mo = run.mo->id;
+    retiree.created_cycle = chip_.cycle();
+    retiree.last_pos = chip_.droplet_position(task.droplet);
+    retiring_.push_back(std::move(retiree));
+  }
+
+  /// Discards one retiring replica and charges its drain traffic.
+  void finish_retirement(std::size_t i, const std::string& reason) {
+    RetireTask& retiree = retiring_[i];
+    stats_.replica.droplet_cycles += chip_.cycle() - retiree.created_cycle;
+    obs_event("replica", "retired", retiree.mo, reason);
+    chip_.discard(retiree.droplet);
+    retiring_.erase(retiring_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  /// Drives every retiring replica one cycle toward the chip edge on cheap
+  /// fallback routes (no model checking for waste disposal); arrival, a
+  /// persistent blockage, or an exhausted replan budget discards it.
+  void advance_retirements(std::vector<Command>& commands) {
+    constexpr int kRetireStuckCycles = 8;
+    constexpr int kRetireMaxReplans = 4;
+    for (std::size_t i = 0; i < retiring_.size();) {
+      RetireTask& retiree = retiring_[i];
+      if (retiree.created_cycle == chip_.cycle()) {
+        ++i;  // handed over this cycle — its route command is already out
+        continue;
+      }
+      const Rect pos = chip_.droplet_position(retiree.droplet);
+      if (retiree.has_strategy && retiree.goal.contains(pos)) {
+        finish_retirement(i, "reached the waste edge");
+        continue;
+      }
+      if (retiree.has_strategy && pos == retiree.last_pos) {
+        if (++retiree.stuck >= kRetireStuckCycles) {
+          retiree.stuck = 0;
+          retiree.has_strategy = false;  // replan around the blockage
+        }
+      } else {
+        retiree.last_pos = pos;
+        retiree.stuck = 0;
+      }
+      if (!retiree.has_strategy) {
+        if (retiree.replans >= kRetireMaxReplans || health_.empty()) {
+          finish_retirement(i, "no waste route; discarded in place");
+          continue;
+        }
+        ++retiree.replans;
+        RoutingJob rj;
+        rj.start = pos;
+        rj.goal = dispense_entry_rect(pos, chip_bounds_);
+        rj.hazard =
+            assay::zone(rj.start, rj.goal, chip_bounds_, config_.zone_margin);
+        rj.mo = retiree.mo;
+        FallbackConfig fallback_config;
+        fallback_config.rules = config_.synthesis.rules;
+        fallback_config.max_expansions =
+            config_.recovery.fallback_max_expansions;
+        FallbackResult fallback =
+            fallback_route(rj, health_, chip_bounds_, fallback_config);
+        if (!fallback.feasible) {
+          finish_retirement(i, "no waste route; discarded in place");
+          continue;
+        }
+        retiree.goal = rj.goal;
+        retiree.strategy = std::move(fallback.strategy);
+        retiree.has_strategy = true;
+      }
+      const std::optional<Action> action = retiree.strategy.action(pos);
+      if (!action) retiree.has_strategy = false;  // drifted off; replan next
+      commands.push_back(Command{retiree.droplet, action, -1});
+      ++i;
+    }
+  }
+
+  /// Dispense machine for a replicated MO (effective N > 1). Phase 0 plans
+  /// the disjoint corridors; then one replica launches per cycle through
+  /// the shared port while the live ones race. The first arrival completes
+  /// the MO (k = 1 of N vote) and the losers retire to waste.
+  void process_replicated_dispense(MoRun& run, std::vector<Command>& commands,
+                                   int replicas, const Rect& goal) {
+    const Mo& mo = *run.mo;
+    const Rect entry = dispense_entry_rect(goal, chip_bounds_);
+    if (run.phase == 0) {
+      run.replicas_planned = replicas;
+      RoutingJob seed;
+      seed.start = entry;
+      seed.goal = goal;
+      seed.hazard = assay::zone(entry, goal, chip_bounds_, config_.zone_margin);
+      seed.mo = mo.id;
+      run.corridors = plan_replica_corridors(seed, replicas, chip_bounds_);
+      if (!run.corridors.disjoint) {
+        ++stats_.replica.best_effort_masks;
+        obs_event("replica", "best-effort-mask", mo.id,
+                  "zone too thin for " + std::to_string(replicas) +
+                      " disjoint corridors; replicas share the full zone");
+      }
+      obs_event("replica", "corridors-planned", mo.id,
+                std::to_string(replicas) + " replica(s), disjointness=" +
+                    (run.corridors.disjoint ? "full" : "best-effort"));
+      run.phase = 1;
+    }
+    // Launch at most one replica per cycle — the dispense port is shared.
+    int just_launched = -1;
+    if (run.launched < run.replicas_planned && chip_.location_clear(entry)) {
+      const DropletId d = chip_.dispense(entry);
+      run.live.push_back(d);
+      RouteTask task = make_route(mo.id, d, goal);
+      const ReplicaCorridor& corridor =
+          run.corridors.corridors[static_cast<std::size_t>(run.launched)];
+      task.replica = run.launched;
+      task.band = corridor.band;
+      task.masked_bands = corridor.masked;
+      task.start_funnel = run.corridors.start_funnel;
+      task.goal_funnel = run.corridors.goal_funnel;
+      task.mask_best_effort = !run.corridors.disjoint;
+      obs_event("replica", "launch", mo.id,
+                "replica " + std::to_string(task.replica) + " of " +
+                    std::to_string(run.replicas_planned) + " dispensed");
+      run.routes.push_back(std::move(task));
+      just_launched = run.launched;
+      ++run.launched;
+      ++stats_.replica.launched;
+    }
+    // Race the live replicas; the first arrival wins the vote.
+    RouteTask* winner = nullptr;
+    for (RouteTask& task : run.routes) {
+      if (task.abandoned) continue;
+      if (task.replica == just_launched) continue;  // dispensing used its cycle
+      if (config_.record_replica_trails)
+        task.trail.push_back(chip_.droplet_position(task.droplet));
+      const bool arrived = advance_route(run, task, commands);
+      if (failed_ || run.state != MoRun::State::kActive) return;
+      if (arrived) {
+        winner = &task;
+        break;
+      }
+    }
+    if (winner == nullptr) return;
+    ++stats_.replica.merges;
+    obs_event("replica", "merge", mo.id,
+              "replica " + std::to_string(winner->replica) +
+                  " arrived first of " + std::to_string(run.launched) +
+                  "; MO completes (k = 1 of " +
+                  std::to_string(run.replicas_planned) + ")");
+    record_replica_route(*winner, /*winner=*/true);
+    for (RouteTask& task : run.routes) {
+      if (&task == winner || task.abandoned) continue;
+      retire_replica(run, task);
+      std::erase(run.live, task.droplet);
+    }
+    finish(run, {winner->droplet});
   }
 
   /// Where two partnered droplets merge: the output-sized pattern centered
@@ -1241,6 +1628,11 @@ class Runner {
     const auto& mo_outputs = outputs_[static_cast<std::size_t>(id)];
     switch (mo.type) {
       case MoType::kDispense: {
+        const int replicas = effective_replicas(run);
+        if (replicas > 1) {
+          process_replicated_dispense(run, commands, replicas, mo_outputs[0]);
+          return;
+        }
         if (run.phase == 0) {
           const Rect entry = dispense_entry_rect(mo_outputs[0], chip_bounds_);
           if (!chip_.location_clear(entry)) return;  // port busy; wait
@@ -1379,6 +1771,9 @@ class Runner {
   std::vector<Vec2i> quarantine_order_;  ///< FIFO for budget-pressure parole
   std::vector<DropletId> doomed_;  ///< droplets to discard at cycle end
   std::vector<std::string> abort_reasons_;
+  // N-modular redundancy state.
+  std::vector<char> feeds_mix_;      ///< per MO: dispense feeding a mix/dilute
+  std::vector<RetireTask> retiring_; ///< losing replicas draining to waste
   // Observability bookkeeping.
   std::uint64_t job_serial_ = 0;           ///< async job-span id source
   std::int64_t health_changes_total_ = 0;  ///< health-view changes so far
@@ -1414,6 +1809,7 @@ void RunRollup::absorb(const ExecutionStats& stats) {
   resyntheses_warm += stats.resyntheses_warm;
   synthesis_seconds += stats.synthesis_seconds;
   recovery.accumulate(stats.recovery);
+  replica += stats.replica;
 }
 
 }  // namespace meda::core

@@ -7,6 +7,7 @@
 #include "assay/helper.hpp"
 #include "assay/mo.hpp"
 #include "core/biochip_io.hpp"
+#include "core/fleet_planner.hpp"
 #include "core/health_filter.hpp"
 #include "core/library.hpp"
 #include "core/recovery.hpp"
@@ -54,8 +55,22 @@ struct SchedulerConfig {
   /// the scheduler acts on the filtered estimate, never on a raw frame.
   HealthFilterConfig filter{};
   /// The structured recovery ladder (watchdog → re-sense → bounded
-  /// re-synthesis with backoff → quarantine → per-job abort).
+  /// re-synthesis with backoff → quarantine → replica failover → per-job
+  /// abort).
   RecoveryConfig recovery{};
+  /// N-modular redundancy degree applied to every dispense MO that feeds a
+  /// mix or dilute (the assay's critical reagents): the scheduler launches
+  /// this many racing replicas per such dispense, routed through pairwise
+  /// region-disjoint corridors, and completes the MO on the first arrival
+  /// (k = 1 of N). 1 (the default) disables replication; per-MO
+  /// `Mo::replicas` annotations above this floor are honored. Requires
+  /// `adaptive` — the baseline router cannot mask corridor views.
+  int replicate_critical_dispenses = 1;
+  /// Record every replica's per-cycle position trail into
+  /// ExecutionStats::replica_routes. Off by default: trails exist for the
+  /// disjointness tests and debugging, and campaigns must not pay the
+  /// memory (replica route *records* without trails are always kept).
+  bool record_replica_trails = false;
 };
 
 /// Activation/completion cycle of one MO within an execution (cycle counts
@@ -74,6 +89,54 @@ struct RouteRecord {
   int mo = -1;
   double expected_cycles = 0.0;   ///< model prediction at synthesis time
   std::uint64_t actual_cycles = 0;
+};
+
+/// Counters of the N-modular-redundant replica machinery, all deterministic
+/// (droplet cycles, not wall time). Zero throughout when no MO replicates.
+struct ReplicaCounters {
+  int launched = 0;   ///< replica droplets dispensed (includes winners)
+  int failovers = 0;  ///< replicas abandoned after exhausting their retries
+  int merges = 0;     ///< MOs completed by a first-arrival vote (k = 1)
+  int retired = 0;    ///< losing replicas retired to waste after a merge
+  /// Replicated MOs whose corridor plan degraded to best-effort
+  /// disjointness (zone too thin for N masked bands).
+  int best_effort_masks = 0;
+  /// Chip cycles consumed by non-winning replica droplets (abandoned +
+  /// retired), i.e. the redundancy's extra droplet traffic.
+  std::uint64_t droplet_cycles = 0;
+
+  bool any() const {
+    return launched || failovers || merges || retired || best_effort_masks ||
+           droplet_cycles;
+  }
+  ReplicaCounters& operator+=(const ReplicaCounters& other) {
+    launched += other.launched;
+    failovers += other.failovers;
+    merges += other.merges;
+    retired += other.retired;
+    best_effort_masks += other.best_effort_masks;
+    droplet_cycles += other.droplet_cycles;
+    return *this;
+  }
+  friend bool operator==(const ReplicaCounters&,
+                         const ReplicaCounters&) = default;
+};
+
+/// Outcome of one replica of a replicated MO, recorded when its fate is
+/// sealed (merge, abandonment, or execution teardown). The corridor
+/// geometry lets tests verify pairwise region-disjointness of the replica
+/// routes outside the shared endpoint funnels.
+struct ReplicaRouteRecord {
+  int mo = -1;
+  int replica = -1;          ///< replica index within the MO (0-based)
+  bool winner = false;       ///< first arrival — completed the MO
+  bool abandoned = false;    ///< failed over (per-replica retries exhausted)
+  bool mask_best_effort = false;  ///< corridor plan was not truly disjoint
+  Rect band = Rect::none();  ///< corridor band this replica owned
+  Rect start_funnel = Rect::none();  ///< shared funnels (disjointness is
+  Rect goal_funnel = Rect::none();   ///< only promised outside them)
+  /// Per-cycle positions, only with SchedulerConfig::record_replica_trails.
+  std::vector<Rect> trail;
 };
 
 /// Outcome of one bioassay execution.
@@ -99,6 +162,9 @@ struct ExecutionStats {
   std::vector<obs::Event> events;
   int completed_mos = 0;              ///< MOs that finished
   int aborted_mos = 0;                ///< MOs gracefully aborted (== recovery.aborted_jobs)
+  ReplicaCounters replica;            ///< NMR counters (all zero if unused)
+  /// Per-replica outcomes of every replicated MO, in seal order.
+  std::vector<ReplicaRouteRecord> replica_routes;
 };
 
 /// Campaign-level roll-up of many ExecutionStats: the single accumulator the
@@ -116,6 +182,7 @@ struct RunRollup {
   double synthesis_seconds = 0.0;
   stats::RunningStats cycles;       ///< completion cycles, successful runs only
   RecoveryCounters recovery;        ///< ladder counters summed over all runs
+  ReplicaCounters replica;          ///< NMR counters summed over all runs
 
   /// Folds one execution's outcome into the roll-up.
   void absorb(const ExecutionStats& stats);

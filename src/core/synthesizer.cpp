@@ -100,9 +100,15 @@ void record_synthesis(Span& span, const SynthesisResult& result) {
 /// A fresh deadline token per synthesize call: each synthesis gets the full
 /// budget, and an expired token from one job can never starve the next. The
 /// sweep budget wins over the wall-clock budget because it is deterministic.
-SolveConfig armed_solver(const SynthesisConfig& config) {
+/// An *active* external token overrides the per-call arming — callers pass
+/// one to pool the budget across several solves (replicated MOs share one
+/// token per cycle instead of multiplying the budget N×).
+SolveConfig armed_solver(const SynthesisConfig& config,
+                         const util::Deadline& external) {
   SolveConfig solver = config.solver;
-  if (config.deadline_sweeps > 0)
+  if (external.active())
+    solver.deadline = external;
+  else if (config.deadline_sweeps > 0)
     solver.deadline = util::Deadline::after_checks(config.deadline_sweeps);
   else if (config.deadline_seconds > 0.0)
     solver.deadline = util::Deadline::after_seconds(config.deadline_seconds);
@@ -130,21 +136,23 @@ Synthesizer::Synthesizer(Rect chip_bounds, SynthesisConfig config)
 
 SynthesisResult Synthesizer::synthesize(const assay::RoutingJob& rj,
                                         const IntMatrix& health,
-                                        int health_bits) const {
+                                        int health_bits,
+                                        const util::Deadline& deadline) const {
   MEDA_REQUIRE(health.width() == chip_bounds_.width() &&
                    health.height() == chip_bounds_.height(),
                "health matrix must be chip-sized");
   return synthesize_with_force(
-      rj, force_from_health(health, health_bits, config_.estimator));
+      rj, force_from_health(health, health_bits, config_.estimator), deadline);
 }
 
 SynthesisResult Synthesizer::synthesize_with_force(
-    const assay::RoutingJob& rj, const DoubleMatrix& force) const {
+    const assay::RoutingJob& rj, const DoubleMatrix& force,
+    const util::Deadline& deadline) const {
   SynthesisResult result;
   MEDA_OBS_SPAN(span, "synth", "synthesize");
   obs::Stopwatch watch;
 
-  const SolveConfig solver = armed_solver(config_);
+  const SolveConfig solver = armed_solver(config_, deadline);
 
   {
     MEDA_OBS_SPAN(build_span, "synth", "mdp_build");
@@ -170,8 +178,10 @@ SynthesisResult Synthesizer::synthesize_with_force(
 SynthesisResult Synthesizer::resynthesize(const assay::RoutingJob& rj,
                                           const IntMatrix& health,
                                           int health_bits,
-                                          ResynthesisContext& ctx) const {
-  if (!config_.incremental) return synthesize(rj, health, health_bits);
+                                          ResynthesisContext& ctx,
+                                          const util::Deadline& deadline) const {
+  if (!config_.incremental)
+    return synthesize(rj, health, health_bits, deadline);
   MEDA_REQUIRE(health.width() == chip_bounds_.width() &&
                    health.height() == chip_bounds_.height(),
                "health matrix must be chip-sized");
@@ -214,7 +224,7 @@ SynthesisResult Synthesizer::resynthesize(const assay::RoutingJob& rj,
                             static_cast<double>(delta.size()));
       ReachAvoidSolution sol = solve_reach_avoid_warm(
           ctx.compiled, ctx.solution, patch.dirty_states,
-          armed_solver(config_));
+          armed_solver(config_, deadline));
       result.solve_seconds = watch.lap_seconds();
       if (sol.pmax.deadline_expired || sol.rmin.deadline_expired) {
         // The model was already patched but the solve did not finish: ctx
@@ -263,7 +273,8 @@ SynthesisResult Synthesizer::resynthesize(const assay::RoutingJob& rj,
     ctx.geometry = compile_geometry(mdp);
   }
   result.construction_seconds = watch.lap_seconds();
-  ReachAvoidSolution sol = solve_reach_avoid(ctx.compiled, armed_solver(config_));
+  ReachAvoidSolution sol =
+      solve_reach_avoid(ctx.compiled, armed_solver(config_, deadline));
   result.solve_seconds = watch.lap_seconds();
   if (sol.pmax.deadline_expired || sol.rmin.deadline_expired) {
     ctx.valid = false;

@@ -118,14 +118,23 @@ class Synthesizer {
 
   /// Algorithm 2: synthesize from the sensed b-bit health matrix (the
   /// controller's information). @p health must be chip-sized.
+  ///
+  /// @p deadline — when active, this externally owned token bounds the
+  /// solve *instead of* a fresh per-call budget from the config. All solves
+  /// sharing one token share one budget: the scheduler arms one per
+  /// replicated MO per cycle so N redundant replicas never multiply the
+  /// synthesis budget N×. An inactive (default) token restores the
+  /// per-call arming of config().deadline_sweeps / deadline_seconds.
   SynthesisResult synthesize(const assay::RoutingJob& rj,
-                             const IntMatrix& health, int health_bits) const;
+                             const IntMatrix& health, int health_bits,
+                             const util::Deadline& deadline = {}) const;
 
   /// Synthesize from an explicit per-MC relative-force matrix. Used by the
   /// degradation-unaware baseline (full-health force) and by analyses that
-  /// bypass quantization.
-  SynthesisResult synthesize_with_force(const assay::RoutingJob& rj,
-                                        const DoubleMatrix& force) const;
+  /// bypass quantization. @p deadline as in synthesize().
+  SynthesisResult synthesize_with_force(
+      const assay::RoutingJob& rj, const DoubleMatrix& force,
+      const util::Deadline& deadline = {}) const;
 
   /// Incremental Algorithm 2: like synthesize, but reuses @p ctx when it
   /// holds a converged solution for the same (goal, hazard) anchor. The
@@ -136,9 +145,12 @@ class Synthesizer {
   /// re-primes ctx. Deadline expiry invalidates ctx — the model may be
   /// half-patched — so the next call is cold. With config().incremental
   /// false this is exactly synthesize() and ctx is left untouched.
+  /// @p deadline as in synthesize(); expiry under a shared token
+  /// invalidates ctx exactly like a per-call expiry.
   SynthesisResult resynthesize(const assay::RoutingJob& rj,
                                const IntMatrix& health, int health_bits,
-                               ResynthesisContext& ctx) const;
+                               ResynthesisContext& ctx,
+                               const util::Deadline& deadline = {}) const;
 
  private:
   /// Runs the configured query's solver(s) on @p mdp under @p solver and

@@ -33,6 +33,7 @@ std::string hex_double(double v) {
 
 void encode_stats(std::ostream& os, const core::ExecutionStats& s) {
   const core::RecoveryCounters& r = s.recovery;
+  const core::ReplicaCounters& n = s.replica;
   os << (s.success ? 1 : 0) << ' ' << s.cycles << ' ' << s.completed_mos
      << ' ' << s.aborted_mos << ' ' << s.synthesis_calls << ' '
      << s.library_hits << ' ' << s.resyntheses << ' ' << s.resyntheses_warm
@@ -41,20 +42,24 @@ void encode_stats(std::ostream& os, const core::ExecutionStats& s) {
      << r.backoff_cycles << ' ' << r.quarantined_cells << ' '
      << r.contention_detours << ' ' << r.aborted_jobs << ' '
      << r.synthesis_deadlines << ' ' << r.fallback_routes << ' '
-     << r.paroled_cells;
+     << r.paroled_cells << ' ' << n.launched << ' ' << n.failovers << ' '
+     << n.merges << ' ' << n.retired << ' ' << n.best_effort_masks << ' '
+     << n.droplet_cycles;
 }
 
 bool decode_stats(std::istream& is, core::ExecutionStats& s) {
   int success = 0;
   std::string seconds;
   core::RecoveryCounters& r = s.recovery;
+  core::ReplicaCounters& n = s.replica;
   if (!(is >> success >> s.cycles >> s.completed_mos >> s.aborted_mos >>
         s.synthesis_calls >> s.library_hits >> s.resyntheses >>
         s.resyntheses_warm >> seconds >>
         r.watchdog_fires >> r.forced_resenses >> r.synthesis_retries >>
         r.backoff_cycles >> r.quarantined_cells >> r.contention_detours >>
         r.aborted_jobs >> r.synthesis_deadlines >> r.fallback_routes >>
-        r.paroled_cells))
+        r.paroled_cells >> n.launched >> n.failovers >> n.merges >>
+        n.retired >> n.best_effort_masks >> n.droplet_cycles))
     return false;
   s.success = success != 0;
   char* end = nullptr;
@@ -119,9 +124,9 @@ std::vector<CampaignCell> run_campaign(
   util::SlotCheckpoint checkpoint;
   if (!config.checkpoint.path.empty()) {
     util::DigestBuilder digest;
-    // v2: resyntheses_warm joined the encode_stats payload, invalidating
-    // checkpoints written by older binaries.
-    digest.mix(std::string("meda-campaign-v2"));
+    // v3: the replica counters joined the encode_stats payload,
+    // invalidating checkpoints written by older binaries.
+    digest.mix(std::string("meda-campaign-v3"));
     digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
     digest.mix(config.checkpoint.salt);
     digest.mix(static_cast<std::uint64_t>(assays.size()));
@@ -233,6 +238,8 @@ std::string encode_chaos_slot(const ChaosChipSlot& slot) {
   encode_library_class(os, slot.library.plain);
   os << ' ';
   encode_library_class(os, slot.library.detour);
+  os << ' ';
+  encode_library_class(os, slot.library.replica);
   os << ' ' << slot.stats.size();
   for (const core::ExecutionStats& stats : slot.stats) {
     os << ' ';
@@ -248,6 +255,7 @@ bool decode_chaos_slot(const std::string& payload, ChaosChipSlot& out) {
   if (!(is >> slot.frames_dropped >> slot.bits_flipped)) return false;
   if (!decode_library_class(is, slot.library.plain)) return false;
   if (!decode_library_class(is, slot.library.detour)) return false;
+  if (!decode_library_class(is, slot.library.replica)) return false;
   if (!(is >> n) || n > 1u << 20) return false;
   slot.stats.resize(n);
   for (core::ExecutionStats& stats : slot.stats)
@@ -288,7 +296,9 @@ std::vector<ChaosCell> run_chaos_campaign(
     util::DigestBuilder digest;
     // v2: slot payloads gained the per-class library stats block.
     // v3: resyntheses_warm joined the encode_stats payload.
-    digest.mix(std::string("meda-chaos-v3"));
+    // v4: the replica counters joined encode_stats and the replica library
+    //     class joined the slot's library block.
+    digest.mix(std::string("meda-chaos-v4"));
     digest.mix(config.seed0).mix(config.chips).mix(config.runs_per_chip);
     digest.mix(config.checkpoint.salt);
     digest.mix(static_cast<int>(config.adversary));
@@ -367,7 +377,8 @@ std::vector<ChaosCell> run_chaos_campaign(
 void print_chaos_campaign(std::ostream& os,
                           const std::vector<ChaosCell>& cells) {
   Table table({"bioassay", "noise", "router", "success", "cycles",
-               "watchdog", "retries", "quarantined", "detours", "aborted"});
+               "watchdog", "retries", "quarantined", "detours", "replicas",
+               "failovers", "aborted"});
   for (const ChaosCell& cell : cells) {
     const core::RunRollup& r = cell.rollup;
     table.add_row(
@@ -378,6 +389,8 @@ void print_chaos_campaign(std::ostream& os,
          std::to_string(r.recovery.synthesis_retries),
          std::to_string(r.recovery.quarantined_cells),
          std::to_string(r.recovery.contention_detours),
+         std::to_string(r.replica.launched),
+         std::to_string(r.replica.failovers),
          std::to_string(r.recovery.aborted_jobs)});
   }
   table.print(os);
@@ -392,7 +405,9 @@ void write_chaos_csv(const std::string& path,
                  "synthesis_retries", "backoff_cycles", "quarantined_cells",
                  "contention_detours", "aborted_jobs", "synthesis_deadlines",
                  "fallback_routes", "paroled_cells", "frames_dropped",
-                 "bits_flipped"});
+                 "bits_flipped", "synthesis_calls", "replicas_launched",
+                 "replica_failovers", "replica_merges", "replica_retired",
+                 "replica_best_effort_masks", "replica_droplet_cycles"});
   for (const ChaosCell& cell : cells) {
     const core::RunRollup& r = cell.rollup;
     csv.write_row(
@@ -414,7 +429,14 @@ void write_chaos_csv(const std::string& path,
          std::to_string(r.recovery.fallback_routes),
          std::to_string(r.recovery.paroled_cells),
          std::to_string(cell.frames_dropped),
-         std::to_string(cell.bits_flipped)});
+         std::to_string(cell.bits_flipped),
+         std::to_string(r.synthesis_calls),
+         std::to_string(r.replica.launched),
+         std::to_string(r.replica.failovers),
+         std::to_string(r.replica.merges),
+         std::to_string(r.replica.retired),
+         std::to_string(r.replica.best_effort_masks),
+         std::to_string(r.replica.droplet_cycles)});
   }
 }
 
@@ -473,6 +495,26 @@ void write_chaos_metrics_csv(const std::string& path,
        [](const ChaosCell& c) {
          return std::to_string(c.library.plain.overwrites);
        }},
+      {"library.replica.evictions",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.replica.evictions);
+       }},
+      {"library.replica.hits",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.replica.hits);
+       }},
+      {"library.replica.inserts",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.replica.inserts);
+       }},
+      {"library.replica.misses",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.replica.misses);
+       }},
+      {"library.replica.overwrites",
+       [](const ChaosCell& c) {
+         return std::to_string(c.library.replica.overwrites);
+       }},
       {"recovery.aborted_jobs",
        [](const ChaosCell& c) {
          return std::to_string(c.rollup.recovery.aborted_jobs);
@@ -512,6 +554,32 @@ void write_chaos_metrics_csv(const std::string& path,
       {"recovery.watchdog_fires",
        [](const ChaosCell& c) {
          return std::to_string(c.rollup.recovery.watchdog_fires);
+       }},
+      // replica block: the N-modular-redundancy machinery, all zero unless
+      // a router replicates critical dispenses.
+      {"replica.best_effort_masks",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.best_effort_masks);
+       }},
+      {"replica.droplet_cycles",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.droplet_cycles);
+       }},
+      {"replica.failovers",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.failovers);
+       }},
+      {"replica.launched",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.launched);
+       }},
+      {"replica.merges",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.merges);
+       }},
+      {"replica.retired",
+       [](const ChaosCell& c) {
+         return std::to_string(c.rollup.replica.retired);
        }},
       {"sched.aborted_mos",
        [](const ChaosCell& c) {

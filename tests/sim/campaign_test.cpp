@@ -239,6 +239,56 @@ TEST(ChaosCampaign, MetricsCsvHasNameSortedColumnsAndOneRowPerCell) {
   EXPECT_EQ(rows, static_cast<int>(cells.size()));
 }
 
+ChaosCampaignConfig harsh_chaos() {
+  // End-of-life chips in the spirit of bench/chaos_campaign: heavy pre-wear
+  // plus a clustered fault population that keeps failing mid-run, so the
+  // recovery ladder (and replica failover) actually fires.
+  ChaosCampaignConfig config = small_chaos();
+  config.chip.chip.degradation = DegradationRange{0.5, 0.9, 40.0, 100.0};
+  config.chip.pre_wear_max = 250;
+  config.chip.faults.mode = FaultMode::kClustered;
+  config.chip.faults.faulty_fraction = 0.08;
+  config.chip.faults.fail_at_lo = 10;
+  config.chip.faults.fail_at_hi = 100;
+  return config;
+}
+
+std::vector<RouterConfig> replicated_router() {
+  std::vector<RouterConfig> routers = robust_router();
+  routers[0].name = "robust+nmr";
+  routers[0].scheduler.replicate_critical_dispenses = 2;
+  return routers;
+}
+
+TEST(ChaosCampaign, AbortedMosMatchAbortedJobsWithReplicationLive) {
+  // The ladder's abort invariant: every aborted MO is a graceful per-job
+  // abort and vice versa. Replication must not disturb it — an abandoned
+  // replica fails over silently and is NOT an aborted MO; only all-replica
+  // failure escalates to the abort rung.
+  const std::vector<assay::MoList> assays = {assay::master_mix()};
+  const auto cells =
+      run_chaos_campaign(assays, replicated_router(), harsh_chaos());
+  std::uint64_t launched = 0;
+  for (const ChaosCell& cell : cells) {
+    EXPECT_EQ(cell.rollup.aborted_mos, cell.rollup.recovery.aborted_jobs)
+        << cell.level;
+    launched += static_cast<std::uint64_t>(cell.rollup.replica.launched);
+  }
+  EXPECT_GT(launched, 0u);  // replication was actually live
+
+  // The replica counters reduce deterministically regardless of how the
+  // (cell, chip) grid is spread over worker threads.
+  ChaosCampaignConfig parallel = harsh_chaos();
+  parallel.jobs = 3;
+  const auto again =
+      run_chaos_campaign(assays, replicated_router(), parallel);
+  ASSERT_EQ(again.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].rollup.replica, again[i].rollup.replica);
+    EXPECT_EQ(cells[i].rollup.aborted_mos, again[i].rollup.aborted_mos);
+  }
+}
+
 TEST(ChaosCampaign, CheckpointedRunMatchesStraightThroughByteForByte) {
   const std::vector<assay::MoList> assays = {assay::covid_rat()};
   const std::string cp_path = ::testing::TempDir() + "chaos_cp.txt";
