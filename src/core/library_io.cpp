@@ -7,11 +7,17 @@
 #include <sstream>
 #include <vector>
 
-#include "util/check.hpp"
+#include "obs/obs.hpp"
 
 namespace meda::core {
 
 namespace {
+
+/// Sanity cap on strategy rows per entry: a garbled row count must not make
+/// the loader chew through (and allocate for) gigabytes of garbage. Real
+/// strategies are a few hundred cells; 2^20 is orders of magnitude past any
+/// chip this code models.
+constexpr std::size_t kMaxStrategyRows = std::size_t{1} << 20;
 
 void write_rect(std::ostream& os, const Rect& r) {
   os << r.xa << ' ' << r.ya << ' ' << r.xb << ' ' << r.yb;
@@ -31,15 +37,54 @@ void write_double(std::ostream& os, double v) {
   }
 }
 
-double read_double(std::istream& is) {
+bool read_double_nothrow(std::istream& is, double& out) {
   std::string token;
-  is >> token;
-  if (token == "inf") return std::numeric_limits<double>::infinity();
-  try {
-    return std::stod(token);
-  } catch (const std::exception&) {
-    throw PreconditionError("library file: bad number '" + token + "'");
+  if (!(is >> token)) return false;
+  if (token == "inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
   }
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(token, &consumed);
+    return consumed == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Parses one entry body (everything after the "entry" keyword) into
+/// temporaries. Returns false — storing nothing — on any truncation or
+/// garbage; the caller resynchronizes.
+bool parse_entry(std::istream& is, assay::RoutingJob& rj,
+                 std::uint64_t& digest, SynthesisResult& result) {
+  rj.start = read_rect(is);
+  rj.goal = read_rect(is);
+  rj.hazard = read_rect(is);
+  int feasible = 0;
+  std::size_t rows = 0;
+  is >> digest >> feasible;
+  if (!is.good()) return false;
+  result.feasible = feasible != 0;
+  if (!read_double_nothrow(is, result.expected_cycles)) return false;
+  if (!read_double_nothrow(is, result.reach_probability)) return false;
+  is >> rows;
+  if (!is.good() || rows > kMaxStrategyRows) return false;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Rect droplet = read_rect(is);
+    int action = -1;
+    is >> action;
+    if (is.fail() || action < 0 ||
+        action >= static_cast<int>(kAllActions.size()))
+      return false;
+    result.strategy.set(droplet, static_cast<Action>(action));
+  }
+  // Torn-tail rule (cf. SlotCheckpoint): save_library terminates every
+  // entry with '\n', so an entry whose last token runs straight into EOF
+  // may itself be a truncated longer token (action "19" torn to "1" still
+  // parses). Reject the entry whole rather than store a distorted row.
+  if (is.peek() == std::char_traits<char>::eof()) return false;
+  return true;
 }
 
 }  // namespace
@@ -71,53 +116,64 @@ void save_library(const StrategyLibrary& library, std::ostream& os) {
   }
 }
 
-void load_library(StrategyLibrary& library, std::istream& is) {
+LibraryLoadStats load_library(StrategyLibrary& library, std::istream& is) {
   std::string magic;
   int version = 0;
   is >> magic >> version;
-  MEDA_REQUIRE(magic == "medalib" && version == 1,
-               "not a version-1 medalib file");
+  if (magic != "medalib" || version != 1)
+    throw LibraryLoadError("not a version-1 medalib file");
+  LibraryLoadStats stats;
   std::string keyword;
-  while (is >> keyword) {
-    MEDA_REQUIRE(keyword == "entry", "library file: expected 'entry'");
-    assay::RoutingJob rj;
-    rj.start = read_rect(is);
-    rj.goal = read_rect(is);
-    rj.hazard = read_rect(is);
-    std::uint64_t digest = 0;
-    int feasible = 0;
-    std::size_t rows = 0;
-    is >> digest >> feasible;
-    SynthesisResult result;
-    result.feasible = feasible != 0;
-    result.expected_cycles = read_double(is);
-    result.reach_probability = read_double(is);
-    is >> rows;
-    MEDA_REQUIRE(is.good(), "library file: truncated entry header");
-    for (std::size_t i = 0; i < rows; ++i) {
-      const Rect droplet = read_rect(is);
-      int action = -1;
-      is >> action;
-      MEDA_REQUIRE(is.good() && action >= 0 &&
-                       action < static_cast<int>(kAllActions.size()),
-                   "library file: bad strategy row");
-      result.strategy.set(droplet, static_cast<Action>(action));
+  bool have_keyword = false;
+  while (have_keyword || static_cast<bool>(is >> keyword)) {
+    have_keyword = false;
+    if (keyword != "entry") {
+      // Garbage between entries: count the run as one rejected entry and
+      // resynchronize at the next "entry" keyword (coordinates are bare
+      // integers, so the keyword cannot occur inside a valid entry body).
+      ++stats.rejected;
+      MEDA_OBS_COUNT("library.load_rejected", 1);
+      while (is >> keyword)
+        if (keyword == "entry") break;
+      if (keyword != "entry" || !is) break;
     }
-    library.store(rj, digest, std::move(result));
+    assay::RoutingJob rj;
+    std::uint64_t digest = 0;
+    SynthesisResult result;
+    if (parse_entry(is, rj, digest, result)) {
+      library.store(rj, digest, std::move(result));
+      ++stats.loaded;
+      continue;
+    }
+    // Truncated or garbled entry: nothing was stored (the strategy lives in
+    // the temporary above). Count it and resynchronize.
+    ++stats.rejected;
+    MEDA_OBS_COUNT("library.load_rejected", 1);
+    is.clear();
+    while (is >> keyword) {
+      if (keyword == "entry") {
+        have_keyword = true;
+        break;
+      }
+    }
+    if (!have_keyword) break;
   }
+  return stats;
 }
 
 void save_library_file(const StrategyLibrary& library,
                        const std::string& path) {
   std::ofstream out(path);
-  MEDA_REQUIRE(out.is_open(), "cannot open " + path + " for writing");
+  if (!out.is_open())
+    throw LibraryLoadError("cannot open " + path + " for writing");
   save_library(library, out);
 }
 
-void load_library_file(StrategyLibrary& library, const std::string& path) {
+LibraryLoadStats load_library_file(StrategyLibrary& library,
+                                   const std::string& path) {
   std::ifstream in(path);
-  MEDA_REQUIRE(in.is_open(), "cannot open " + path);
-  load_library(library, in);
+  if (!in.is_open()) throw LibraryLoadError("cannot open " + path);
+  return load_library(library, in);
 }
 
 }  // namespace meda::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "assay/helper.hpp"
+#include "core/library.hpp"
+#include "core/synthesizer.hpp"
+#include "util/matrix.hpp"
+
+/// @file synthesis_backend.hpp
+/// Seam between the scheduler and an external synthesis provider.
+///
+/// By default the scheduler synthesizes locally (its own Synthesizer, its
+/// own library). A SynthesisBackend lets a deployment route those solves
+/// through a shared provider instead — the in-process multi-tenant
+/// SynthesisService in src/svc — without core depending on svc: the
+/// scheduler sees only this interface; svc implements it.
+///
+/// The provider is allowed to *refuse* a solve (admission control under
+/// overload, exhausted tenant budget): a shed outcome carries no strategy
+/// and the scheduler degrades to its local bounded-A* fallback router,
+/// exactly as it does for a deadline-expired local synthesis. Shedding is
+/// therefore a graceful-degradation signal, never an error.
+
+namespace meda::core {
+
+/// What the backend produced for one synthesis request.
+struct BackendOutcome {
+  /// The synthesis result. Meaningless when `shed` is set (default
+  /// infeasible); may itself be deadline-expired, which the scheduler
+  /// handles through its normal deadline ladder.
+  SynthesisResult result;
+  /// The provider refused admission; no solve was attempted. The caller
+  /// must degrade locally (fallback route) rather than block or abort.
+  bool shed = false;
+  /// Stable human-readable reason when shed ("queue_full", "tenant_cap",
+  /// "budget_exhausted", "expired"); "" otherwise.
+  const char* shed_reason = "";
+};
+
+/// Abstract synthesis provider the scheduler can delegate to.
+class SynthesisBackend {
+ public:
+  virtual ~SynthesisBackend() = default;
+
+  /// Synthesizes a strategy for @p rj over the sensed @p health view.
+  /// @p digest is the caller-computed library key digest (already salted
+  /// for detour/replica families) and @p cls its stats class, so provider
+  /// and caller agree on cache identity.
+  virtual BackendOutcome synthesize(const assay::RoutingJob& rj,
+                                    const IntMatrix& health, int health_bits,
+                                    std::uint64_t digest, DigestClass cls) = 0;
+};
+
+}  // namespace meda::core

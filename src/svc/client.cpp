@@ -1,0 +1,66 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace meda::svc {
+
+SynthesisClient::SynthesisClient(SynthesisService* service, int tenant,
+                                 ClientConfig config)
+    : service_(service), tenant_(tenant), config_(config) {
+  MEDA_REQUIRE(service != nullptr, "SynthesisClient needs a service");
+  MEDA_REQUIRE(tenant >= 0 && tenant < service->tenant_count(),
+               "SynthesisClient tenant id out of range");
+  MEDA_REQUIRE(config_.max_attempts >= 1,
+               "SynthesisClient needs at least one attempt");
+}
+
+core::BackendOutcome SynthesisClient::synthesize(const assay::RoutingJob& rj,
+                                                 const IntMatrix& health,
+                                                 int health_bits,
+                                                 std::uint64_t digest,
+                                                 core::DigestClass cls) {
+  (void)health_bits;  // the service's shared Synthesizer fixes the bit depth
+  core::BackendOutcome outcome;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const SubmitTicket ticket =
+        service_->submit(tenant_, rj, health, config_.deadline_ticks, digest,
+                         cls);
+    if (!ticket.accepted) {
+      outcome.shed = true;
+      outcome.shed_reason = to_string(ticket.reason);
+      // Transient refusals (queue pressure) are worth backing off and
+      // retrying; an expired deadline or a spent budget window will refuse
+      // identically until time passes that a retry loop cannot provide.
+      const bool retryable = ticket.reason == ShedReason::kQueueFull ||
+                             ticket.reason == ShedReason::kTenantCap;
+      if (!retryable || attempt + 1 == config_.max_attempts) return outcome;
+      const std::uint64_t shift =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(attempt), 63);
+      const std::uint64_t backoff = std::min(
+          config_.backoff_max_ticks, config_.backoff_base_ticks << shift);
+      MEDA_OBS_COUNT("svc.client.retries", 1);
+      service_->advance(backoff);
+      continue;
+    }
+    service_->drain();
+    std::optional<JobOutcome> job = service_->take(ticket.seq);
+    MEDA_ASSERT(job.has_value(), "drained job must have an outcome");
+    if (job->cancelled) {
+      // Deadline elapsed while queued: treated exactly like an up-front
+      // expiry — shed, no strategy, caller falls back locally.
+      outcome.shed = true;
+      outcome.shed_reason = to_string(ShedReason::kExpired);
+      return outcome;
+    }
+    outcome.result = std::move(job->result);
+    outcome.shed = false;
+    outcome.shed_reason = "";
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace meda::svc

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/synthesis_backend.hpp"
+#include "svc/service.hpp"
+
+/// @file client.hpp
+/// The tenant-side adapter: a core::SynthesisBackend that submits the
+/// scheduler's synthesis requests to a shared SynthesisService, with the
+/// retry/timeout/backoff discipline of the PR 4 recovery machinery:
+///
+///  - Each request is submitted with a logical-tick deadline. Accepted
+///    jobs are drained and collected; a job cancelled in the queue (its
+///    deadline passed while waiting) comes back as shed("expired").
+///  - A refused submission (queue full, tenant cap) is retried up to
+///    `max_attempts` times with exponential backoff on the service's
+///    logical clock — `backoff_base << attempt`, capped — mirroring the
+///    scheduler's own fallback-backoff ladder.
+///  - Refusals that retrying cannot fix inside this window (expired
+///    deadline, exhausted tenant budget) shed immediately.
+///
+/// A shed outcome makes the scheduler degrade to its local bounded-A*
+/// fallback router (see core/synthesis_backend.hpp): the assay slows down
+/// instead of blocking on an overloaded service.
+
+namespace meda::svc {
+
+/// Client-side retry/backoff policy (all logical ticks).
+struct ClientConfig {
+  /// Deadline budget each submission is given (must be >= 1; 0 would be
+  /// born-expired and always shed).
+  std::uint64_t deadline_ticks = 64;
+  /// Total submission attempts before giving up and shedding.
+  int max_attempts = 3;
+  /// Backoff after a retryable refusal: base << attempt ticks, capped.
+  std::uint64_t backoff_base_ticks = 1;
+  std::uint64_t backoff_max_ticks = 64;
+};
+
+/// One tenant's handle on the shared service.
+class SynthesisClient : public core::SynthesisBackend {
+ public:
+  /// @p service outlives the client; @p tenant from register_tenant().
+  SynthesisClient(SynthesisService* service, int tenant,
+                  ClientConfig config = {});
+
+  core::BackendOutcome synthesize(const assay::RoutingJob& rj,
+                                  const IntMatrix& health, int health_bits,
+                                  std::uint64_t digest,
+                                  core::DigestClass cls) override;
+
+  int tenant() const { return tenant_; }
+
+ private:
+  SynthesisService* service_;
+  int tenant_;
+  ClientConfig config_;
+};
+
+}  // namespace meda::svc

@@ -1,17 +1,32 @@
 #include "util/deadline.hpp"
 
+#include <algorithm>
+
 namespace meda::util {
 
 Deadline Deadline::after_seconds(double seconds) {
   Deadline d;
   d.state_->has_time_limit = true;
   if (seconds <= 0.0) {
-    d.state_->not_after = Clock::now();
-  } else {
-    d.state_->not_after =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(seconds));
+    // Born expired, deterministically: no clock is consulted, so a zero or
+    // negative budget behaves identically on every machine (and under a
+    // frozen clock) instead of relying on now() >= now().
+    d.state_->cancelled.store(true, std::memory_order_relaxed);
+    return d;
   }
+  // Saturate budgets the clock's duration type cannot represent: the naive
+  // duration_cast would overflow and wrap not_after into the past, turning
+  // "practically unbounded" into "already expired".
+  const std::chrono::duration<double> want(seconds);
+  const auto max_representable =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::duration::max());
+  if (want >= max_representable / 2) {
+    d.state_->not_after = Clock::time_point::max();
+    return d;
+  }
+  d.state_->not_after =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(want);
   return d;
 }
 
@@ -38,6 +53,21 @@ bool Deadline::expired() const {
     return true;
   }
   return false;
+}
+
+Deadline DeadlineLedger::acquire(std::uint64_t cap) const {
+  if (unlimited()) {
+    if (cap == 0) return Deadline{};  // inactive: callee's own config applies
+    return Deadline::after_checks(cap);
+  }
+  const std::uint64_t armed = cap == 0 ? remaining_
+                                       : std::min(cap, remaining_);
+  return Deadline::after_checks(armed);
+}
+
+void DeadlineLedger::settle(const Deadline& deadline) {
+  if (!deadline.has_check_limit()) return;
+  charge(std::min(deadline.checks_used(), deadline.check_limit()));
 }
 
 }  // namespace meda::util

@@ -1,0 +1,95 @@
+#include "util/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda::util {
+
+namespace {
+
+std::string header_line(std::uint64_t digest) {
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string("meda-journal v1 ") + digest_hex;
+}
+
+bool header_matches(const std::string& line, std::uint64_t digest) {
+  std::istringstream header(line);
+  std::string magic, version, digest_hex;
+  header >> magic >> version >> digest_hex;
+  if (magic != "meda-journal" || version != "v1") return false;
+  std::uint64_t file_digest = 0;
+  try {
+    file_digest = std::stoull(digest_hex, nullptr, 16);
+  } catch (...) {
+    return false;
+  }
+  return file_digest == digest;
+}
+
+}  // namespace
+
+void AppendJournal::open(std::string path, std::uint64_t digest, bool resume) {
+  if (out_.is_open()) out_.close();
+  path_ = std::move(path);
+  records_.clear();
+  restored_count_ = 0;
+  if (path_.empty()) return;
+
+  bool replayed = false;
+  if (resume) {
+    std::ifstream in(path_);
+    std::string line;
+    if (in && std::getline(in, line) && header_matches(line, digest)) {
+      while (std::getline(in, line)) {
+        // A line with no terminating '\n' (eof hit mid-line) is the torn
+        // tail of a killed append: drop it, the unit of work just re-runs.
+        if (in.eof()) break;
+        if (line.empty()) continue;
+        records_.push_back(line);
+      }
+      restored_count_ = records_.size();
+      replayed = true;
+    }
+  }
+
+  if (replayed) {
+    // Rewrite header + surviving records atomically so the torn tail (if
+    // any) is physically gone before new appends land after it.
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) return;  // unwritable directory: run without durability
+      out << header_line(digest) << '\n';
+      for (const std::string& record : records_) out << record << '\n';
+    }
+    std::rename(tmp.c_str(), path_.c_str());
+    out_.open(path_, std::ios::app);
+    return;
+  }
+
+  // Fresh journal: create the header atomically (tmp + rename), so readers
+  // and resumed runs see either no journal or a well-formed one.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << header_line(digest) << '\n';
+  }
+  std::rename(tmp.c_str(), path_.c_str());
+  out_.open(path_, std::ios::app);
+}
+
+void AppendJournal::append(const std::string& payload) {
+  MEDA_REQUIRE(payload.find('\n') == std::string::npos,
+               "journal record must be single-line");
+  if (!out_.is_open()) return;
+  out_ << payload << '\n';
+  out_.flush();
+  records_.push_back(payload);
+}
+
+}  // namespace meda::util

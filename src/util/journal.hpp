@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// @file journal.hpp
+/// Append-only crash-recoverable record journal, the write-ahead companion
+/// to SlotCheckpoint: where the checkpoint rewrites a full slot snapshot
+/// atomically, the journal appends one flushed line per completed unit of
+/// work and replays the prefix that survived a crash.
+///
+/// File format:
+///
+///   meda-journal v1 <digest-hex>
+///   <record>
+///   <record>
+///   ...
+///
+/// The header line is created atomically (written to "<path>.tmp", then
+/// POSIX-renamed over the destination), so a crash during creation leaves
+/// either no journal or a complete empty one. Records are appended with one
+/// flush per line; a SIGKILL mid-append can leave at most one torn tail
+/// line (no terminating '\n'), which load drops — exactly the
+/// SlotCheckpoint torn-write rule. The digest encodes the configuration
+/// that produced the records; on resume, a header whose digest (or version)
+/// does not match means the journal belongs to a different run and is
+/// started fresh instead of replayed.
+///
+/// Not thread-safe: the synthesis service appends from its serial settle
+/// stage (the same discipline that keeps its outputs byte-identical at any
+/// --jobs).
+namespace meda::util {
+
+class AppendJournal {
+ public:
+  /// Binds the journal to @p path. With @p resume set, an existing journal
+  /// whose header matches @p digest is replayed into `records()` (torn tail
+  /// dropped); otherwise — mismatched digest, wrong version, garbage, or no
+  /// file — a fresh journal containing only the header is created
+  /// atomically. An empty @p path disables the journal (appends are
+  /// dropped, records stay empty). An unwritable path degrades the same
+  /// way: the run proceeds without durability.
+  void open(std::string path, std::uint64_t digest, bool resume);
+
+  bool enabled() const { return out_.is_open(); }
+
+  /// Appends one single-line record and flushes it to disk. Also visible
+  /// immediately through `records()`, so a later consumer sharing this
+  /// journal object replays earlier appends without re-reading the file.
+  void append(const std::string& payload);
+
+  /// Every durable record: the replayed prefix followed by this process's
+  /// appends, in append order.
+  const std::vector<std::string>& records() const { return records_; }
+
+  /// How many records were replayed from disk by `open(..., resume=true)`.
+  std::size_t restored_count() const { return restored_count_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::vector<std::string> records_;
+  std::size_t restored_count_ = 0;
+};
+
+}  // namespace meda::util

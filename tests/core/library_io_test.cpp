@@ -93,17 +93,109 @@ TEST(LibraryIo, SerializesInfiniteExpectations) {
   EXPECT_TRUE(std::isinf(entry->expected_cycles));
 }
 
-TEST(LibraryIo, RejectsMalformedFiles) {
+TEST(LibraryIo, RejectsMalformedHeaders) {
+  // A wrong header means the file is not a library at all: typed throw
+  // (LibraryLoadError is-a PreconditionError, so pre-existing catch sites
+  // keep working).
   StrategyLibrary library;
   std::stringstream bad_magic("notalib 1\n");
-  EXPECT_THROW(load_library(library, bad_magic), PreconditionError);
+  EXPECT_THROW(load_library(library, bad_magic), LibraryLoadError);
   std::stringstream bad_version("medalib 9\n");
   EXPECT_THROW(load_library(library, bad_version), PreconditionError);
+  EXPECT_THROW(load_library_file(library, "/nonexistent/lib"),
+               LibraryLoadError);
+}
+
+TEST(LibraryIo, SkipsTruncatedEntryInsteadOfThrowing) {
+  // Past a valid header, corruption is entry-granular: the torn entry is
+  // skipped whole (nothing partially stored) and counted.
+  StrategyLibrary library;
   std::stringstream truncated(
       "medalib 1\nentry 0 0 2 2 8 0 10 2 0 0 11 5 7 1 4");
-  EXPECT_THROW(load_library(library, truncated), PreconditionError);
-  EXPECT_THROW(load_library_file(library, "/nonexistent/lib"),
-               PreconditionError);
+  const LibraryLoadStats stats = load_library(library, truncated);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(library.size(), 0u);
+}
+
+TEST(LibraryIo, ResynchronizesPastGarbageAndBadEntries) {
+  // A valid entry, then a garbled one, then another valid one: both valid
+  // entries load, the garbled one is counted as rejected.
+  StrategyLibrary good;
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(0, 0, 3, 3);
+  rj.goal = Rect::from_size(4, 0, 3, 3);
+  rj.hazard = Rect{0, 0, 9, 5};
+  SynthesisResult r;
+  r.feasible = true;
+  r.expected_cycles = 4.0;
+  r.reach_probability = 1.0;
+  good.store(rj, 1, r);
+  rj.goal = Rect::from_size(6, 0, 3, 3);
+  good.store(rj, 2, r);
+  std::stringstream buffer;
+  save_library(good, buffer);
+  const std::string text = buffer.str();
+  const std::size_t second = text.find("entry", text.find("entry") + 1);
+  ASSERT_NE(second, std::string::npos);
+  const std::string corrupted = text.substr(0, second) +
+                                "entry 0 0 2 2 WAT garbage bytes\n" +
+                                text.substr(second);
+
+  StrategyLibrary library;
+  std::stringstream in(corrupted);
+  const LibraryLoadStats stats = load_library(library, in);
+  EXPECT_EQ(stats.loaded, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(library.size(), 2u);
+}
+
+TEST(LibraryIo, RejectsAbsurdRowCounts) {
+  // A garbled row count must not allocate/parse gigabytes: entries claiming
+  // more rows than any real strategy are rejected outright.
+  StrategyLibrary library;
+  std::stringstream in(
+      "medalib 1\nentry 0 0 2 2 4 0 6 2 0 0 9 5 7 1 10 1 999999999999\n");
+  const LibraryLoadStats stats = load_library(library, in);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(library.size(), 0u);
+}
+
+TEST(LibraryIo, FuzzedTruncationNeverThrowsAndLoadsAPrefix) {
+  // Chop a valid multi-entry file at every byte offset past the header:
+  // the loader must never throw, never store a partial strategy, and the
+  // loaded entries must be a prefix subset of the original file's.
+  const StrategyLibrary original = precomputed_library();
+  ASSERT_GE(original.size(), 2u);
+  std::stringstream buffer;
+  save_library(original, buffer);
+  const std::string text = buffer.str();
+  const std::size_t header_end = text.find('\n') + 1;
+
+  for (std::size_t cut = header_end; cut <= text.size(); ++cut) {
+    StrategyLibrary library;
+    std::stringstream in(text.substr(0, cut));
+    LibraryLoadStats stats;
+    ASSERT_NO_THROW(stats = load_library(library, in)) << "cut=" << cut;
+    EXPECT_EQ(stats.loaded, library.size()) << "cut=" << cut;
+    EXPECT_LE(library.size(), original.size()) << "cut=" << cut;
+    // Every loaded entry must exactly match an entry of the original
+    // library — truncation can drop entries but never distort one.
+    for (const StrategyLibrary::EntryView& view : library.entries()) {
+      assay::RoutingJob job;
+      job.start = view.start;
+      job.goal = view.goal;
+      job.hazard = view.hazard;
+      const SynthesisResult* full = original.lookup(job, view.digest);
+      ASSERT_NE(full, nullptr) << "cut=" << cut;
+      ASSERT_EQ(view.result->strategy.size(), full->strategy.size())
+          << "cut=" << cut;
+      for (const auto& [droplet, action] : full->strategy)
+        EXPECT_EQ(view.result->strategy.action(droplet), action)
+            << "cut=" << cut << " droplet=" << droplet.to_string();
+    }
+  }
 }
 
 TEST(LibraryIo, LoadMergesWithExistingEntries) {

@@ -1,0 +1,125 @@
+#include "svc/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "svc/service.hpp"
+
+namespace meda::svc {
+namespace {
+
+constexpr int kBits = 2;
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.synthesis.rules.enable_morphing = false;
+  config.chip_bounds = Rect{0, 0, 19, 19};
+  config.health_bits = kBits;
+  return config;
+}
+
+assay::RoutingJob straight_east(int x0, int cells) {
+  assay::RoutingJob rj;
+  rj.start = Rect::from_size(x0, 4, 3, 3);
+  rj.goal = Rect::from_size(x0 + cells, 4, 3, 3);
+  rj.hazard = Rect{0, 0, 19, 19};
+  return rj;
+}
+
+TEST(SynthesisClient, ReturnsTheServiceResult) {
+  SynthesisService service(base_config());
+  const int t = service.register_tenant("chip");
+  SynthesisClient client(&service, t);
+  const core::BackendOutcome out = client.synthesize(
+      straight_east(0, 8), IntMatrix(20, 20, 3), kBits, 9,
+      core::DigestClass::kPlain);
+  EXPECT_FALSE(out.shed);
+  EXPECT_STREQ(out.shed_reason, "");
+  EXPECT_TRUE(out.result.feasible);
+  EXPECT_NEAR(out.result.expected_cycles, 8.0, 1e-9);  // 3×3: single steps
+}
+
+TEST(SynthesisClient, ShedsImmediatelyWhenTheDeadlineIsBornExpired) {
+  SynthesisService service(base_config());
+  const int t = service.register_tenant("chip");
+  ClientConfig cc;
+  cc.deadline_ticks = 0;  // every submission is born expired
+  SynthesisClient client(&service, t, cc);
+  const core::BackendOutcome out = client.synthesize(
+      straight_east(0, 8), IntMatrix(20, 20, 3), kBits, 9,
+      core::DigestClass::kPlain);
+  EXPECT_TRUE(out.shed);
+  EXPECT_STREQ(out.shed_reason, "expired");
+  // Non-retryable: no backoff ticks were spent on the service clock.
+  EXPECT_EQ(service.now(), 0u);
+}
+
+TEST(SynthesisClient, ShedsImmediatelyWhenTheBudgetWindowIsSpent) {
+  ServiceConfig config = base_config();
+  config.tenant_budget_sweeps = 1;
+  SynthesisService service(config);
+  const int t = service.register_tenant("chip");
+  SynthesisClient client(&service, t);
+  // First call spends the one-sweep window (the solve expires, the ledger
+  // settles to exhausted)...
+  const core::BackendOutcome first = client.synthesize(
+      straight_east(0, 8), IntMatrix(20, 20, 3), kBits, 9,
+      core::DigestClass::kPlain);
+  EXPECT_FALSE(first.shed);
+  EXPECT_TRUE(first.result.deadline_expired);
+  // ...so the second is refused at admission, without retries.
+  const core::BackendOutcome second = client.synthesize(
+      straight_east(1, 8), IntMatrix(20, 20, 3), kBits, 10,
+      core::DigestClass::kPlain);
+  EXPECT_TRUE(second.shed);
+  EXPECT_STREQ(second.shed_reason, "budget_exhausted");
+}
+
+TEST(SynthesisClient, BacksOffAndRetriesQueuePressureBeforeShedding) {
+  ServiceConfig config = base_config();
+  config.queue_capacity = 1;
+  SynthesisService service(config);
+  const int blocker = service.register_tenant("blocker");
+  const int t = service.register_tenant("chip");
+  // A queued job the client never drains keeps the bounded queue full.
+  ASSERT_TRUE(service
+                  .submit(blocker, straight_east(0, 8), IntMatrix(20, 20, 3),
+                          1000, 1)
+                  .accepted);
+  ClientConfig cc;
+  cc.max_attempts = 3;
+  cc.backoff_base_ticks = 1;
+  SynthesisClient client(&service, t, cc);
+  const core::BackendOutcome out = client.synthesize(
+      straight_east(1, 8), IntMatrix(20, 20, 3), kBits, 9,
+      core::DigestClass::kPlain);
+  EXPECT_TRUE(out.shed);
+  EXPECT_STREQ(out.shed_reason, "queue_full");
+  // Two retryable refusals backed off 1 then 2 ticks before the final one.
+  EXPECT_EQ(service.now(), 3u);
+}
+
+TEST(SynthesisClient, QueuedJobCancelledWhileWaitingShedsAsExpired) {
+  ServiceConfig config = base_config();
+  config.max_wave = 1;
+  SynthesisService service(config);
+  const int t = service.register_tenant("chip");
+  // A one-tick deadline cannot survive even the first wave of a busy
+  // queue: an urgent competitor's wave cost pushes the clock past it.
+  ASSERT_TRUE(service
+                  .submit(t, straight_east(0, 8), IntMatrix(20, 20, 3), 2, 1)
+                  .accepted);
+  service.advance(1);
+  ClientConfig cc;
+  cc.deadline_ticks = 1;
+  SynthesisClient client(&service, t, cc);
+  const core::BackendOutcome out = client.synthesize(
+      straight_east(1, 8), IntMatrix(20, 20, 3), kBits, 9,
+      core::DigestClass::kPlain);
+  EXPECT_TRUE(out.shed);
+  EXPECT_STREQ(out.shed_reason, "expired");
+}
+
+}  // namespace
+}  // namespace meda::svc

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulated_chip.hpp"
+#include "svc/client.hpp"
+#include "svc/service.hpp"
+
+/// Integration: a Scheduler whose synthesis runs through the multi-tenant
+/// service via a SynthesisClient backend — both the happy path (the assay
+/// completes with every solve service-side) and the saturated path (every
+/// submission shed; the scheduler degrades to its local bounded-A*
+/// fallback and still completes the assay).
+
+namespace meda::svc {
+namespace {
+
+sim::SimulatedChipConfig chip_config() {
+  sim::SimulatedChipConfig config;
+  config.chip.width = assay::kChipWidth;
+  config.chip.height = assay::kChipHeight;
+  return config;
+}
+
+ServiceConfig service_config() {
+  ServiceConfig config;
+  config.chip_bounds = Rect{0, 0, assay::kChipWidth - 1,
+                            assay::kChipHeight - 1};
+  config.health_bits = 2;  // the paper's sensor resolution (biochip default)
+  return config;
+}
+
+TEST(SchedulerBackend, ServiceBackedRunCompletesTheAssay) {
+  SynthesisService service(service_config());
+  const int tenant = service.register_tenant("chip0");
+  SynthesisClient client(&service, tenant);
+  sim::SimulatedChip chip(chip_config(), Rng(5));
+  core::SchedulerConfig config;
+  config.backend = &client;
+  core::Scheduler scheduler(config);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::master_mix());
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_GT(stats.synthesis_calls, 0);
+  EXPECT_EQ(stats.service_sheds, 0);
+  // The solves landed in the *service's* shared library, not a local one.
+  EXPECT_GT(service.library().size(), 0u);
+}
+
+TEST(SchedulerBackend, ServiceBackedRunMatchesTheLocalRun) {
+  // On the same chip seed, the service path and the local path synthesize
+  // from identical inputs — the executions must agree cycle for cycle.
+  core::ExecutionStats local_stats;
+  {
+    sim::SimulatedChip chip(chip_config(), Rng(17));
+    core::Scheduler scheduler(core::SchedulerConfig{});
+    local_stats = scheduler.run(chip, assay::master_mix());
+  }
+  SynthesisService service(service_config());
+  const int tenant = service.register_tenant("chip0");
+  SynthesisClient client(&service, tenant);
+  sim::SimulatedChip chip(chip_config(), Rng(17));
+  core::SchedulerConfig config;
+  config.backend = &client;
+  core::Scheduler scheduler(config);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::master_mix());
+  ASSERT_TRUE(stats.success) << stats.failure_reason;
+  ASSERT_TRUE(local_stats.success) << local_stats.failure_reason;
+  EXPECT_EQ(stats.cycles, local_stats.cycles);
+  EXPECT_EQ(stats.completed_mos, local_stats.completed_mos);
+}
+
+TEST(SchedulerBackend, SaturatedServiceDegradesToFallbackAndCompletes) {
+  SynthesisService service(service_config());
+  const int tenant = service.register_tenant("chip0");
+  ClientConfig cc;
+  cc.deadline_ticks = 0;  // every submission is refused at admission
+  SynthesisClient client(&service, tenant, cc);
+  sim::SimulatedChip chip(chip_config(), Rng(5));
+  core::SchedulerConfig config;
+  config.backend = &client;
+  config.recovery.enabled = true;  // shed degrades through the ladder
+  core::Scheduler scheduler(config);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::master_mix());
+  EXPECT_TRUE(stats.success) << stats.failure_reason;
+  EXPECT_GT(stats.service_sheds, 0);
+  EXPECT_GT(stats.recovery.fallback_routes, 0);
+  EXPECT_EQ(service.library().size(), 0u);  // nothing ever reached a solve
+}
+
+TEST(SchedulerBackend, ShedWithRecoveryDisabledFailsTheRun) {
+  SynthesisService service(service_config());
+  const int tenant = service.register_tenant("chip0");
+  ClientConfig cc;
+  cc.deadline_ticks = 0;
+  SynthesisClient client(&service, tenant, cc);
+  sim::SimulatedChip chip(chip_config(), Rng(5));
+  core::SchedulerConfig config;
+  config.backend = &client;
+  config.recovery.enabled = false;
+  core::Scheduler scheduler(config);
+  const core::ExecutionStats stats = scheduler.run(chip, assay::master_mix());
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.failure_reason.find("shed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace meda::svc

@@ -1,0 +1,146 @@
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meda::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(AppendJournal, DisabledWithEmptyPath) {
+  AppendJournal journal;
+  journal.open("", 0x1u, true);
+  EXPECT_FALSE(journal.enabled());
+  journal.append("dropped");  // no-op, must not throw
+  EXPECT_TRUE(journal.records().empty());
+}
+
+TEST(AppendJournal, RoundTripsAppendedRecords) {
+  const std::string path = temp_path("journal_roundtrip.txt");
+  std::remove(path.c_str());
+  {
+    AppendJournal journal;
+    journal.open(path, 0xFEEDu, false);
+    ASSERT_TRUE(journal.enabled());
+    journal.append("solve 1 a");
+    journal.append("solve 2 b");
+    ASSERT_EQ(journal.records().size(), 2u);  // appends visible immediately
+    EXPECT_EQ(journal.records()[1], "solve 2 b");
+  }
+  AppendJournal resumed;
+  resumed.open(path, 0xFEEDu, true);
+  EXPECT_EQ(resumed.restored_count(), 2u);
+  ASSERT_EQ(resumed.records().size(), 2u);
+  EXPECT_EQ(resumed.records()[0], "solve 1 a");
+  EXPECT_EQ(resumed.records()[1], "solve 2 b");
+  // Appends after resume land behind the replayed prefix, on disk and in
+  // records().
+  resumed.append("solve 3 c");
+  EXPECT_EQ(resumed.records().size(), 3u);
+  EXPECT_EQ(read_file(path),
+            read_file(path).substr(0, read_file(path).find('\n') + 1) +
+                "solve 1 a\nsolve 2 b\nsolve 3 c\n");
+}
+
+TEST(AppendJournal, DigestMismatchStartsFresh) {
+  const std::string path = temp_path("journal_digest.txt");
+  std::remove(path.c_str());
+  {
+    AppendJournal journal;
+    journal.open(path, 0xAAAAu, false);
+    journal.append("stale");
+  }
+  AppendJournal resumed;
+  resumed.open(path, 0xBBBBu, true);
+  EXPECT_TRUE(resumed.enabled());
+  EXPECT_EQ(resumed.restored_count(), 0u);
+  EXPECT_TRUE(resumed.records().empty());
+  // The stale file was replaced by a fresh header for the new digest.
+  AppendJournal again;
+  again.open(path, 0xBBBBu, true);
+  EXPECT_EQ(again.restored_count(), 0u);
+}
+
+TEST(AppendJournal, GarbageOrWrongVersionStartsFresh) {
+  const std::string path = temp_path("journal_garbage.txt");
+  for (const char* contents :
+       {"not a journal at all\n", "meda-journal v2 0000000000000001\n",
+        "meda-journal v1 zzzz\nrecord\n", ""}) {
+    {
+      std::ofstream out(path, std::ios::trunc);
+      out << contents;
+    }
+    AppendJournal journal;
+    journal.open(path, 0x1u, true);
+    EXPECT_TRUE(journal.enabled()) << contents;
+    EXPECT_EQ(journal.restored_count(), 0u) << contents;
+  }
+}
+
+TEST(AppendJournal, TornTailLineIsDropped) {
+  const std::string path = temp_path("journal_torn.txt");
+  std::remove(path.c_str());
+  {
+    AppendJournal journal;
+    journal.open(path, 0xC0DEu, false);
+    journal.append("complete 1");
+    journal.append("complete 2");
+  }
+  {
+    // Simulate a SIGKILL mid-append: a trailing record with no '\n'.
+    std::ofstream out(path, std::ios::app);
+    out << "torn rec";
+  }
+  AppendJournal resumed;
+  resumed.open(path, 0xC0DEu, true);
+  ASSERT_EQ(resumed.restored_count(), 2u);
+  EXPECT_EQ(resumed.records()[1], "complete 2");
+  // The torn tail is physically rewritten away, so a new append does not
+  // splice onto it.
+  resumed.append("complete 3");
+  const std::string contents = read_file(path);
+  EXPECT_EQ(contents.find("torn"), std::string::npos);
+  EXPECT_NE(contents.find("complete 3\n"), std::string::npos);
+}
+
+TEST(AppendJournal, RejectsMultiLinePayloads) {
+  const std::string path = temp_path("journal_multiline.txt");
+  std::remove(path.c_str());
+  AppendJournal journal;
+  journal.open(path, 0x2u, false);
+  EXPECT_THROW(journal.append("two\nlines"), PreconditionError);
+}
+
+TEST(AppendJournal, ReopenWithoutResumeTruncates) {
+  const std::string path = temp_path("journal_truncate.txt");
+  std::remove(path.c_str());
+  {
+    AppendJournal journal;
+    journal.open(path, 0x3u, false);
+    journal.append("old");
+  }
+  AppendJournal fresh;
+  fresh.open(path, 0x3u, false);
+  EXPECT_EQ(fresh.restored_count(), 0u);
+  AppendJournal check;
+  check.open(path, 0x3u, true);
+  EXPECT_EQ(check.restored_count(), 0u);
+}
+
+}  // namespace
+}  // namespace meda::util

@@ -94,6 +94,44 @@ TEST(ParallelFor, EmptyRangeIsANoOp) {
   parallel_for(4, 0, [](std::size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ThreadPool, ShutdownUnderLoadDrainsEveryQueuedJob) {
+  // A long-lived service destroys its pool while jobs are still queued; the
+  // destructor must drain them deterministically — every submitted job runs
+  // exactly once, no hang, no drop. Slow jobs keep the queue non-empty at
+  // destruction time.
+  std::atomic<int> executed{0};
+  constexpr int kJobs = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait(): destruction races the queue on purpose.
+  }
+  EXPECT_EQ(executed.load(), kJobs);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadWithThrowingJobsDoesNotHang) {
+  // Destruction with queued jobs that throw: errors are swallowed by the
+  // drain (there is no wait() left to rethrow into), but every job still
+  // runs and the destructor still joins.
+  std::atomic<int> executed{0};
+  constexpr int kJobs = 32;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&executed, i] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (i % 2 == 0) throw std::runtime_error("job boom");
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), kJobs);
+}
+
 TEST(ParseJobsFlag, ParsesBothSpellings) {
   const char* argv1[] = {"bench", "--jobs", "4"};
   EXPECT_EQ(parse_jobs_flag(3, const_cast<char**>(argv1)), 4);
